@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcsketch/internal/trace"
+)
+
+func writeAttackTrace(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewBinaryWriter(f)
+	// 500 unanswered SYNs plus 100 completed handshakes.
+	for i := 0; i < 500; i++ {
+		if err := w.Write(trace.Record{
+			Time: uint64(i * 10), Src: uint32(0xc0000000 + i), Dst: 0xCB007107,
+			SrcPort: 4444, DstPort: 443, Flags: trace.FlagSYN,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		base := uint64(5000 + i*10)
+		src, dst := uint32(0x0a000000+i), uint32(0xC6336401)
+		recs := []trace.Record{
+			{Time: base, Src: src, Dst: dst, SrcPort: uint16(i), DstPort: 80, Flags: trace.FlagSYN},
+			{Time: base + 1, Src: dst, Dst: src, SrcPort: 80, DstPort: uint16(i), Flags: trace.FlagSYN | trace.FlagACK},
+			{Time: base + 2, Src: src, Dst: dst, SrcPort: uint16(i), DstPort: 80, Flags: trace.FlagACK},
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetectsVictim(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.trace")
+	writeAttackTrace(t, path)
+
+	var sb strings.Builder
+	err := run([]string{"-min-frequency", "100", "-check-interval", "100", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ALERT") {
+		t.Fatalf("no alert in output:\n%s", out)
+	}
+	if !strings.Contains(out, "203.0.113.7") {
+		t.Fatalf("victim missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "ALERTING") {
+		t.Fatalf("final state not marked alerting:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("missing trace argument accepted")
+	}
+	if err := run([]string{"/nonexistent.trace"}, &sb); err == nil {
+		t.Fatal("unreadable trace accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.trace")
+	writeAttackTrace(t, path)
+	if err := run([]string{"-format", "xml", path}, &sb); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestRunTextTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewTextWriter(f)
+	for i := 0; i < 50; i++ {
+		if err := w.Write(trace.Record{
+			Time: uint64(i), Src: uint32(100 + i), Dst: 0xCB007107,
+			SrcPort: 1, DstPort: 443, Flags: trace.FlagSYN,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-format", "text", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "50 flow updates") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

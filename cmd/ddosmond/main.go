@@ -1,0 +1,106 @@
+// Command ddosmond is the DDoS monitor daemon: it listens for the wire
+// protocol (flow-update batches, shipped sketches, top-k queries) from edge
+// exporters, maintains the shared Tracking Distinct-Count Sketch, and prints
+// alerts. This is the Fig. 1 DDoS MONITOR as a process.
+//
+// Usage:
+//
+//	ddosmond -listen 127.0.0.1:7171 -min-frequency 200
+//
+// Feed it with cmd/flowexport (replaying a trace) or any client speaking
+// internal/wire. Stop with SIGINT/SIGTERM for a graceful drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/monitor"
+	"dcsketch/internal/server"
+	"dcsketch/internal/trace"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sigs); err != nil {
+		fmt.Fprintln(os.Stderr, "ddosmond:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a value arrives on stop.
+func run(args []string, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("ddosmond", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:7171", "listen address")
+		k        = fs.Int("k", 10, "top-k destinations tracked per check")
+		minFreq  = fs.Int64("min-frequency", 64, "absolute alert floor (distinct sources)")
+		interval = fs.Int("check-interval", 4096, "flow updates between tracking checks")
+		seed     = fs.Uint64("seed", 1, "sketch seed (edges shipping sketches must match)")
+		buckets  = fs.Int("s", 128, "second-level hash-table buckets (s)")
+		tables   = fs.Int("r", 3, "second-level hash tables (r)")
+		status   = fs.Duration("status-every", 10*time.Second, "status line period (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Monitor: monitor.Config{
+			Sketch:        dcs.Config{Tables: *tables, Buckets: *buckets, Seed: *seed},
+			K:             *k,
+			CheckInterval: *interval,
+			MinFrequency:  *minFreq,
+		},
+		OnAlert: func(a monitor.Alert) {
+			fmt.Printf("ALERT update=%d dest=%s est_distinct_sources=%d baseline=%.1f\n",
+				a.AtUpdate, trace.FormatIPv4(a.Dest), a.Estimated, a.Baseline)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ddosmond listening on %s (r=%d s=%d seed=%d)\n", addr, *tables, *buckets, *seed)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *status > 0 {
+		ticker = time.NewTicker(*status)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down...")
+			srv.Shutdown()
+			printStatus(srv, *k)
+			return nil
+		case <-tick:
+			printStatus(srv, *k)
+		}
+	}
+}
+
+func printStatus(srv *server.Server, k int) {
+	st := srv.Stats()
+	fmt.Printf("status: %d updates in %d batches, %d queries, %d sketches merged, %d protocol errors\n",
+		st.Updates, st.Batches, st.Queries, st.Sketches, st.ProtocolErrors)
+	for i, e := range srv.TopK(k) {
+		marker := ""
+		if srv.Alerting(e.Dest) {
+			marker = "  << ALERTING"
+		}
+		fmt.Printf("  %2d. %-15s ~%d distinct sources%s\n", i+1, trace.FormatIPv4(e.Dest), e.F, marker)
+	}
+}

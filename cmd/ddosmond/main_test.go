@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestRunStartsAndStops(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-status-every", "0"}, stop)
+	}()
+	// Give the daemon a moment to bind, then stop it.
+	time.Sleep(100 * time.Millisecond)
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	stop := make(chan os.Signal)
+	if err := run([]string{"-listen", "not-an-address"}, stop); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if err := run([]string{"-s", "1"}, stop); err == nil {
+		t.Fatal("invalid sketch config accepted")
+	}
+	if err := run([]string{"-bogus"}, stop); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Command experiments regenerates every table and figure of the paper's
+// experimental study (§6) plus the repository's ablations.
+//
+// Usage:
+//
+//	experiments -run all                    # everything, laptop scale
+//	experiments -run fig8a,fig8b -scale 0.1 # accuracy figures, bigger runs
+//	experiments -run fig9 -updates 4000000  # paper-scale timing sweep
+//	experiments -run space,table2,scenarios,ablations
+//	experiments -run fig8a -csv             # emit CSV instead of tables
+//
+// -scale 1.0 reproduces the paper's full U = 8·10^6, d = 5·10^4 setting
+// (several minutes and ~1 GiB); the default 0.02 preserves the U/d ratio and
+// finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dcsketch/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated experiments: fig8a,fig8b,fig9,space,table2,threshold,latency,deployment,scenarios,ablations,all")
+		scale   = fs.Float64("scale", 0.02, "workload scale relative to the paper's U=8e6, d=5e4")
+		seeds   = fs.Int("seeds", 5, "random seeds averaged per accuracy point")
+		updates = fs.Int("updates", 200_000, "stream length for timing experiments (paper: 4e6)")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := make(map[string]bool)
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	known := map[string]bool{
+		"fig8a": true, "fig8b": true, "fig9": true, "space": true,
+		"table2": true, "scenarios": true, "ablations": true,
+		"threshold": true, "latency": true, "deployment": true, "all": true,
+	}
+	for name := range want {
+		if !known[name] {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	emit := func(tables ...*experiment.Table) error {
+		for _, t := range tables {
+			var err error
+			if *csv {
+				err = t.WriteCSV(w)
+			} else {
+				err = t.Render(w)
+			}
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if all || want["fig8a"] || want["fig8b"] {
+		points, err := experiment.Fig8(experiment.Fig8Params{
+			Scale: *scale, Seeds: *seeds, BaseSeed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		recall, relErr := experiment.Fig8Tables(points)
+		if all || want["fig8a"] {
+			if err := emit(recall); err != nil {
+				return err
+			}
+		}
+		if all || want["fig8b"] {
+			if err := emit(relErr); err != nil {
+				return err
+			}
+		}
+	}
+	if all || want["fig9"] {
+		points, err := experiment.Fig9(experiment.Fig9Params{Updates: *updates, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.Fig9Table(points)); err != nil {
+			return err
+		}
+	}
+	if all || want["space"] {
+		rows, err := experiment.Space(experiment.SpaceParams{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.SpaceTable(rows)); err != nil {
+			return err
+		}
+	}
+	if all || want["table2"] {
+		rows, err := experiment.Table2(experiment.Table2Params{Updates: *updates, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.Table2Table(rows)); err != nil {
+			return err
+		}
+	}
+	if all || want["threshold"] {
+		points, err := experiment.Threshold(experiment.ThresholdParams{Scale: *scale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.ThresholdTable(points)); err != nil {
+			return err
+		}
+	}
+	if all || want["latency"] {
+		points, err := experiment.Latency(experiment.LatencyParams{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.LatencyTable(points)); err != nil {
+			return err
+		}
+	}
+	if all || want["deployment"] {
+		rows, err := experiment.Deployment(experiment.DeploymentParams{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.DeploymentTable(rows)); err != nil {
+			return err
+		}
+	}
+	if all || want["scenarios"] {
+		res, err := experiment.Scenario(experiment.ScenarioParams{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.ScenarioTable(res)); err != nil {
+			return err
+		}
+	}
+	if all || want["ablations"] {
+		p := experiment.AblationParams{Scale: *scale, Seed: *seed}
+		st, err := experiment.AblateSampleTarget(p)
+		if err != nil {
+			return err
+		}
+		fp, err := experiment.AblateFingerprint(p)
+		if err != nil {
+			return err
+		}
+		rec, err := experiment.AblateRecovery(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.AblationTables(st, fp, rec)...); err != nil {
+			return err
+		}
+		est, err := experiment.AblateEstimator(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiment.EstimatorTable(est)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

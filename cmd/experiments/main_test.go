@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nonsense"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunScenarioTable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-run", "scenarios", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Robustness", "victim", "crowd-server"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig8CSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-run", "fig8a", "-scale", "0.003", "-seeds", "1", "-csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "z,k,recall\n") {
+		t.Fatalf("csv output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Fatalf("csv output too short:\n%s", out)
+	}
+}
+
+func TestRunSpace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "space"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "96000000") {
+		t.Fatalf("space table missing the paper's brute-force figure:\n%s", sb.String())
+	}
+}

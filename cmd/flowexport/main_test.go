@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsketch/internal/server"
+	"dcsketch/internal/trace"
+)
+
+func writeSYNTrace(t *testing.T, path string, n int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewBinaryWriter(f)
+	for i := 0; i < n; i++ {
+		if err := w.Write(trace.Record{
+			Time: uint64(i), Src: uint32(5000 + i), Dst: 0xCB007107,
+			SrcPort: uint16(i), DstPort: 443, Flags: trace.FlagSYN,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportToInProcessDaemon(t *testing.T) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.trace")
+	writeSYNTrace(t, path, 300)
+
+	err = run([]string{"-connect", addr.String(), "-batch", "64", "-query", "3", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Updates; got != 300 {
+		t.Fatalf("server ingested %d updates, want 300", got)
+	}
+	top := srv.TopK(1)
+	if len(top) != 1 || top[0].Dest != 0xCB007107 {
+		t.Fatalf("server TopK = %+v", top)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run([]string{"-batch", "0", "x"}); err == nil {
+		t.Fatal("batch=0 accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.trace")
+	writeSYNTrace(t, path, 5)
+	if err := run([]string{"-format", "xml", path}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-connect", "127.0.0.1:1", "-timeout", "200ms", path}); err == nil {
+		t.Fatal("unreachable daemon accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Command sketchtool manipulates serialized Distinct-Count Sketch files:
+// build one from a packet trace, inspect it, query it, and merge or
+// subtract sketches offline (e.g. nightly collector jobs over per-edge
+// snapshots).
+//
+// Usage:
+//
+//	sketchtool build -trace attack.trace -o edge0.sketch
+//	sketchtool info edge0.sketch
+//	sketchtool topk -k 10 edge0.sketch
+//	sketchtool merge -o all.sketch edge0.sketch edge1.sketch
+//	sketchtool subtract -o delta.sketch today.sketch yesterday.sketch
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/stream"
+	"dcsketch/internal/tcpflow"
+	"dcsketch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sketchtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: sketchtool <build|info|topk|merge|subtract> [flags]")
+	}
+	switch args[0] {
+	case "build":
+		return runBuild(args[1:], w)
+	case "info":
+		return runInfo(args[1:], w)
+	case "topk":
+		return runTopK(args[1:], w)
+	case "merge":
+		return runCombine(args[1:], w, false)
+	case "subtract":
+		return runCombine(args[1:], w, true)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadSketch(path string) (*dcs.Sketch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := dcs.UnmarshalBinary(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sk, nil
+}
+
+func saveSketch(path string, sk *dcs.Sketch) error {
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func runBuild(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sketchtool build", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "input packet trace (binary format)")
+		out       = fs.String("o", "out.sketch", "output sketch file")
+		seed      = fs.Uint64("seed", 1, "sketch seed")
+		buckets   = fs.Int("s", 128, "second-level buckets (s)")
+		tables    = fs.Int("r", 3, "second-level tables (r)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return errors.New("build: -trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sk, err := dcs.New(dcs.Config{Tables: *tables, Buckets: *buckets, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	conv := tcpflow.New()
+	n, err := tcpflow.Convert(trace.NewBinaryReader(f), conv,
+		stream.SinkFunc(func(src, dst uint32, delta int64) { sk.Update(src, dst, delta) }))
+	if err != nil {
+		return err
+	}
+	if err := saveSketch(*out, sk); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "built %s from %d packets (%d flow updates)\n", *out, n, sk.Updates())
+	return nil
+}
+
+func runInfo(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sketchtool info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("info: exactly one sketch file expected")
+	}
+	sk, err := loadSketch(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := sk.Config()
+	fmt.Fprintf(w, "file:            %s\n", fs.Arg(0))
+	fmt.Fprintf(w, "config:          r=%d s=%d levels=%d seed=%d fingerprint=%v\n",
+		cfg.Tables, cfg.Buckets, cfg.Levels, cfg.Seed, !cfg.DisableFingerprint)
+	fmt.Fprintf(w, "updates:         %d\n", sk.Updates())
+	fmt.Fprintf(w, "non-empty levels: %d\n", sk.NonEmptyLevels())
+	fmt.Fprintf(w, "distinct pairs:  ~%d\n", sk.EstimateDistinctPairs())
+	fmt.Fprintf(w, "memory:          %d bytes\n", sk.SizeBytes())
+	return nil
+}
+
+func runTopK(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sketchtool topk", flag.ContinueOnError)
+	k := fs.Int("k", 10, "number of destinations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("topk: exactly one sketch file expected")
+	}
+	sk, err := loadSketch(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for i, e := range sk.TopK(*k) {
+		fmt.Fprintf(w, "%3d. %-15s ~%d distinct sources\n", i+1, trace.FormatIPv4(e.Dest), e.F)
+	}
+	return nil
+}
+
+func runCombine(args []string, w io.Writer, subtract bool) error {
+	name := "merge"
+	if subtract {
+		name = "subtract"
+	}
+	fs := flag.NewFlagSet("sketchtool "+name, flag.ContinueOnError)
+	out := fs.String("o", name+".sketch", "output sketch file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("%s: at least two sketch files expected", name)
+	}
+	acc, err := loadSketch(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args()[1:] {
+		next, err := loadSketch(path)
+		if err != nil {
+			return err
+		}
+		if subtract {
+			err = acc.Subtract(next)
+		} else {
+			err = acc.Merge(next)
+		}
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", name, path, err)
+		}
+	}
+	if err := saveSketch(*out, acc); err != nil {
+		return err
+	}
+	verb := "merged"
+	if subtract {
+		verb = "subtracted"
+	}
+	fmt.Fprintf(w, "%s %d sketches into %s (~%d distinct pairs)\n",
+		verb, fs.NArg(), *out, acc.EstimateDistinctPairs())
+	return nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/trace"
+)
+
+// writeTestTrace builds a small binary trace with unanswered SYNs to one
+// victim.
+func writeTestTrace(t *testing.T, path string, syns int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewBinaryWriter(f)
+	for i := 0; i < syns; i++ {
+		err := w.Write(trace.Record{
+			Time: uint64(i), Src: uint32(1000 + i), Dst: 0xCB007107,
+			SrcPort: uint16(i), DstPort: 443, Flags: trace.FlagSYN,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildInfoTopK(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.trace")
+	sketchPath := filepath.Join(dir, "t.sketch")
+	writeTestTrace(t, tracePath, 120)
+
+	var sb strings.Builder
+	if err := run([]string{"build", "-trace", tracePath, "-o", sketchPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "120 packets") {
+		t.Fatalf("build output: %s", sb.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"info", sketchPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"r=3 s=128", "updates:         120"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("info output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"topk", "-k", "1", sketchPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "203.0.113.7") {
+		t.Fatalf("topk output: %s", sb.String())
+	}
+}
+
+func TestMergeAndSubtract(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, dest uint32, n int) string {
+		sk, err := dcs.New(dcs.Config{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			sk.Update(uint32(i), dest, 1)
+		}
+		path := filepath.Join(dir, name)
+		if err := saveSketch(path, sk); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := mk("a.sketch", 1, 40)
+	b := mk("b.sketch", 2, 20)
+	merged := filepath.Join(dir, "m.sketch")
+
+	var sb strings.Builder
+	if err := run([]string{"merge", "-o", merged, a, b}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := loadSketch(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sk.TopK(5)); got != 2 {
+		t.Fatalf("merged sketch tracks %d destinations, want 2", got)
+	}
+
+	back := filepath.Join(dir, "back.sketch")
+	sb.Reset()
+	if err := run([]string{"subtract", "-o", back, merged, b}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sk, err = loadSketch(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := sk.TopK(5)
+	if len(top) != 1 || top[0].Dest != 1 {
+		t.Fatalf("subtracted sketch = %+v, want only dest 1", top)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"build"},                       // missing -trace
+		{"info"},                        // missing file
+		{"info", "/nonexistent.sketch"}, // unreadable
+		{"topk"},
+		{"merge", "-o", "x"}, // too few inputs
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestMergeIncompatibleSeeds(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, seed uint64) string {
+		sk, err := dcs.New(dcs.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk.Update(1, 2, 1)
+		path := filepath.Join(dir, name)
+		if err := saveSketch(path, sk); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a, b := mk("a.sketch", 1), mk("b.sketch", 2)
+	var sb strings.Builder
+	if err := run([]string{"merge", "-o", filepath.Join(dir, "m"), a, b}, &sb); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}

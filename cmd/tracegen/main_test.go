@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsketch/internal/trace"
+)
+
+func TestGenerateShape(t *testing.T) {
+	p := params{
+		zombies:    200,
+		crowd:      300,
+		background: 400,
+		victim:     0xCB007107,
+		crowdDest:  0xC6336401,
+		seed:       1,
+	}
+	recs := generate(p)
+	// crowd+background are 3-packet handshakes, zombies 1 SYN each.
+	want := (300+400)*3 + 200
+	if len(recs) != want {
+		t.Fatalf("generated %d records, want %d", len(recs), want)
+	}
+	// Time-sorted.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatalf("records out of time order at %d", i)
+		}
+	}
+	// Attack SYNs are never acknowledged: no ACK-only packet ever
+	// targets the victim from an attack source, and victim SYNs exist.
+	victimSYNs := 0
+	for _, r := range recs {
+		if r.Dst == p.victim && r.Flags == trace.FlagSYN {
+			victimSYNs++
+		}
+		if r.Src != p.victim && r.Dst == p.victim && r.Flags == trace.FlagACK {
+			t.Fatalf("attack flow completed a handshake: %+v", r)
+		}
+	}
+	if victimSYNs != 200 {
+		t.Fatalf("victim received %d SYNs, want 200", victimSYNs)
+	}
+	// The attack must be interleaved with normal traffic, not appended:
+	// some attack SYN must appear in the first third of the trace.
+	early := false
+	for _, r := range recs[:len(recs)/3] {
+		if r.Dst == p.victim {
+			early = true
+			break
+		}
+	}
+	if !early {
+		t.Fatal("attack not interleaved: no victim packet in the first third")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := params{zombies: 50, crowd: 50, background: 50, victim: 1, crowdDest: 2, seed: 9}
+	a, b := generate(p), generate(p)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestRunWritesReadableTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+	err := run([]string{"-o", out, "-zombies", "10", "-crowd", "10", "-background", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(trace.NewBinaryReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10*3+10*3+10 {
+		t.Fatalf("trace holds %d records", len(recs))
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.txt")
+	err := run([]string{"-o", out, "-format", "text", "-zombies", "5", "-crowd", "5", "-background", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(trace.NewTextReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 35 {
+		t.Fatalf("text trace holds %d records", len(recs))
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-victim", "not-an-ip"}); err == nil {
+		t.Fatal("bad victim address accepted")
+	}
+	if err := run([]string{"-format", "xml", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package dcsketch
+
+import "testing"
+
+func TestWindowedTrackerPublicAPI(t *testing.T) {
+	w, err := NewWindowedTracker(2, WithSeed(31), WithBuckets(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := uint32(1); src <= 40; src++ {
+		w.Insert(src, 10)
+	}
+	if top := w.TopK(1); len(top) != 1 || top[0].Dest != 10 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if top := w.TopK(1); len(top) != 0 {
+		t.Fatalf("expired window TopK = %+v", top)
+	}
+	w.Update(1, 20, 1)
+	w.Delete(1, 20)
+	if got := w.DistinctPairs(); got != 0 {
+		t.Fatalf("DistinctPairs = %d", got)
+	}
+	if w.Epochs() != 2 || w.SizeBytes() <= 0 {
+		t.Fatalf("bookkeeping: epochs=%d size=%d", w.Epochs(), w.SizeBytes())
+	}
+}
+
+func TestWindowedTrackerValidation(t *testing.T) {
+	if _, err := NewWindowedTracker(0); err == nil {
+		t.Fatal("epochs=0 accepted")
+	}
+	if _, err := NewWindowedTracker(2, WithBuckets(1)); err == nil {
+		t.Fatal("invalid sketch options accepted")
+	}
+}
+
+func TestMonitorCUSUMTripwire(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{
+		SketchOptions: []Option{WithSeed(33)},
+		CUSUM:         &CUSUMConfig{IntervalPackets: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced traffic: completing handshakes with FIN teardown.
+	now := uint64(0)
+	for i := uint32(0); i < 1000; i++ {
+		now += 10
+		client := 0x0a000000 + i%300
+		m.ProcessPacket(Packet{Time: now, Src: client, Dst: 9, SrcPort: uint16(i), DstPort: 80, SYN: true})
+		m.ProcessPacket(Packet{Time: now + 1, Src: client, Dst: 9, SrcPort: uint16(i), DstPort: 80, ACK: true})
+		m.ProcessPacket(Packet{Time: now + 2, Src: client, Dst: 9, SrcPort: uint16(i), DstPort: 80, FIN: true})
+	}
+	if m.CUSUMAlarm() {
+		t.Fatal("balanced traffic tripped the CUSUM")
+	}
+	// Flood: SYNs with no teardown.
+	for i := uint32(0); i < 2000; i++ {
+		now += 10
+		m.ProcessPacket(Packet{Time: now, Src: 0xc0000000 + i, Dst: 443, SrcPort: 7, DstPort: 443, SYN: true})
+	}
+	if !m.CUSUMAlarm() {
+		t.Fatal("flood did not trip the CUSUM")
+	}
+}
+
+func TestMonitorCUSUMDisabledByDefault(t *testing.T) {
+	m, err := NewMonitor(MonitorConfig{SketchOptions: []Option{WithSeed(34)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 5000; i++ {
+		m.ProcessPacket(Packet{Time: uint64(i), Src: i, Dst: 1, SrcPort: 1, DstPort: 2, SYN: true})
+	}
+	if m.CUSUMAlarm() {
+		t.Fatal("CUSUMAlarm must be false when not configured")
+	}
+}
+
+func TestMonitorCUSUMValidation(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{
+		CUSUM: &CUSUMConfig{IntervalPackets: -5},
+	}); err == nil {
+		t.Fatal("negative CUSUM interval accepted")
+	}
+	if _, err := NewMonitor(MonitorConfig{
+		CUSUM: &CUSUMConfig{Alpha: 3},
+	}); err == nil {
+		t.Fatal("invalid CUSUM alpha accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package dcsketch_test
+
+import (
+	"fmt"
+
+	"dcsketch"
+)
+
+// The tracking sketch follows distinct half-open sources per destination
+// with insert/delete semantics.
+func ExampleNewTracker() {
+	sk, err := dcsketch.NewTracker(dcsketch.WithSeed(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Three clients connect to 10.0.0.1; two complete their handshakes.
+	for src := uint32(1); src <= 3; src++ {
+		sk.Insert(src, 0x0a000001)
+	}
+	sk.Delete(1, 0x0a000001)
+	sk.Delete(2, 0x0a000001)
+
+	for _, e := range sk.TopK(1) {
+		fmt.Printf("%s has %d half-open source(s)\n", dcsketch.FormatIPv4(e.Dest), e.Count)
+	}
+	// Output: 10.0.0.1 has 1 half-open source(s)
+}
+
+// Sketches built with the same options merge exactly, enabling per-edge
+// aggregation.
+func ExampleTracker_Merge() {
+	edge1, _ := dcsketch.NewTracker(dcsketch.WithSeed(9))
+	edge2, _ := dcsketch.NewTracker(dcsketch.WithSeed(9))
+	edge1.Insert(1, 7)
+	edge2.Insert(2, 7)
+	if err := edge1.Merge(edge2); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(edge1.TopK(1)[0].Count)
+	// Output: 2
+}
+
+// The monitor consumes raw packets: SYNs open half-open state, the
+// completing ACK removes it.
+func ExampleMonitor_ProcessPacket() {
+	mon, err := dcsketch.NewMonitor(dcsketch.MonitorConfig{
+		SketchOptions: []dcsketch.Option{dcsketch.WithSeed(3)},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	server := uint32(0x0a000001)
+	// One completed handshake, one spoofed SYN.
+	mon.ProcessPacket(dcsketch.Packet{Time: 1, Src: 100, Dst: server, SrcPort: 5000, DstPort: 80, SYN: true})
+	mon.ProcessPacket(dcsketch.Packet{Time: 2, Src: 100, Dst: server, SrcPort: 5000, DstPort: 80, ACK: true})
+	mon.ProcessPacket(dcsketch.Packet{Time: 3, Src: 200, Dst: server, SrcPort: 6000, DstPort: 80, SYN: true})
+
+	fmt.Println(mon.TopK(1)[0].Count)
+	// Output: 1
+}
+
+// A windowed tracker ranks by recent epochs only; rotating retires the
+// oldest epoch.
+func ExampleNewWindowedTracker() {
+	w, _ := dcsketch.NewWindowedTracker(2, dcsketch.WithSeed(4))
+	w.Insert(1, 7) // epoch 1
+	_ = w.Rotate()
+	_ = w.Rotate() // epoch 1 leaves the 2-epoch window
+	w.Insert(2, 9) // current epoch
+	for _, e := range w.TopK(5) {
+		fmt.Println(e.Dest)
+	}
+	// Output: 9
+}
+
+// Superspreader mode finds sources fanning out to many destinations.
+func ExampleNewSuperspreader() {
+	ss, _ := dcsketch.NewSuperspreader(dcsketch.WithSeed(5), dcsketch.WithBuckets(256))
+	for d := uint32(0); d < 30; d++ {
+		ss.Insert(42, d) // scanner
+	}
+	ss.Insert(7, 1) // normal host
+	top := ss.TopK(1)
+	fmt.Println(top[0].Src == 42, top[0].Count)
+	// Output: true 30
+}

@@ -1,0 +1,76 @@
+// Flash-crowd discrimination: the paper's headline robustness claim. Two
+// destinations receive surges from thousands of distinct sources at the same
+// time — one is a flash crowd (a news site after a breaking story: every
+// client completes its handshake), the other is a SYN-flood victim (spoofed
+// sources never complete). A volume detector cannot tell them apart; the
+// Distinct-Count Sketch, because it processes the completion *deletions*,
+// can.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcsketch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	newsSite, err := dcsketch.ParseIPv4("198.51.100.1")
+	if err != nil {
+		return err
+	}
+	victim, err := dcsketch.ParseIPv4("203.0.113.7")
+	if err != nil {
+		return err
+	}
+
+	sk, err := dcsketch.NewTracker(dcsketch.WithSeed(99))
+	if err != nil {
+		return err
+	}
+	// packetsSeen mimics what a volume-based detector counts: every
+	// packet towards the destination, completions included.
+	packetsSeen := map[uint32]int{}
+
+	const surge = 5000
+	show := func(phase string) {
+		fmt.Printf("--- %s\n", phase)
+		fmt.Printf("  volume view:   news site %6d pkts | victim %6d pkts\n",
+			packetsSeen[newsSite], packetsSeen[victim])
+		for _, e := range sk.TopK(2) {
+			fmt.Printf("  distinct view: %-15s ~%d half-open sources\n",
+				dcsketch.FormatIPv4(e.Dest), e.Count)
+		}
+	}
+
+	// Phase 1: both surges arrive. SYNs only, so at this instant the two
+	// destinations look identical on every metric.
+	for i := uint32(0); i < surge; i++ {
+		sk.Insert(0x0a000000+i, newsSite)
+		packetsSeen[newsSite]++
+		sk.Insert(0xc6000000+i, victim)
+		packetsSeen[victim]++
+	}
+	show("both surges arriving (indistinguishable)")
+
+	// Phase 2: the crowd's handshakes complete; the flood's never do.
+	// Note the ACKs give the news site MORE packet volume, not less.
+	for i := uint32(0); i < surge; i++ {
+		sk.Delete(0x0a000000+i, newsSite)
+		packetsSeen[newsSite]++
+	}
+	show("crowd completed, flood persists")
+
+	top := sk.TopK(1)
+	if len(top) == 1 && top[0].Dest == victim {
+		fmt.Println("\n=> distinct-count metric isolates the true victim;")
+		fmt.Println("   the volume metric still ranks the news site first.")
+	}
+	return nil
+}

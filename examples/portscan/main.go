@@ -1,0 +1,72 @@
+// Port-scan / worm detection with the superspreader tracker (paper §1,
+// footnote 1): the same distinct-count machinery, applied to sources. A
+// scanning worm probes hundreds of distinct destinations; normal hosts talk
+// to a handful. No fan-out threshold needs to be chosen in advance — the
+// tracker reports the top-k sources by distinct destinations contacted.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcsketch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ss, err := dcsketch.NewSuperspreader(dcsketch.WithSeed(5), dcsketch.WithBuckets(512))
+	if err != nil {
+		return err
+	}
+
+	worm, err := dcsketch.ParseIPv4("10.66.6.6")
+	if err != nil {
+		return err
+	}
+	proxy, err := dcsketch.ParseIPv4("10.1.1.1")
+	if err != nil {
+		return err
+	}
+
+	// 200 normal hosts each contact ~4 services and complete.
+	for h := uint32(0); h < 200; h++ {
+		host := 0x0a000100 + h
+		for d := uint32(0); d < 4; d++ {
+			dst := 0xc0a80000 + (h+d)%64
+			ss.Insert(host, dst)
+		}
+	}
+
+	// A web proxy legitimately contacts 300 distinct destinations — but
+	// its connections complete, so deletions remove them.
+	for d := uint32(0); d < 300; d++ {
+		ss.Insert(proxy, 0x08080000+d)
+	}
+	for d := uint32(0); d < 300; d++ {
+		ss.Delete(proxy, 0x08080000+d)
+	}
+
+	// The worm sweeps a /24, leaving half-open probes everywhere.
+	for d := uint32(0); d < 256; d++ {
+		ss.Insert(worm, 0xac100000+d)
+	}
+
+	fmt.Println("top sources by distinct half-open destinations:")
+	for rank, e := range ss.TopK(3) {
+		fmt.Printf("  %d. %-15s ~%d destinations\n",
+			rank+1, dcsketch.FormatIPv4(e.Src), e.Count)
+	}
+
+	fmt.Println("\nsources over a 50-destination fan-out:")
+	for _, e := range ss.Threshold(50) {
+		fmt.Printf("  %-15s ~%d destinations\n", dcsketch.FormatIPv4(e.Src), e.Count)
+	}
+	fmt.Println("\n(the proxy contacted 300 destinations but completed them all," +
+		"\n so only the worm crosses the threshold)")
+	return nil
+}

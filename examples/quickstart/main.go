@@ -1,0 +1,57 @@
+// Quickstart: build a tracking Distinct-Count Sketch, feed it flow updates
+// with inserts and deletes, and read the top-k destinations by distinct
+// half-open sources.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcsketch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A tracking sketch supports continuous top-k queries in O(k log k).
+	sk, err := dcsketch.NewTracker(dcsketch.WithSeed(42))
+	if err != nil {
+		return err
+	}
+
+	victim, err := dcsketch.ParseIPv4("203.0.113.7")
+	if err != nil {
+		return err
+	}
+	webServer, err := dcsketch.ParseIPv4("198.51.100.1")
+	if err != nil {
+		return err
+	}
+
+	// 500 legitimate clients connect to the web server... and complete
+	// their handshakes, so each Insert is matched by a Delete.
+	for i := uint32(0); i < 500; i++ {
+		client := 0x0a000000 + i
+		sk.Insert(client, webServer) // SYN: half-open connection created
+		sk.Delete(client, webServer) // ACK: connection legitimized
+	}
+
+	// 300 spoofed zombies flood the victim and never complete.
+	for i := uint32(0); i < 300; i++ {
+		sk.Insert(0xc0000000+i, victim)
+	}
+
+	fmt.Println("top destinations by distinct half-open sources:")
+	for rank, e := range sk.TopK(5) {
+		fmt.Printf("  %d. %-15s ~%d distinct sources\n",
+			rank+1, dcsketch.FormatIPv4(e.Dest), e.Count)
+	}
+	fmt.Printf("\nsketch size: %d KiB for a stream of %d updates\n",
+		sk.SizeBytes()/1024, sk.Updates())
+	fmt.Printf("estimated live distinct pairs: %d\n", sk.DistinctPairs())
+	return nil
+}

@@ -1,0 +1,72 @@
+// Windowed tracking: rank destinations by their *recent* half-open
+// population instead of all history, using sketch linearity (retiring an
+// epoch is a counter subtraction). A long-running monitor inevitably
+// accumulates stale state — flows whose completions were lost, or that
+// pre-date the monitor; the tumbling window ages them out so yesterday's
+// incident does not mask today's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcsketch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	oldVictim, err := dcsketch.ParseIPv4("203.0.113.7")
+	if err != nil {
+		return err
+	}
+	newVictim, err := dcsketch.ParseIPv4("203.0.113.99")
+	if err != nil {
+		return err
+	}
+
+	// A 3-epoch window: with one rotation per minute, the ranking always
+	// reflects the last ~3 minutes.
+	w, err := dcsketch.NewWindowedTracker(3, dcsketch.WithSeed(7))
+	if err != nil {
+		return err
+	}
+
+	show := func(when string) {
+		fmt.Printf("--- %s\n", when)
+		for rank, e := range w.TopK(3) {
+			fmt.Printf("  %d. %-15s ~%d distinct half-open sources\n",
+				rank+1, dcsketch.FormatIPv4(e.Dest), e.Count)
+		}
+	}
+
+	// Epoch 1: an attack on the old victim whose completions are never
+	// observed (e.g. asymmetric routing ate the ACK path).
+	for i := uint32(0); i < 900; i++ {
+		w.Insert(0xc0000000+i, oldVictim)
+	}
+	show("epoch 1: attack on 203.0.113.7")
+
+	// Epochs pass; the old attack is mitigated upstream but its state is
+	// stuck in any whole-stream tracker. Meanwhile a new attack starts.
+	for epoch := 0; epoch < 3; epoch++ {
+		if err := w.Rotate(); err != nil {
+			return err
+		}
+		for i := uint32(0); i < 300; i++ {
+			w.Insert(0xd0000000+uint32(epoch)<<12+i, newVictim)
+		}
+	}
+	show("3 rotations later: attack on 203.0.113.99")
+
+	top := w.TopK(1)
+	if len(top) == 1 && top[0].Dest == newVictim {
+		fmt.Println("\n=> the stale incident aged out of the window;")
+		fmt.Println("   a whole-stream tracker would still rank the old victim first.")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module dcsketch
+
+go 1.22

@@ -1,0 +1,166 @@
+package cusum
+
+import (
+	"testing"
+
+	"dcsketch/internal/hashing"
+)
+
+func TestDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0, 1); err == nil {
+		t.Fatal("zero drift accepted")
+	}
+	if _, err := NewDetector(-1, 1); err == nil {
+		t.Fatal("negative drift accepted")
+	}
+	if _, err := NewDetector(1, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := NewSYNFIN(0.35, 2, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+}
+
+func TestDetectorStaysQuietUnderDrift(t *testing.T) {
+	d, err := NewDetector(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if d.Observe(0.3) { // below drift: Y pinned at 0
+			t.Fatalf("false alarm at observation %d", i)
+		}
+	}
+	if d.Value() != 0 {
+		t.Fatalf("Y = %v, want 0 under sub-drift input", d.Value())
+	}
+}
+
+func TestDetectorFiresOnShift(t *testing.T) {
+	d, err := NewDetector(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i := 0; i < 100; i++ {
+		if d.Observe(1.5) && fired < 0 {
+			fired = i
+		}
+	}
+	if fired < 0 {
+		t.Fatal("persistent shift never alarmed")
+	}
+	if fired > 5 {
+		t.Fatalf("alarm after %d observations; Y grows by 1/step, threshold 3", fired)
+	}
+	if d.Alarms() == 0 {
+		t.Fatal("alarm counter not incremented")
+	}
+	d.Reset()
+	if d.Value() != 0 {
+		t.Fatal("Reset must clear the statistic")
+	}
+}
+
+func TestSYNFINQuietOnBalancedTraffic(t *testing.T) {
+	s, err := NewSYNFIN(0.35, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewSplitMix64(1)
+	for interval := 0; interval < 200; interval++ {
+		n := 50 + int(rng.Next()%20)
+		for i := 0; i < n; i++ {
+			s.RecordSYN()
+			s.RecordFIN() // every connection eventually closes
+		}
+		if s.EndInterval() {
+			t.Fatalf("false alarm at interval %d (stat %v)", interval, s.Statistic())
+		}
+	}
+}
+
+func TestSYNFINDetectsFlood(t *testing.T) {
+	s, err := NewSYNFIN(0.35, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up the FIN baseline with normal traffic.
+	for interval := 0; interval < 50; interval++ {
+		for i := 0; i < 60; i++ {
+			s.RecordSYN()
+			s.RecordFIN()
+		}
+		s.EndInterval()
+	}
+	// Flood: SYNs triple, FINs stay flat.
+	fired := -1
+	for interval := 0; interval < 20; interval++ {
+		for i := 0; i < 180; i++ {
+			s.RecordSYN()
+		}
+		for i := 0; i < 60; i++ {
+			s.RecordFIN()
+		}
+		if s.EndInterval() && fired < 0 {
+			fired = interval
+		}
+	}
+	if fired < 0 {
+		t.Fatal("flood never alarmed")
+	}
+	if fired > 3 {
+		t.Fatalf("alarm only after %d flood intervals", fired)
+	}
+}
+
+func TestSYNFINBaselineFrozenDuringAlarm(t *testing.T) {
+	s, err := NewSYNFIN(0.35, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for interval := 0; interval < 20; interval++ {
+		for i := 0; i < 40; i++ {
+			s.RecordSYN()
+			s.RecordFIN()
+		}
+		s.EndInterval()
+	}
+	// Sustained flood: the alarm must persist, not be absorbed.
+	alarmed := 0
+	for interval := 0; interval < 60; interval++ {
+		for i := 0; i < 400; i++ {
+			s.RecordSYN()
+		}
+		for i := 0; i < 40; i++ {
+			s.RecordFIN()
+		}
+		if s.EndInterval() {
+			alarmed++
+		}
+	}
+	if alarmed < 55 {
+		t.Fatalf("sustained flood alarmed only %d/60 intervals", alarmed)
+	}
+	if !s.InAlarm() {
+		t.Fatal("detector not in alarm at end of sustained flood")
+	}
+}
+
+func TestSYNFINReset(t *testing.T) {
+	s, err := NewSYNFIN(0.35, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.RecordSYN()
+	}
+	s.EndInterval()
+	s.Reset()
+	if s.InAlarm() || s.Statistic() != 0 {
+		t.Fatal("Reset must clear alarm state")
+	}
+	if s.Intervals() != 1 {
+		t.Fatalf("Intervals = %d, want 1 (not cleared by Reset)", s.Intervals())
+	}
+}

@@ -1,0 +1,119 @@
+package dcs
+
+import (
+	"math"
+	"testing"
+
+	"dcsketch/internal/exact"
+	"dcsketch/internal/hashing"
+)
+
+func TestTopKCorrectedSmallStreamExact(t *testing.T) {
+	s := mustNew(t, Config{Buckets: 256, Seed: 61})
+	for src := uint32(1); src <= 12; src++ {
+		s.Update(src, 10, 1)
+	}
+	for src := uint32(1); src <= 4; src++ {
+		s.Update(src, 20, 1)
+	}
+	top := s.TopKCorrected(2)
+	if len(top) != 2 || top[0].Dest != 10 || top[1].Dest != 20 {
+		t.Fatalf("TopKCorrected = %+v", top)
+	}
+	// On a tiny stream every level is fully recoverable: near-exact.
+	if math.Abs(float64(top[0].F-12)) > 1 || math.Abs(float64(top[1].F-4)) > 1 {
+		t.Fatalf("TopKCorrected frequencies = %+v, want ~[12 4]", top)
+	}
+}
+
+func TestTopKCorrectedZero(t *testing.T) {
+	s := mustNew(t, Config{Seed: 67})
+	if got := s.TopKCorrected(0); got != nil {
+		t.Fatalf("TopKCorrected(0) = %v", got)
+	}
+	if got := s.TopKCorrected(3); len(got) != 0 {
+		t.Fatalf("TopKCorrected on empty sketch = %v", got)
+	}
+}
+
+func TestTopKCorrectedImprovesError(t *testing.T) {
+	// On a loaded skewed workload the corrected estimator's average top-k
+	// relative error should not be worse than the baseline estimator's
+	// (it uses strictly more information). Averaged over seeds to be
+	// robust.
+	var baseErr, corrErr float64
+	const seeds = 4
+	for seed := uint64(0); seed < seeds; seed++ {
+		s := mustNew(t, Config{Seed: 71 + seed})
+		ex := exact.New()
+		zipfStream(1500, 1.2, 12000, s.Update, ex.Update)
+
+		truth := ex.TopK(10)
+		trueF := make(map[uint32]int64, len(truth))
+		for _, e := range truth {
+			trueF[e.Key] = e.Priority
+		}
+		relErr := func(ests []Estimate) float64 {
+			sum, n := 0.0, 0
+			for _, e := range ests {
+				if f, ok := trueF[e.Dest]; ok && f > 0 {
+					sum += math.Abs(float64(e.F-f)) / float64(f)
+					n++
+				}
+			}
+			if n == 0 {
+				return 1
+			}
+			return sum / float64(n)
+		}
+		baseErr += relErr(s.TopK(10))
+		corrErr += relErr(s.TopKCorrected(10))
+	}
+	baseErr /= seeds
+	corrErr /= seeds
+	if corrErr > baseErr*1.15 {
+		t.Fatalf("corrected estimator error %.3f vs baseline %.3f; expected no worse", corrErr, baseErr)
+	}
+}
+
+func TestScanLevelOccupancyEstimate(t *testing.T) {
+	// The linear-counting population estimate at a moderately loaded
+	// level should track the true level population.
+	s := mustNew(t, Config{Seed: 73})
+	rng := hashing.NewSplitMix64(79)
+	perLevel := make(map[int]int)
+	for i := 0; i < 300; i++ {
+		key := rng.Next()
+		perLevel[s.LevelOf(key)]++
+		s.UpdateKey(key, 1)
+	}
+	for level, n := range perLevel {
+		if n < 20 || n > 100 {
+			continue // only mid-load levels give stable estimates
+		}
+		sc := s.scanLevel(level)
+		if math.Abs(sc.estPairs-float64(n))/float64(n) > 0.4 {
+			t.Errorf("level %d: estimated %0.f pairs, true %d", level, sc.estPairs, n)
+		}
+		if sc.recovery <= 0 || sc.recovery > 1 {
+			t.Errorf("level %d: recovery %v out of range", level, sc.recovery)
+		}
+	}
+}
+
+func TestTopKCorrectedWithDeletes(t *testing.T) {
+	s := mustNew(t, Config{Buckets: 256, Seed: 83})
+	for src := uint32(1); src <= 40; src++ {
+		s.Update(src, 5, 1)
+	}
+	for src := uint32(1); src <= 40; src++ {
+		s.Update(src, 5, -1)
+	}
+	for src := uint32(1); src <= 6; src++ {
+		s.Update(src, 9, 1)
+	}
+	top := s.TopKCorrected(1)
+	if len(top) != 1 || top[0].Dest != 9 {
+		t.Fatalf("TopKCorrected after deletes = %+v", top)
+	}
+}

@@ -1,0 +1,43 @@
+package dcs
+
+import "testing"
+
+func FuzzUnmarshalBinary(f *testing.F) {
+	small, err := New(Config{Buckets: 4, Levels: 4, Tables: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	small.UpdateKey(42, 1)
+	seed, err := small.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("DCS1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sk, err := UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// query answers without panicking.
+		out, err := sk.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := UnmarshalBinary(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		a, b := sk.TopK(3), again.TopK(3)
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed TopK: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed TopK[%d]: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package dcs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization format (little-endian, varint-based):
+//
+//	magic "DCS1" | tables | buckets | levels | seed | epsilon bits |
+//	fingerprint flag | updates | counter payload
+//
+// The counter payload is run-length encoded: a stream of uvarint tokens t
+// where an even t encodes a run of t/2 zero counters and an odd t is
+// followed by (t-1)/2 zigzag-varint counter values. Sketch counters are
+// overwhelmingly zero (only ~log2(U) of 64 levels are populated), so the
+// encoding shrinks a multi-megabyte counter array to roughly the size of its
+// live content.
+
+const sketchMagic = "DCS1"
+
+// ErrCorrupt is returned when deserialization encounters malformed input.
+var ErrCorrupt = errors.New("dcs: corrupt sketch encoding")
+
+// MarshalBinary encodes the sketch. It implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, sketchMagic...)
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Tables))
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Buckets))
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Levels))
+	buf = binary.LittleEndian.AppendUint64(buf, s.cfg.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.cfg.Epsilon))
+	if s.cfg.DisableFingerprint {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.SampleTarget))
+	buf = binary.AppendUvarint(buf, s.updates)
+	buf = appendCounters(buf, s.counters)
+	return buf, nil
+}
+
+// appendCounters RLE-encodes counters onto buf.
+func appendCounters(buf []byte, counters []int64) []byte {
+	i := 0
+	n := len(counters)
+	for i < n {
+		if counters[i] == 0 {
+			run := i
+			for i < n && counters[i] == 0 {
+				i++
+			}
+			buf = binary.AppendUvarint(buf, uint64(i-run)<<1)
+			continue
+		}
+		run := i
+		for i < n && counters[i] != 0 {
+			i++
+		}
+		buf = binary.AppendUvarint(buf, uint64(i-run)<<1|1)
+		for _, c := range counters[run:i] {
+			buf = binary.AppendVarint(buf, c)
+		}
+	}
+	return buf
+}
+
+// UnmarshalBinary decodes a sketch previously produced by MarshalBinary,
+// replacing the receiver's state entirely. It implements
+// encoding.BinaryUnmarshaler.
+func UnmarshalBinary(data []byte) (*Sketch, error) {
+	if len(data) < len(sketchMagic) || string(data[:len(sketchMagic)]) != sketchMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	data = data[len(sketchMagic):]
+
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		data = data[n:]
+		return v, nil
+	}
+
+	tables, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 17 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	seed := binary.LittleEndian.Uint64(data)
+	epsilon := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	fpFlag := data[16]
+	data = data[17:]
+	sampleTarget, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	updates, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+
+	// Bound the parameters before allocating: Tables*Buckets*Levels*width
+	// is the counter count; reject anything implying > 1 GiB.
+	if tables == 0 || tables > 1024 || buckets < 2 || buckets > 1<<24 || levels == 0 || levels > 64 {
+		return nil, fmt.Errorf("%w: implausible parameters (r=%d s=%d L=%d)", ErrCorrupt, tables, buckets, levels)
+	}
+
+	if sampleTarget > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible sample target %d", ErrCorrupt, sampleTarget)
+	}
+	s, err := New(Config{
+		Tables:             int(tables),
+		Buckets:            int(buckets),
+		Levels:             int(levels),
+		Seed:               seed,
+		Epsilon:            epsilon,
+		SampleTarget:       int(sampleTarget),
+		DisableFingerprint: fpFlag == 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dcs: decode config: %w", err)
+	}
+	if len(s.counters) > (1<<30)/8 {
+		return nil, fmt.Errorf("%w: counter array too large", ErrCorrupt)
+	}
+	s.updates = updates
+
+	i := 0
+	for i < len(s.counters) {
+		token, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated counter payload", ErrCorrupt)
+		}
+		data = data[n:]
+		runLen := int(token >> 1)
+		if runLen <= 0 || runLen > len(s.counters)-i {
+			return nil, fmt.Errorf("%w: run length %d exceeds remaining %d", ErrCorrupt, runLen, len(s.counters)-i)
+		}
+		if token&1 == 0 {
+			i += runLen // zero run: counters are already zero
+			continue
+		}
+		for j := 0; j < runLen; j++ {
+			v, vn := binary.Varint(data)
+			if vn <= 0 {
+				return nil, fmt.Errorf("%w: truncated counter value", ErrCorrupt)
+			}
+			data = data[vn:]
+			s.counters[i] = v
+			i++
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	return s, nil
+}

@@ -1,0 +1,161 @@
+package dcs
+
+import (
+	"bytes"
+	"testing"
+
+	"dcsketch/internal/hashing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := mustNew(t, Config{Buckets: 64, Seed: 101})
+	rng := hashing.NewSplitMix64(103)
+	for i := 0; i < 5000; i++ {
+		s.UpdateKey(rng.Next(), 1)
+	}
+	for i := 0; i < 500; i++ {
+		s.UpdateKey(rng.Next(), -1) // net-negative noise must survive too
+	}
+
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	got, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got.Config() != s.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Config(), s.Config())
+	}
+	if got.Updates() != s.Updates() {
+		t.Fatalf("updates = %d, want %d", got.Updates(), s.Updates())
+	}
+	if !bytes.Equal(int64sToBytes(got.counters), int64sToBytes(s.counters)) {
+		t.Fatal("counters differ after round trip")
+	}
+}
+
+func int64sToBytes(xs []int64) []byte {
+	out := make([]byte, 0, len(xs)*8)
+	for _, x := range xs {
+		for i := 0; i < 8; i++ {
+			out = append(out, byte(uint64(x)>>(8*i)))
+		}
+	}
+	return out
+}
+
+func TestMarshalEmptySketchIsSmall(t *testing.T) {
+	s := mustNew(t, Config{})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 256 {
+		t.Fatalf("empty sketch encodes to %d bytes; RLE should collapse it", len(data))
+	}
+}
+
+func TestMarshalCompressionOnSparseSketch(t *testing.T) {
+	s := mustNew(t, Config{Seed: 1})
+	for i := uint64(0); i < 1000; i++ {
+		s.UpdateKey(hashing.Mix64(i), 1)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= s.SizeBytes()/4 {
+		t.Fatalf("encoded %d bytes for a %d-byte sketch; expected strong compression", len(data), s.SizeBytes())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE1234"),
+		"short magic": []byte("DC"),
+		"header only": []byte("DCS1"),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: UnmarshalBinary accepted corrupt input", name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	s := mustNew(t, Config{Buckets: 32, Seed: 5})
+	for i := uint64(0); i < 200; i++ {
+		s.UpdateKey(hashing.Mix64(i), 1)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 10} {
+		if _, err := UnmarshalBinary(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	s := mustNew(t, Config{Buckets: 32, Seed: 6})
+	s.UpdateKey(42, 1)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBinary(append(data, 0xff)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestUnmarshalRejectsImplausibleParameters(t *testing.T) {
+	// Craft a header claiming an enormous bucket count.
+	buf := []byte("DCS1")
+	buf = append(buf, 1)                           // tables = 1
+	buf = appendUvarintForTest(buf, uint64(1)<<40) // buckets: absurd
+	buf = append(buf, 64)                          // levels
+	buf = append(buf, make([]byte, 17)...)         // seed+eps+flag
+	if _, err := UnmarshalBinary(buf); err == nil {
+		t.Fatal("implausible parameters accepted")
+	}
+}
+
+func appendUvarintForTest(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func TestRoundTripPreservesQueryResults(t *testing.T) {
+	s := mustNew(t, Config{Buckets: 256, Seed: 7})
+	for src := uint32(1); src <= 30; src++ {
+		s.Update(src, 9, 1)
+	}
+	for src := uint32(1); src <= 10; src++ {
+		s.Update(src, 13, 1)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.TopK(2), got.TopK(2)
+	if len(a) != len(b) {
+		t.Fatalf("TopK sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TopK[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package dsample implements Gibbons' distinct sampling ("Distinct Sampling
+// for Highly-Accurate Answers to Distinct Values Queries and Event Reports",
+// VLDB 2001) — the prior-art synopsis the paper contrasts with (§1, §4,
+// references [18, 19]).
+//
+// Gibbons' sampler keeps the *identities* of pairs whose hash level is >= a
+// current threshold, halving the kept set (raising the threshold) whenever
+// it overflows the space budget. On insert-only streams it yields the same
+// kind of distinct sample as the Distinct-Count Sketch and supports the same
+// top-k estimation.
+//
+// Its structural weakness under update streams — the reason the paper calls
+// its own synopsis "completely delete-resistant" in contrast (§4) — is that
+// the sampling threshold is *monotone*: information discarded at a threshold
+// raise is gone, so when deletions later shrink the live population (a flash
+// crowd completing), the threshold cannot come back down and the sample
+// starves. A query after the crowd departs must estimate the remaining
+// (attack) population from the few survivors of an unnecessarily coarse
+// sampling rate, while the Distinct-Count Sketch — whose level choice is
+// made at *query* time over counters that retain every level — simply reads
+// the now-sparse lower levels exactly. The repository's comparison
+// experiment quantifies this (sample starvation and the resulting error).
+package dsample
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsketch/internal/hashing"
+)
+
+// Estimate mirrors the sketch estimate shape: a destination and its
+// estimated distinct-source frequency.
+type Estimate struct {
+	Dest uint32
+	F    int64
+}
+
+// Sampler is a Gibbons-style distinct sampler over pair keys.
+type Sampler struct {
+	capacity int
+	hash     *hashing.Tab64
+	levels   int
+
+	// level is the current sampling threshold: pairs with
+	// hash level >= level are kept, an event of probability 2^-level.
+	level int
+	// kept maps stored pair keys to their net counts (net counts let the
+	// sampler at least cancel deletions of pairs it still stores).
+	kept map[uint64]int64
+
+	// droppedDeletes counts deletions that could not be applied — the
+	// structural failure mode under update streams.
+	droppedDeletes uint64
+}
+
+// New builds a sampler storing at most capacity distinct pairs.
+func New(capacity int, seed uint64) (*Sampler, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("dsample: capacity = %d, must be >= 1", capacity)
+	}
+	return &Sampler{
+		capacity: capacity,
+		hash:     hashing.NewTab64(seed),
+		levels:   64,
+		kept:     make(map[uint64]int64, capacity),
+	}, nil
+}
+
+// Update processes a flow update.
+func (s *Sampler) Update(src, dst uint32, delta int64) {
+	s.UpdateKey(hashing.PairKey(src, dst), delta)
+}
+
+// UpdateKey is Update on a packed pair key.
+func (s *Sampler) UpdateKey(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	if s.hash.Level(key, s.levels) < s.level {
+		if delta < 0 {
+			// The pair was (or would have been) below the sampling
+			// threshold: nothing stored to cancel. If the pair was
+			// inserted *before* the threshold rose, its insertion
+			// has already been discarded and this delete is lost —
+			// Gibbons' structure cannot tell the two cases apart.
+			s.droppedDeletes += uint64(-delta)
+		}
+		return
+	}
+	c := s.kept[key] + delta
+	switch {
+	case c > 0:
+		s.kept[key] = c
+	case c == 0:
+		delete(s.kept, key)
+	default:
+		// Net-negative stored count: the matching insert predates the
+		// sampler's knowledge (e.g. it was evicted by a threshold
+		// raise). Drop the residual rather than keeping a phantom.
+		delete(s.kept, key)
+		s.droppedDeletes += uint64(-c)
+	}
+	for len(s.kept) > s.capacity {
+		s.raiseLevel()
+	}
+}
+
+// raiseLevel halves the kept set by raising the sampling threshold.
+func (s *Sampler) raiseLevel() {
+	s.level++
+	for key := range s.kept {
+		if s.hash.Level(key, s.levels) < s.level {
+			delete(s.kept, key)
+		}
+	}
+}
+
+// Level returns the current sampling threshold.
+func (s *Sampler) Level() int { return s.level }
+
+// Kept returns the number of stored pairs.
+func (s *Sampler) Kept() int { return len(s.kept) }
+
+// DroppedDeletes reports how many deletions could not be applied.
+func (s *Sampler) DroppedDeletes() uint64 { return s.droppedDeletes }
+
+// TopK estimates the top-k destinations by distinct-source frequency from
+// the sample, scaling per-destination sample counts by 2^level.
+func (s *Sampler) TopK(k int) []Estimate {
+	if k <= 0 {
+		return nil
+	}
+	freq := make(map[uint32]int64)
+	for key := range s.kept {
+		freq[hashing.PairDest(key)]++
+	}
+	scale := int64(1) << uint(s.level)
+	ests := make([]Estimate, 0, len(freq))
+	for dest, f := range freq {
+		ests = append(ests, Estimate{Dest: dest, F: f * scale})
+	}
+	sort.Slice(ests, func(i, j int) bool {
+		if ests[i].F != ests[j].F {
+			return ests[i].F > ests[j].F
+		}
+		return ests[i].Dest < ests[j].Dest
+	})
+	if k < len(ests) {
+		ests = ests[:k]
+	}
+	return ests
+}
+
+// EstimateDistinctPairs estimates U as 2^level · |kept|.
+func (s *Sampler) EstimateDistinctPairs() int64 {
+	return int64(len(s.kept)) << uint(s.level)
+}
+
+// SizeBytes approximates the sampler's footprint (16 bytes per stored pair
+// plus map overhead ~8 bytes).
+func (s *Sampler) SizeBytes() int { return len(s.kept) * 24 }

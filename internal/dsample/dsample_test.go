@@ -1,0 +1,162 @@
+package dsample
+
+import (
+	"math"
+	"testing"
+
+	"dcsketch/internal/hashing"
+)
+
+func mustNew(t *testing.T, capacity int, seed uint64) *Sampler {
+	t.Helper()
+	s, err := New(capacity, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("capacity=0 accepted")
+	}
+}
+
+func TestSmallStreamExact(t *testing.T) {
+	s := mustNew(t, 1024, 1)
+	for src := uint32(1); src <= 10; src++ {
+		s.Update(src, 7, 1)
+	}
+	for src := uint32(1); src <= 3; src++ {
+		s.Update(src, 9, 1)
+	}
+	top := s.TopK(2)
+	if len(top) != 2 || top[0] != (Estimate{7, 10}) || top[1] != (Estimate{9, 3}) {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if s.Level() != 0 {
+		t.Fatalf("level rose on a small stream: %d", s.Level())
+	}
+}
+
+func TestCapacityBoundAndScaling(t *testing.T) {
+	s := mustNew(t, 256, 2)
+	rng := hashing.NewSplitMix64(3)
+	const u = 20000
+	for i := 0; i < u; i++ {
+		s.UpdateKey(rng.Next(), 1)
+	}
+	if s.Kept() > 256 {
+		t.Fatalf("kept %d pairs, capacity 256", s.Kept())
+	}
+	if s.Level() == 0 {
+		t.Fatal("level never rose under overflow")
+	}
+	got := float64(s.EstimateDistinctPairs())
+	if math.Abs(got-u)/u > 0.35 {
+		t.Fatalf("EstimateDistinctPairs = %v, want ~%d", got, u)
+	}
+}
+
+func TestTopKAccuracyInsertOnly(t *testing.T) {
+	// On insert-only streams Gibbons' sampler is a fine estimator; it
+	// must find the dominant destination.
+	s := mustNew(t, 512, 4)
+	rng := hashing.NewSplitMix64(5)
+	for i := uint32(0); i < 5000; i++ {
+		s.Update(100000+i, 42, 1) // hot dest: 5000 distinct sources
+	}
+	for i := 0; i < 15000; i++ {
+		s.UpdateKey(rng.Next(), 1) // scattered background
+	}
+	top := s.TopK(1)
+	if len(top) != 1 || top[0].Dest != 42 {
+		t.Fatalf("TopK = %+v, want dest 42", top)
+	}
+	if math.Abs(float64(top[0].F)-5000)/5000 > 0.4 {
+		t.Fatalf("estimate %d, want ~5000", top[0].F)
+	}
+}
+
+func TestDeleteWorksWhileStored(t *testing.T) {
+	// Deletions of pairs still stored cancel correctly.
+	s := mustNew(t, 1024, 6)
+	for src := uint32(1); src <= 20; src++ {
+		s.Update(src, 7, 1)
+	}
+	for src := uint32(1); src <= 20; src++ {
+		s.Update(src, 7, -1)
+	}
+	if got := s.TopK(1); len(got) != 0 {
+		t.Fatalf("TopK after full cancellation = %+v", got)
+	}
+	if s.DroppedDeletes() != 0 {
+		t.Fatalf("DroppedDeletes = %d on a fully-stored workload", s.DroppedDeletes())
+	}
+}
+
+// TestMonotoneThresholdStarvesSample demonstrates the structural weakness
+// the paper contrasts with (§4): after a flash crowd forces the threshold
+// up and then completes, the threshold cannot come back down, so the sample
+// of the small remaining (attack) population is starved — even though the
+// capacity could hold all of it. The Distinct-Count Sketch's query-time
+// level choice does not have this problem.
+func TestMonotoneThresholdStarvesSample(t *testing.T) {
+	const capacity = 128
+	s := mustNew(t, capacity, 7)
+	const crowd = 16000
+	for i := uint32(0); i < crowd; i++ {
+		s.Update(1000+i, 80, 1)
+	}
+	levelAtPeak := s.Level()
+	if levelAtPeak < 5 {
+		t.Fatalf("threshold only reached %d under a %d-pair overload", levelAtPeak, crowd)
+	}
+	for i := uint32(0); i < crowd; i++ {
+		s.Update(1000+i, 80, -1)
+	}
+	if s.DroppedDeletes() == 0 {
+		t.Fatal("expected dropped deletions below the raised threshold")
+	}
+
+	// A 400-pair attack arrives. All 400 would fit in the capacity, but
+	// the stuck threshold admits only ~400/2^level of them.
+	const attack = 400
+	for i := uint32(0); i < attack; i++ {
+		s.Update(50000+i, 443, 1)
+	}
+	if s.Level() < levelAtPeak {
+		t.Fatal("threshold must be monotone")
+	}
+	if s.Kept() > attack/8 {
+		t.Fatalf("kept %d pairs; expected starvation well below the %d live pairs", s.Kept(), attack)
+	}
+}
+
+func TestLevelMembershipInvariant(t *testing.T) {
+	s := mustNew(t, 64, 8)
+	rng := hashing.NewSplitMix64(9)
+	for i := 0; i < 5000; i++ {
+		s.UpdateKey(rng.Next(), 1)
+	}
+	for key := range s.kept {
+		if s.hash.Level(key, s.levels) < s.level {
+			t.Fatalf("stored key %x below threshold level %d", key, s.level)
+		}
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	s := mustNew(t, 16, 10)
+	if got := s.TopK(0); got != nil {
+		t.Fatalf("TopK(0) = %+v", got)
+	}
+}
+
+func TestZeroDeltaNoop(t *testing.T) {
+	s := mustNew(t, 16, 11)
+	s.Update(1, 2, 0)
+	if s.Kept() != 0 {
+		t.Fatal("zero delta stored a pair")
+	}
+}

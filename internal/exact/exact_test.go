@@ -1,0 +1,193 @@
+package exact
+
+import (
+	"testing"
+
+	"dcsketch/internal/hashing"
+)
+
+func TestFrequencyBasics(t *testing.T) {
+	tr := New()
+	tr.Update(1, 100, 1)
+	tr.Update(2, 100, 1)
+	tr.Update(3, 100, 1)
+	tr.Update(1, 200, 1)
+	if got := tr.F(100); got != 3 {
+		t.Fatalf("F(100) = %d, want 3", got)
+	}
+	if got := tr.F(200); got != 1 {
+		t.Fatalf("F(200) = %d, want 1", got)
+	}
+	if got := tr.F(999); got != 0 {
+		t.Fatalf("F(999) = %d, want 0", got)
+	}
+}
+
+func TestDeleteRemovesFromFrequency(t *testing.T) {
+	tr := New()
+	tr.Update(1, 100, 1)
+	tr.Update(2, 100, 1)
+	tr.Update(1, 100, -1) // source 1's connection legitimized
+	if got := tr.F(100); got != 1 {
+		t.Fatalf("F after delete = %d, want 1", got)
+	}
+	tr.Update(2, 100, -1)
+	if got := tr.F(100); got != 0 {
+		t.Fatalf("F after all deletes = %d, want 0", got)
+	}
+	if tr.Destinations() != 0 {
+		t.Fatalf("Destinations = %d, want 0", tr.Destinations())
+	}
+}
+
+func TestMultipleOccurrencesCountOnce(t *testing.T) {
+	// A source that sends 5 SYNs to the same destination counts once in
+	// the distinct-source frequency, and needs 5 deletes to clear.
+	tr := New()
+	for i := 0; i < 5; i++ {
+		tr.Update(1, 100, 1)
+	}
+	if got := tr.F(100); got != 1 {
+		t.Fatalf("F with repeated pair = %d, want 1", got)
+	}
+	tr.Update(1, 100, -1)
+	if got := tr.F(100); got != 1 {
+		t.Fatalf("F after partial delete = %d, want 1 (net still positive)", got)
+	}
+	for i := 0; i < 4; i++ {
+		tr.Update(1, 100, -1)
+	}
+	if got := tr.F(100); got != 0 {
+		t.Fatalf("F after full delete = %d, want 0", got)
+	}
+}
+
+func TestNetNegativeThenRecover(t *testing.T) {
+	// Out-of-order streams can drive a pair net-negative; frequency must
+	// only count pairs with positive net, and recover once positive again.
+	tr := New()
+	tr.Update(1, 100, -1)
+	if got := tr.F(100); got != 0 {
+		t.Fatalf("F with net-negative pair = %d, want 0", got)
+	}
+	tr.Update(1, 100, 1) // net 0
+	if got := tr.F(100); got != 0 {
+		t.Fatalf("F with net-zero pair = %d, want 0", got)
+	}
+	tr.Update(1, 100, 1) // net +1
+	if got := tr.F(100); got != 1 {
+		t.Fatalf("F with net-positive pair = %d, want 1", got)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	tr := New()
+	// dest 10 gets 3 sources, dest 20 gets 2, dest 30 gets 1.
+	for src := uint32(1); src <= 3; src++ {
+		tr.Update(src, 10, 1)
+	}
+	for src := uint32(1); src <= 2; src++ {
+		tr.Update(src, 20, 1)
+	}
+	tr.Update(1, 30, 1)
+
+	top := tr.TopK(2)
+	if len(top) != 2 || top[0].Key != 10 || top[0].Priority != 3 ||
+		top[1].Key != 20 || top[1].Priority != 2 {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	tr := New()
+	for src := uint32(1); src <= 5; src++ {
+		tr.Update(src, 10, 1)
+	}
+	for src := uint32(1); src <= 2; src++ {
+		tr.Update(src, 20, 1)
+	}
+	got := tr.Threshold(3)
+	if len(got) != 1 || got[0].Key != 10 || got[0].Priority != 5 {
+		t.Fatalf("Threshold(3) = %+v", got)
+	}
+	if got := tr.Threshold(1); len(got) != 2 {
+		t.Fatalf("Threshold(1) returned %d entries, want 2", len(got))
+	}
+	if got := tr.Threshold(100); len(got) != 0 {
+		t.Fatalf("Threshold(100) returned %d entries, want 0", len(got))
+	}
+}
+
+func TestDistinctPairs(t *testing.T) {
+	tr := New()
+	tr.Update(1, 10, 1)
+	tr.Update(2, 10, 1)
+	tr.Update(1, 20, 1)
+	if got := tr.DistinctPairs(); got != 3 {
+		t.Fatalf("DistinctPairs = %d, want 3", got)
+	}
+	tr.Update(1, 10, -1)
+	if got := tr.DistinctPairs(); got != 2 {
+		t.Fatalf("DistinctPairs after delete = %d, want 2", got)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	tr := New()
+	if tr.PaperSizeBytes() != 0 {
+		t.Fatal("empty tracker must have zero paper size")
+	}
+	for i := uint32(0); i < 100; i++ {
+		tr.Update(i, 1, 1)
+	}
+	if got := tr.PaperSizeBytes(); got != 1200 {
+		t.Fatalf("PaperSizeBytes = %d, want 1200", got)
+	}
+	if tr.SizeBytes() <= tr.PaperSizeBytes() {
+		t.Fatal("Go-level size must exceed the paper's idealized accounting")
+	}
+}
+
+func TestRandomizedAgainstNaiveModel(t *testing.T) {
+	// Compare against a direct map-of-maps model under a random
+	// insert/delete workload.
+	tr := New()
+	model := make(map[uint32]map[uint32]int64)
+	rng := hashing.NewSplitMix64(77)
+
+	modelF := func(dest uint32) int64 {
+		var f int64
+		for _, c := range model[dest] {
+			if c > 0 {
+				f++
+			}
+		}
+		return f
+	}
+
+	for step := 0; step < 30000; step++ {
+		src := uint32(rng.Next() % 40)
+		dst := uint32(rng.Next() % 8)
+		delta := int64(1)
+		if rng.Next()%3 == 0 {
+			delta = -1
+		}
+		tr.Update(src, dst, delta)
+		if model[dst] == nil {
+			model[dst] = make(map[uint32]int64)
+		}
+		model[dst][src] += delta
+	}
+	for dst := uint32(0); dst < 8; dst++ {
+		if got, want := tr.F(dst), modelF(dst); got != want {
+			t.Fatalf("dest %d: F = %d, model = %d", dst, got, want)
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Update(uint32(i%100000), uint32(i%1000), 1)
+	}
+}

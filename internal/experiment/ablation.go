@@ -1,0 +1,304 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/metrics"
+	"dcsketch/internal/tdcs"
+	"dcsketch/internal/workload"
+)
+
+// AblationParams configures the design-choice ablations DESIGN.md calls out:
+//
+//  1. the estimator's stopping threshold — the paper's pseudocode constant
+//     (1+ε)·s/16 vs this implementation's default of s;
+//  2. the fingerprint checksum counter — integrity and cost of singleton
+//     decoding under delete-heavy churn with and without it;
+//  3. the number of second-level tables r — singleton recovery rate at a
+//     loaded level (the empirical face of Lemma 4.1).
+type AblationParams struct {
+	// Scale shrinks the accuracy workloads as in Fig8Params.
+	Scale float64
+	// Seed decorrelates the runs.
+	Seed uint64
+}
+
+func (p AblationParams) withDefaults() AblationParams {
+	if p.Scale == 0 {
+		p.Scale = 0.02
+	}
+	return p
+}
+
+// SampleTargetAblation compares accuracy under the two stopping thresholds.
+type SampleTargetAblation struct {
+	Target  string
+	K       int
+	Recall  float64
+	RelErr  float64
+	QueryUs float64
+}
+
+// AblateSampleTarget runs the stopping-threshold comparison at k=10 on a
+// z=1.5 workload.
+func AblateSampleTarget(p AblationParams) ([]SampleTargetAblation, error) {
+	p = p.withDefaults()
+	w, err := workload.Generate(workload.PaperDefaults(p.Scale, 1.5, p.Seed+11))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: sample-target workload: %w", err)
+	}
+	const k = 10
+	truth := truthEstimates(w.TrueTopK(k))
+
+	variants := []struct {
+		name   string
+		target int
+	}{
+		{"paper (1+eps)*s/16", dcs.PaperSampleTarget(dcs.DefaultBuckets, dcs.DefaultEpsilon)},
+		{"default s", dcs.DefaultBuckets},
+	}
+	var out []SampleTargetAblation
+	for _, v := range variants {
+		sk, err := tdcs.New(dcs.Config{Seed: p.Seed + 12, SampleTarget: v.target})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sample-target sketch: %w", err)
+		}
+		for _, u := range w.Updates() {
+			sk.Update(u.Src, u.Dst, int64(u.Delta))
+		}
+		start := time.Now()
+		var approx []dcs.Estimate
+		const reps = 50
+		for i := 0; i < reps; i++ {
+			approx = sk.TopK(k)
+		}
+		queryUs := float64(time.Since(start).Microseconds()) / reps
+		apx := make([]metrics.Estimate, len(approx))
+		for i, e := range approx {
+			apx[i] = metrics.Estimate{Dest: e.Dest, F: e.F}
+		}
+		out = append(out, SampleTargetAblation{
+			Target:  v.name,
+			K:       k,
+			Recall:  metrics.Recall(apx, truth),
+			RelErr:  metrics.AvgRelativeError(apx, truth),
+			QueryUs: queryUs,
+		})
+	}
+	return out, nil
+}
+
+// FingerprintAblation reports integrity and cost with the checksum counter
+// on and off.
+type FingerprintAblation struct {
+	Fingerprint bool
+	// PhantomSamples counts sampled pair keys that were never live in the
+	// stream (false singletons that survived verification).
+	PhantomSamples int
+	// UpdateNs is the measured per-update cost.
+	UpdateNs float64
+	// SketchBytes is the counter-array footprint.
+	SketchBytes int
+}
+
+// AblateFingerprint drives a delete-heavy churn workload and audits the
+// recovered samples against the true live set.
+func AblateFingerprint(p AblationParams) ([]FingerprintAblation, error) {
+	p = p.withDefaults()
+	// Churn: keys from a small domain are inserted and deleted in waves,
+	// maximizing transient mixed-bucket states.
+	const (
+		steps  = 120_000
+		domain = 4000
+	)
+	var out []FingerprintAblation
+	for _, fp := range []bool{true, false} {
+		sk, err := tdcs.New(dcs.Config{Seed: p.Seed + 21, DisableFingerprint: !fp})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fingerprint sketch: %w", err)
+		}
+		rng := hashing.NewSplitMix64(p.Seed + 22)
+		live := make(map[uint64]int)
+		var liveKeys []uint64
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			if len(liveKeys) > 0 && rng.Next()%5 < 2 {
+				idx := int(rng.Next() % uint64(len(liveKeys)))
+				key := liveKeys[idx]
+				liveKeys[idx] = liveKeys[len(liveKeys)-1]
+				liveKeys = liveKeys[:len(liveKeys)-1]
+				if live[key]--; live[key] == 0 {
+					delete(live, key)
+				}
+				sk.UpdateKey(key, -1)
+			} else {
+				key := hashing.Mix64(rng.Next() % domain)
+				live[key]++
+				liveKeys = append(liveKeys, key)
+				sk.UpdateKey(key, 1)
+			}
+		}
+		elapsed := time.Since(start)
+		phantoms := 0
+		for _, key := range sk.SampleKeys() {
+			if live[key] == 0 {
+				phantoms++
+			}
+		}
+		out = append(out, FingerprintAblation{
+			Fingerprint:    fp,
+			PhantomSamples: phantoms,
+			UpdateNs:       float64(elapsed.Nanoseconds()) / steps,
+			SketchBytes:    sk.Base().SizeBytes(),
+		})
+	}
+	return out, nil
+}
+
+// RecoveryAblation reports the singleton recovery rate at a loaded level as
+// r varies (Lemma 4.1: with r = Θ(log(n/δ)) tables, all elements of a level
+// holding <= s/2 pairs are recovered w.h.p.).
+type RecoveryAblation struct {
+	R int
+	// Regime names the load: "light" keeps every level within the
+	// Lemma 4.1 bound (<= s/2 pairs), "saturated" overloads the low
+	// levels several-fold.
+	Regime string
+	// LoadedPairs is the number of distinct pairs driven into the sketch.
+	LoadedPairs int
+	// Recovered is the total distinct sample recovered across all levels
+	// when the target is set to recover everything.
+	Recovered int
+	// Rate is Recovered / LoadedPairs.
+	Rate float64
+}
+
+// AblateRecovery sweeps r and measures what fraction of a pair population
+// the full level-by-level scan recovers, in both the lemma regime and a
+// deliberately saturated one.
+func AblateRecovery(p AblationParams) ([]RecoveryAblation, error) {
+	p = p.withDefaults()
+	regimes := []struct {
+		name  string
+		pairs int
+	}{
+		{"light", dcs.DefaultBuckets},         // level 0 holds ~s/2 pairs
+		{"saturated", 5 * dcs.DefaultBuckets}, // level 0 holds ~2.5s pairs
+	}
+	var out []RecoveryAblation
+	for _, reg := range regimes {
+		for _, r := range []int{1, 2, 3, 4, 6} {
+			sk, err := dcs.New(dcs.Config{
+				Tables: r,
+				Seed:   p.Seed + 31,
+				// Force the sampling loop to descend every level.
+				SampleTarget: reg.pairs * 10,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: recovery sketch: %w", err)
+			}
+			rng := hashing.NewSplitMix64(p.Seed + 32)
+			for i := 0; i < reg.pairs; i++ {
+				sk.UpdateKey(rng.Next(), 1)
+			}
+			sample, _ := sk.DistinctSample()
+			out = append(out, RecoveryAblation{
+				R:           r,
+				Regime:      reg.name,
+				LoadedPairs: reg.pairs,
+				Recovered:   len(sample),
+				Rate:        float64(len(sample)) / float64(reg.pairs),
+			})
+		}
+	}
+	return out, nil
+}
+
+// EstimatorAblation compares the baseline truncated estimator (BaseTopk)
+// with the Horvitz-Thompson corrected extension (dcs.TopKCorrected).
+type EstimatorAblation struct {
+	Estimator string
+	K         int
+	Recall    float64
+	RelErr    float64
+}
+
+// AblateEstimator runs the estimator comparison at k=10 over several seeds.
+func AblateEstimator(p AblationParams) ([]EstimatorAblation, error) {
+	p = p.withDefaults()
+	const (
+		k     = 10
+		seeds = 3
+	)
+	sums := map[string]*EstimatorAblation{
+		"baseline (BaseTopk)":        {Estimator: "baseline (BaseTopk)", K: k},
+		"horvitz-thompson corrected": {Estimator: "horvitz-thompson corrected", K: k},
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
+		w, err := workload.Generate(workload.PaperDefaults(p.Scale, 1.2, p.Seed+41+seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: estimator workload: %w", err)
+		}
+		sk, err := dcs.New(dcs.Config{Seed: p.Seed + 42 + seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: estimator sketch: %w", err)
+		}
+		for _, u := range w.Updates() {
+			sk.Update(u.Src, u.Dst, int64(u.Delta))
+		}
+		truth := truthEstimates(w.TrueTopK(k))
+		score := func(name string, ests []dcs.Estimate) {
+			apx := make([]metrics.Estimate, len(ests))
+			for i, e := range ests {
+				apx[i] = metrics.Estimate{Dest: e.Dest, F: e.F}
+			}
+			sums[name].Recall += metrics.Recall(apx, truth) / seeds
+			sums[name].RelErr += metrics.AvgRelativeError(apx, truth) / seeds
+		}
+		score("baseline (BaseTopk)", sk.TopK(k))
+		score("horvitz-thompson corrected", sk.TopKCorrected(k))
+	}
+	return []EstimatorAblation{*sums["baseline (BaseTopk)"], *sums["horvitz-thompson corrected"]}, nil
+}
+
+// EstimatorTable renders the estimator ablation.
+func EstimatorTable(rows []EstimatorAblation) *Table {
+	t := &Table{
+		Title:   "Ablation: baseline vs Horvitz-Thompson corrected estimator",
+		Headers: []string{"estimator", "k", "recall", "avg_rel_error"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Estimator, r.K, r.Recall, r.RelErr)
+	}
+	return t
+}
+
+// AblationTables renders the sample-target, fingerprint and recovery
+// ablations.
+func AblationTables(st []SampleTargetAblation, fp []FingerprintAblation, rec []RecoveryAblation) []*Table {
+	t1 := &Table{
+		Title:   "Ablation: estimator stopping threshold",
+		Headers: []string{"target", "k", "recall", "avg_rel_error", "query_us"},
+	}
+	for _, r := range st {
+		t1.AddRow(r.Target, r.K, r.Recall, r.RelErr, r.QueryUs)
+	}
+	t2 := &Table{
+		Title:   "Ablation: fingerprint checksum counter",
+		Headers: []string{"fingerprint", "phantom_samples", "update_ns", "sketch_bytes"},
+	}
+	for _, r := range fp {
+		t2.AddRow(r.Fingerprint, r.PhantomSamples, r.UpdateNs, r.SketchBytes)
+	}
+	t3 := &Table{
+		Title:   "Ablation: second-level tables r vs singleton recovery (Lemma 4.1)",
+		Headers: []string{"r", "regime", "loaded_pairs", "recovered", "rate"},
+	}
+	for _, r := range rec {
+		t3.AddRow(r.R, r.Regime, r.LoadedPairs, r.Recovered, r.Rate)
+	}
+	return []*Table{t1, t2, t3}
+}

@@ -1,0 +1,363 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("xyz", 3)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# demo", "a", "bb", "xyz", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "a,bb\n1,2.5\n") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestFig8SmallRun(t *testing.T) {
+	points, err := Fig8(Fig8Params{
+		Scale: 0.005,
+		Skews: []float64{1.5, 2.5},
+		Ks:    []int{1, 5, 10},
+		Seeds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	byKey := make(map[[2]float64]Fig8Point)
+	for _, p := range points {
+		if p.Recall < 0 || p.Recall > 1 {
+			t.Fatalf("recall out of range: %+v", p)
+		}
+		if p.RelErr < 0 {
+			t.Fatalf("negative error: %+v", p)
+		}
+		byKey[[2]float64{p.Z, float64(p.K)}] = p
+	}
+	// Paper shape: top-1 recall is essentially perfect at high skew.
+	if p := byKey[[2]float64{2.5, 1}]; p.Recall < 0.99 {
+		t.Fatalf("z=2.5 k=1 recall = %v, want ~1", p.Recall)
+	}
+	// Paper shape: recall degrades with k much faster at extreme skew.
+	if byKey[[2]float64{2.5, 10}].Recall > byKey[[2]float64{2.5, 1}].Recall {
+		t.Fatal("recall must not improve with k at extreme skew")
+	}
+	ra, rb := Fig8Tables(points)
+	if len(ra.Rows) != 6 || len(rb.Rows) != 6 {
+		t.Fatal("figure tables incomplete")
+	}
+}
+
+func TestFig9SmallRun(t *testing.T) {
+	points, err := Fig9(Fig9Params{
+		Updates:    30_000,
+		QueryFreqs: []float64{0, 0.0025},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.BasicMicros <= 0 || p.TrackingMicros <= 0 {
+			t.Fatalf("non-positive timing: %+v", p)
+		}
+	}
+	// Paper shape (Fig 9): with frequent queries the Basic sketch's
+	// per-update cost inflates sharply while Tracking stays roughly flat.
+	quiet, busy := points[0], points[1]
+	if busy.BasicMicros < 2*quiet.BasicMicros {
+		t.Fatalf("basic sketch not slowed by queries: %v -> %v µs", quiet.BasicMicros, busy.BasicMicros)
+	}
+	if busy.TrackingMicros > 3*quiet.TrackingMicros+1 {
+		t.Fatalf("tracking sketch degraded by queries: %v -> %v µs", quiet.TrackingMicros, busy.TrackingMicros)
+	}
+	if len(Fig9Table(points).Rows) != 2 {
+		t.Fatal("fig9 table incomplete")
+	}
+}
+
+func TestSpaceRun(t *testing.T) {
+	rows, err := Space(SpaceParams{MeasuredU: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Paper numbers: at U=8e6 the model gives ~2.3 MB basic / 4.6 MB
+	// tracking vs 96 MB brute force.
+	r0 := rows[0]
+	if r0.U != 8_000_000 || !r0.Analytic {
+		t.Fatalf("row 0 = %+v", r0)
+	}
+	if r0.BasicBytes < 2_000_000 || r0.BasicBytes > 2_600_000 {
+		t.Fatalf("paper-model basic bytes = %d, want ~2.3MB", r0.BasicBytes)
+	}
+	if r0.BruteForceBytes != 96_000_000 {
+		t.Fatalf("brute force bytes = %d, want 96MB", r0.BruteForceBytes)
+	}
+	// At U=1e9 the gain is >= 3 orders of magnitude.
+	r1 := rows[1]
+	if gain := float64(r1.BruteForceBytes) / float64(r1.TrackingBytes); gain < 1000 {
+		t.Fatalf("U=1e9 space gain = %v, want >= 1000x", gain)
+	}
+	// Measured row: the serialized sketch beats brute force already at
+	// the measured U.
+	r2 := rows[2]
+	if r2.Analytic {
+		t.Fatal("last row must be measured")
+	}
+	if r2.BasicBytes >= r2.BruteForceBytes {
+		t.Fatalf("measured sketch %d B not smaller than brute force %d B", r2.BasicBytes, r2.BruteForceBytes)
+	}
+	if len(SpaceTable(rows).Rows) != 3 {
+		t.Fatal("space table incomplete")
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	rows, err := Table2(Table2Params{
+		Updates: 20_000,
+		Rs:      []int{1, 3},
+		Ss:      []int{64, 512},
+		Queries: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 r-sweep + 2 s-sweep)", len(rows))
+	}
+	byRS := make(map[[2]int]Table2Row)
+	for _, r := range rows {
+		byRS[[2]int{r.R, r.S}] = r
+	}
+	// Shape: Basic query time grows with s; Tracking query stays cheap.
+	bigS := byRS[[2]int{3, 512}]
+	if bigS.BasicQueryUs < bigS.TrackingQueryUs {
+		t.Fatalf("at s=512 basic query (%v µs) should dwarf tracking (%v µs)",
+			bigS.BasicQueryUs, bigS.TrackingQueryUs)
+	}
+	if len(Table2Table(rows).Rows) != 4 {
+		t.Fatal("table2 render incomplete")
+	}
+}
+
+func TestThresholdRun(t *testing.T) {
+	points, err := Threshold(ThresholdParams{Scale: 0.005, Seeds: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 {
+			t.Fatalf("point out of range: %+v", p)
+		}
+	}
+	// High thresholds isolate the unambiguous heavy hitters: near-perfect.
+	if points[0].Precision < 0.9 || points[0].Recall < 0.9 {
+		t.Fatalf("tau=0.5*top1 precision/recall = %v/%v, want ~1", points[0].Precision, points[0].Recall)
+	}
+	if len(ThresholdTable(points).Rows) != 4 {
+		t.Fatal("threshold table incomplete")
+	}
+}
+
+func TestLatencyRun(t *testing.T) {
+	points, err := Latency(LatencyParams{
+		ZombieCounts:          []int{400, 1600},
+		BackgroundConnections: 4000,
+		Seed:                  9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if !p.Detected {
+			t.Fatalf("attack of %d zombies undetected", p.Zombies)
+		}
+		if p.AttackFractionSeen <= 0 || p.AttackFractionSeen > 1 {
+			t.Fatalf("fraction out of range: %+v", p)
+		}
+	}
+	// A bigger attack crosses the alert floor after a smaller fraction of
+	// itself has been delivered.
+	if points[1].AttackFractionSeen > points[0].AttackFractionSeen {
+		t.Fatalf("larger attack detected later: %+v vs %+v", points[1], points[0])
+	}
+	if len(LatencyTable(points).Rows) != 2 {
+		t.Fatal("latency table incomplete")
+	}
+}
+
+func TestDeploymentRun(t *testing.T) {
+	rows, err := Deployment(DeploymentParams{Spokes: 3, Zombies: 600, BackgroundPerSpoke: 1000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // 3 spokes + hub + collector
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byWhere := make(map[string]DeploymentRow, len(rows))
+	for _, r := range rows {
+		byWhere[r.Where] = r
+	}
+	// Spoke 2 ingests only its round-robin slice (~1/3). Spoke 1 is the
+	// victim's egress, so every slice converges there (~1). The hub
+	// transits the inter-spoke fraction; the collector recovers the full
+	// count without transit double-counting (set semantics).
+	if s := byWhere["spoke 2"].Share; s < 0.15 || s > 0.55 {
+		t.Fatalf("spoke 2 share = %v, want ~1/3", s)
+	}
+	if s := byWhere["spoke 1"].Share; s < 0.6 {
+		t.Fatalf("victim-egress spoke share = %v, want ~1", s)
+	}
+	if h := byWhere["hub"].Share; h < 0.35 || h > 1.2 {
+		t.Fatalf("hub share = %v, want the inter-spoke fraction", h)
+	}
+	if c := byWhere["collector"].Share; c < 0.7 || c > 1.2 {
+		t.Fatalf("collector share = %v, want ~1 (set semantics, no double count)", c)
+	}
+	if byWhere["collector"].Share < byWhere["spoke 2"].Share {
+		t.Fatal("collector must dominate any single slice view")
+	}
+	if len(DeploymentTable(rows).Rows) != 5 {
+		t.Fatal("deployment table incomplete")
+	}
+}
+
+func TestScenarioRun(t *testing.T) {
+	res, err := Scenario(ScenarioParams{
+		Zombies:               800,
+		CrowdClients:          1600,
+		BackgroundConnections: 4000,
+		Seed:                  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctTop1 != ScenarioVictim {
+		t.Fatalf("distinct-count top-1 = %x, want the victim", res.DistinctTop1)
+	}
+	if res.VolumeTop1 != ScenarioCrowd {
+		t.Fatalf("volume top-1 = %x, want the crowd server (the baseline's failure mode)", res.VolumeTop1)
+	}
+	if !res.VictimAlerted {
+		t.Fatal("victim never alerted")
+	}
+	if res.CrowdStillAlerting {
+		t.Fatal("crowd still alerting after completion")
+	}
+	if res.CrowdResidualF > res.DistinctTop1F/4 {
+		t.Fatalf("crowd residual %d not far below attack %d", res.CrowdResidualF, res.DistinctTop1F)
+	}
+	if got := len(ScenarioTable(res).Rows); got != 9 {
+		t.Fatalf("scenario table has %d rows", got)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	p := AblationParams{Scale: 0.005, Seed: 2}
+	st, err := AblateSampleTarget(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 {
+		t.Fatalf("sample-target ablation rows = %d", len(st))
+	}
+	// The larger default target must not hurt recall, and generally
+	// helps on mid-skew workloads.
+	if st[1].Recall < st[0].Recall-0.05 {
+		t.Fatalf("default target recall %v worse than paper constant %v", st[1].Recall, st[0].Recall)
+	}
+
+	fp, err := AblateFingerprint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 2 || !fp[0].Fingerprint || fp[1].Fingerprint {
+		t.Fatalf("fingerprint ablation rows = %+v", fp)
+	}
+	if fp[0].PhantomSamples != 0 {
+		t.Fatalf("fingerprint-verified sample contains %d phantoms", fp[0].PhantomSamples)
+	}
+	if fp[0].SketchBytes <= fp[1].SketchBytes {
+		t.Fatal("fingerprint layout must cost extra space")
+	}
+
+	rec, err := AblateRecovery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 10 {
+		t.Fatalf("recovery ablation rows = %d", len(rec))
+	}
+	byKey := make(map[string]RecoveryAblation, len(rec))
+	for _, r := range rec {
+		byKey[fmt.Sprintf("%s/%d", r.Regime, r.R)] = r
+	}
+	// Lemma 4.1's shape: in the light regime recovery is near-total at
+	// r >= 3 and improves with r; saturation caps it well below 1.
+	if got := byKey["light/3"].Rate; got < 0.9 {
+		t.Fatalf("light regime r=3 recovery = %v, want > 0.9", got)
+	}
+	if byKey["light/6"].Rate < byKey["light/1"].Rate {
+		t.Fatal("light-regime recovery must improve with r")
+	}
+	if byKey["saturated/3"].Rate > byKey["light/3"].Rate {
+		t.Fatal("saturated regime cannot beat the light regime")
+	}
+
+	if got := len(AblationTables(st, fp, rec)); got != 3 {
+		t.Fatalf("AblationTables returned %d tables", got)
+	}
+
+	est, err := AblateEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 2 {
+		t.Fatalf("estimator ablation rows = %d", len(est))
+	}
+	for _, r := range est {
+		if r.Recall < 0 || r.Recall > 1 || r.RelErr < 0 {
+			t.Fatalf("estimator ablation out of range: %+v", r)
+		}
+	}
+	// The corrected estimator must stay in the same accuracy class as the
+	// baseline (the measured result is a wash; see EXPERIMENTS.md).
+	if est[1].RelErr > 2*est[0].RelErr+0.1 {
+		t.Fatalf("corrected estimator degraded: %+v vs %+v", est[1], est[0])
+	}
+	if got := len(EstimatorTable(est).Rows); got != 2 {
+		t.Fatalf("estimator table rows = %d", got)
+	}
+}

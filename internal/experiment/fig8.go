@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/metrics"
+	"dcsketch/internal/tdcs"
+	"dcsketch/internal/workload"
+)
+
+// Fig8Params configures the top-k accuracy experiment behind Figures 8(a)
+// and 8(b): recall and average relative error vs k for several Zipf skews.
+// The paper's setting is U = 8·10^6, d = 5·10^4, r = 3, s = 128, skews
+// {1.0, 1.5, 2.0, 2.5}, k up to 15, averaged over 5 random seeds.
+type Fig8Params struct {
+	// Scale shrinks the paper's U and d proportionally (1.0 = paper
+	// scale; the default 0.02 runs in seconds on a laptop while keeping
+	// U/d, and therefore the estimation regime, unchanged).
+	Scale float64
+	// Skews lists the Zipf z values to sweep.
+	Skews []float64
+	// Ks lists the top-k sizes to evaluate.
+	Ks []int
+	// Seeds is the number of independent runs averaged per point.
+	Seeds int
+	// Tables and Buckets are the sketch's r and s.
+	Tables, Buckets int
+	// BaseSeed decorrelates the whole experiment.
+	BaseSeed uint64
+}
+
+func (p Fig8Params) withDefaults() Fig8Params {
+	if p.Scale == 0 {
+		p.Scale = 0.02
+	}
+	if len(p.Skews) == 0 {
+		p.Skews = []float64{1.0, 1.5, 2.0, 2.5}
+	}
+	if len(p.Ks) == 0 {
+		p.Ks = []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 15}
+	}
+	if p.Seeds == 0 {
+		p.Seeds = 5
+	}
+	if p.Tables == 0 {
+		p.Tables = dcs.DefaultTables
+	}
+	if p.Buckets == 0 {
+		p.Buckets = dcs.DefaultBuckets
+	}
+	return p
+}
+
+// Fig8Point is one (z, k) cell of the accuracy figures.
+type Fig8Point struct {
+	Z      float64
+	K      int
+	Recall float64 // Fig 8(a)
+	RelErr float64 // Fig 8(b)
+}
+
+// Fig8 runs the accuracy sweep and returns one point per (skew, k),
+// averaged over seeds.
+func Fig8(p Fig8Params) ([]Fig8Point, error) {
+	p = p.withDefaults()
+	var out []Fig8Point
+	for _, z := range p.Skews {
+		recalls := make(map[int][]float64, len(p.Ks))
+		errs := make(map[int][]float64, len(p.Ks))
+		for seed := 0; seed < p.Seeds; seed++ {
+			w, err := workload.Generate(workload.PaperDefaults(p.Scale, z, p.BaseSeed+uint64(seed)*7919))
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig8 workload z=%v: %w", z, err)
+			}
+			sk, err := tdcs.New(dcs.Config{
+				Tables:  p.Tables,
+				Buckets: p.Buckets,
+				Seed:    p.BaseSeed + uint64(seed)*104729 + 13,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig8 sketch: %w", err)
+			}
+			for _, u := range w.Updates() {
+				sk.Update(u.Src, u.Dst, int64(u.Delta))
+			}
+			maxK := 0
+			for _, k := range p.Ks {
+				if k > maxK {
+					maxK = k
+				}
+			}
+			approxAll := sk.TopK(maxK)
+			for _, k := range p.Ks {
+				approx := approxAll
+				if k < len(approx) {
+					approx = approx[:k]
+				}
+				truth := truthEstimates(w.TrueTopK(k))
+				apx := make([]metrics.Estimate, len(approx))
+				for i, e := range approx {
+					apx[i] = metrics.Estimate{Dest: e.Dest, F: e.F}
+				}
+				recalls[k] = append(recalls[k], metrics.Recall(apx, truth))
+				errs[k] = append(errs[k], metrics.AvgRelativeError(apx, truth))
+			}
+		}
+		for _, k := range p.Ks {
+			out = append(out, Fig8Point{
+				Z:      z,
+				K:      k,
+				Recall: metrics.Mean(recalls[k]),
+				RelErr: metrics.Mean(errs[k]),
+			})
+		}
+	}
+	return out, nil
+}
+
+func truthEstimates(in []workload.TruthEntry) []metrics.Estimate {
+	out := make([]metrics.Estimate, len(in))
+	for i, e := range in {
+		out[i] = metrics.Estimate{Dest: e.Dest, F: e.F}
+	}
+	return out
+}
+
+// Fig8Tables renders the points as the two figures' data tables.
+func Fig8Tables(points []Fig8Point) (recall, relErr *Table) {
+	recall = &Table{
+		Title:   "Fig 8(a): top-k recall vs k",
+		Headers: []string{"z", "k", "recall"},
+	}
+	relErr = &Table{
+		Title:   "Fig 8(b): average relative error in top-k frequencies vs k",
+		Headers: []string{"z", "k", "avg_rel_error"},
+	}
+	for _, pt := range points {
+		recall.AddRow(pt.Z, pt.K, pt.Recall)
+		relErr.AddRow(pt.Z, pt.K, pt.RelErr)
+	}
+	return recall, relErr
+}

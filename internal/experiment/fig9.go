@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/tdcs"
+	"dcsketch/internal/workload"
+)
+
+// Fig9Params configures the per-update processing-time experiment of
+// Figure 9: a stream of flow updates with top-1 (max) queries mixed in at a
+// varying frequency, comparing the Basic sketch (whose every query rescans
+// the synopsis via BaseTopk) against the Tracking sketch (whose queries read
+// the maintained heaps). The paper streams 4·10^6 updates and sweeps query
+// frequency from 0 to 0.0025 (one query per 400 updates).
+type Fig9Params struct {
+	// Updates is the stream length (paper: 4·10^6; default 200_000).
+	Updates int
+	// QueryFreqs lists the query-per-update frequencies to sweep.
+	QueryFreqs []float64
+	// Tables and Buckets are the sketch's r and s.
+	Tables, Buckets int
+	// Seed decorrelates the run.
+	Seed uint64
+}
+
+func (p Fig9Params) withDefaults() Fig9Params {
+	if p.Updates == 0 {
+		p.Updates = 200_000
+	}
+	if len(p.QueryFreqs) == 0 {
+		p.QueryFreqs = []float64{0, 0.0003125, 0.000625, 0.00125, 0.0025}
+	}
+	if p.Tables == 0 {
+		p.Tables = dcs.DefaultTables
+	}
+	if p.Buckets == 0 {
+		p.Buckets = dcs.DefaultBuckets
+	}
+	return p
+}
+
+// Fig9Point is one query-frequency sample: average per-update processing
+// time (update work plus amortized query work) for each sketch variant.
+type Fig9Point struct {
+	QueryFreq      float64
+	BasicMicros    float64
+	TrackingMicros float64
+}
+
+// Fig9 runs the processing-time sweep.
+func Fig9(p Fig9Params) ([]Fig9Point, error) {
+	p = p.withDefaults()
+	// One workload reused across all frequencies so the comparison only
+	// varies the query mix. d is scaled to keep the paper's U/d ratio.
+	w, err := workload.Generate(workload.Config{
+		DistinctPairs: int64(p.Updates),
+		Destinations:  maxInt(p.Updates/160, 1),
+		Skew:          1.0,
+		Seed:          p.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig9 workload: %w", err)
+	}
+	ups := w.Updates()
+
+	out := make([]Fig9Point, 0, len(p.QueryFreqs))
+	for _, qf := range p.QueryFreqs {
+		interval := 0
+		if qf > 0 {
+			interval = int(1 / qf)
+		}
+
+		basic, err := dcs.New(dcs.Config{Tables: p.Tables, Buckets: p.Buckets, Seed: p.Seed + 2})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig9 basic sketch: %w", err)
+		}
+		start := time.Now()
+		for i, u := range ups {
+			basic.Update(u.Src, u.Dst, int64(u.Delta))
+			if interval > 0 && (i+1)%interval == 0 {
+				basic.TopK(1)
+			}
+		}
+		basicMicros := float64(time.Since(start).Microseconds()) / float64(len(ups))
+
+		tracking, err := tdcs.New(dcs.Config{Tables: p.Tables, Buckets: p.Buckets, Seed: p.Seed + 2})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig9 tracking sketch: %w", err)
+		}
+		start = time.Now()
+		for i, u := range ups {
+			tracking.Update(u.Src, u.Dst, int64(u.Delta))
+			if interval > 0 && (i+1)%interval == 0 {
+				tracking.TopK(1)
+			}
+		}
+		trackingMicros := float64(time.Since(start).Microseconds()) / float64(len(ups))
+
+		out = append(out, Fig9Point{
+			QueryFreq:      qf,
+			BasicMicros:    basicMicros,
+			TrackingMicros: trackingMicros,
+		})
+	}
+	return out, nil
+}
+
+// Fig9Table renders the sweep.
+func Fig9Table(points []Fig9Point) *Table {
+	t := &Table{
+		Title:   "Fig 9: per-update processing time (µs) vs top-1 query frequency",
+		Headers: []string{"query_freq", "basic_us_per_update", "tracking_us_per_update"},
+	}
+	for _, pt := range points {
+		t.AddRow(pt.QueryFreq, pt.BasicMicros, pt.TrackingMicros)
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

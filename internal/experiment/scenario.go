@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/dsample"
+	"dcsketch/internal/monitor"
+	"dcsketch/internal/stream"
+	"dcsketch/internal/tdcs"
+	"dcsketch/internal/volume"
+)
+
+// ScenarioParams configures the robustness demonstration behind the paper's
+// §1 argument: a spoofed SYN flood and a completing flash crowd run through
+// (a) the distinct-count tracking sketch and (b) volume-based heavy hitters,
+// showing that only the former separates attack from crowd.
+type ScenarioParams struct {
+	// Zombies is the number of distinct spoofed attack sources.
+	Zombies int
+	// CrowdClients is the number of legitimate flash-crowd clients.
+	CrowdClients int
+	// BackgroundConnections is the amount of ordinary traffic mixed in.
+	BackgroundConnections int
+	// Seed decorrelates the run.
+	Seed uint64
+}
+
+func (p ScenarioParams) withDefaults() ScenarioParams {
+	if p.Zombies == 0 {
+		p.Zombies = 2000
+	}
+	if p.CrowdClients == 0 {
+		p.CrowdClients = 4000
+	}
+	if p.BackgroundConnections == 0 {
+		p.BackgroundConnections = 20000
+	}
+	return p
+}
+
+// Scenario addresses used in the result tables.
+const (
+	ScenarioVictim = 0xCB007107 // 203.0.113.7 — the SYN-flood victim
+	ScenarioCrowd  = 0xC6336401 // 198.51.100.1 — the flash-crowd server
+)
+
+// ScenarioResult summarizes the discrimination outcome.
+type ScenarioResult struct {
+	// DistinctTop1 is the top destination by distinct-source frequency
+	// after the full stream (attack + crowd + background, crowd
+	// completed): the paper predicts the victim.
+	DistinctTop1 uint32
+	// DistinctTop1F is its estimated frequency.
+	DistinctTop1F int64
+	// VolumeTop1 is the top destination by packet volume: the crowd
+	// (2 packets per client) outweighs the flood.
+	VolumeTop1 uint32
+	// VolumeTop1Packets is its estimated volume.
+	VolumeTop1Packets int64
+	// VictimAlerted reports whether the monitor flagged the victim.
+	VictimAlerted bool
+	// CrowdStillAlerting reports whether the monitor still flags the
+	// crowd server at stream end (it must not).
+	CrowdStillAlerting bool
+	// CrowdResidualF is the crowd server's frequency estimate at end.
+	CrowdResidualF int64
+	// GibbonsVictimF is the victim estimate from a Gibbons distinct
+	// sampler given the same space budget: the crowd's threshold raises
+	// starve its post-crowd sample (package dsample), typically
+	// inflating its error relative to the sketch.
+	GibbonsVictimF int64
+	// GibbonsKept and GibbonsLevel expose the sampler's end state.
+	GibbonsKept, GibbonsLevel int
+}
+
+// Scenario runs the discrimination experiment.
+func Scenario(p ScenarioParams) (*ScenarioResult, error) {
+	p = p.withDefaults()
+	attack, err := (stream.SYNFlood{Victim: ScenarioVictim, Zombies: p.Zombies, Seed: p.Seed + 1}).Updates()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario attack: %w", err)
+	}
+	crowd, err := (stream.FlashCrowd{
+		Dest: ScenarioCrowd, Clients: p.CrowdClients,
+		CompletionRate: 1.0, CompletionLag: 16, Seed: p.Seed + 2,
+	}).Updates()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario crowd: %w", err)
+	}
+	background, err := (stream.Background{
+		Connections:  p.BackgroundConnections,
+		Sources:      p.BackgroundConnections / 4,
+		Destinations: 200,
+		Seed:         p.Seed + 3,
+	}).Updates()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario background: %w", err)
+	}
+	mixed := stream.Interleave(p.Seed+4, attack, crowd, background)
+
+	sketchCfg := dcs.Config{Buckets: 256, Seed: p.Seed + 5}
+	mon, err := monitor.New(monitor.Config{
+		Sketch:        sketchCfg,
+		CheckInterval: 2000,
+		MinFrequency:  int64(p.Zombies) / 4,
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario monitor: %w", err)
+	}
+	sk, err := tdcs.New(sketchCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario sketch: %w", err)
+	}
+	vol := volume.NewHeavyHitters(4, 1024, 256, p.Seed+6)
+	// The Gibbons sampler gets a pair budget comparable to the sketch's
+	// distinct-sample capacity (r*s second-level buckets at one level).
+	gib, err := dsample.New(3*256, p.Seed+7)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: scenario sampler: %w", err)
+	}
+	for _, u := range mixed {
+		mon.Update(u.Src, u.Dst, int64(u.Delta))
+		sk.Update(u.Src, u.Dst, int64(u.Delta))
+		vol.Update(u.Src, u.Dst, int64(u.Delta))
+		gib.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+
+	res := &ScenarioResult{}
+	if top := sk.TopK(1); len(top) > 0 {
+		res.DistinctTop1 = top[0].Dest
+		res.DistinctTop1F = top[0].F
+	}
+	if top := vol.TopK(1); len(top) > 0 {
+		res.VolumeTop1 = top[0].Dest
+		res.VolumeTop1Packets = top[0].Volume
+	}
+	for _, a := range mon.Alerts() {
+		if a.Dest == ScenarioVictim {
+			res.VictimAlerted = true
+		}
+	}
+	res.CrowdStillAlerting = mon.Alerting(ScenarioCrowd)
+	for _, e := range sk.Threshold(1) {
+		if e.Dest == ScenarioCrowd {
+			res.CrowdResidualF = e.F
+		}
+	}
+	for _, e := range gib.TopK(8) {
+		if e.Dest == ScenarioVictim {
+			res.GibbonsVictimF = e.F
+		}
+	}
+	res.GibbonsKept = gib.Kept()
+	res.GibbonsLevel = gib.Level()
+	return res, nil
+}
+
+// ScenarioTable renders the result.
+func ScenarioTable(r *ScenarioResult) *Table {
+	t := &Table{
+		Title:   "Robustness: SYN flood vs flash crowd (paper §1)",
+		Headers: []string{"metric", "value"},
+	}
+	name := func(ip uint32) string {
+		switch ip {
+		case ScenarioVictim:
+			return "victim"
+		case ScenarioCrowd:
+			return "crowd-server"
+		default:
+			return fmt.Sprintf("other(0x%08x)", ip)
+		}
+	}
+	t.AddRow("distinct-count top-1", name(r.DistinctTop1))
+	t.AddRow("distinct-count top-1 frequency", r.DistinctTop1F)
+	t.AddRow("volume top-1", name(r.VolumeTop1))
+	t.AddRow("volume top-1 packets", r.VolumeTop1Packets)
+	t.AddRow("victim alerted", r.VictimAlerted)
+	t.AddRow("crowd still alerting at end", r.CrowdStillAlerting)
+	t.AddRow("crowd residual frequency", r.CrowdResidualF)
+	t.AddRow("gibbons-sampler victim estimate", r.GibbonsVictimF)
+	t.AddRow("gibbons-sampler kept/level", fmt.Sprintf("%d @ level %d", r.GibbonsKept, r.GibbonsLevel))
+	return t
+}

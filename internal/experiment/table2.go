@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/tdcs"
+	"dcsketch/internal/workload"
+)
+
+// Table2Params configures the empirical check of the paper's Table 2
+// asymptotics: Basic vs Tracking update and query costs as r, s and k vary.
+// The predicted shapes are
+//
+//	update:  Basic O(r·log m)        Tracking O(r·log² m)
+//	query:   Basic O(r·s·log² m)     Tracking O(k·log m)
+//
+// i.e. Basic queries grow linearly in s while Tracking queries do not, and
+// both updates grow linearly in r.
+type Table2Params struct {
+	// Updates is the stream length driven per configuration.
+	Updates int
+	// Rs and Ss list the r and s values swept (r swept at default s, s
+	// swept at default r).
+	Rs, Ss []int
+	// K is the top-k size used for query timing.
+	K int
+	// Queries is how many timed queries are averaged per configuration.
+	Queries int
+	// Seed decorrelates the run.
+	Seed uint64
+}
+
+func (p Table2Params) withDefaults() Table2Params {
+	if p.Updates == 0 {
+		p.Updates = 100_000
+	}
+	if len(p.Rs) == 0 {
+		p.Rs = []int{1, 2, 3, 4, 6}
+	}
+	if len(p.Ss) == 0 {
+		p.Ss = []int{64, 128, 256, 512}
+	}
+	if p.K == 0 {
+		p.K = 10
+	}
+	if p.Queries == 0 {
+		p.Queries = 50
+	}
+	return p
+}
+
+// Table2Row is one swept configuration with measured costs.
+type Table2Row struct {
+	R, S             int
+	BasicUpdateNs    float64
+	TrackingUpdateNs float64
+	BasicQueryUs     float64
+	TrackingQueryUs  float64
+}
+
+// Table2 sweeps r (at the default s) and s (at the default r) and measures
+// per-update and per-query times for both sketch variants.
+func Table2(p Table2Params) ([]Table2Row, error) {
+	p = p.withDefaults()
+	w, err := workload.Generate(workload.Config{
+		DistinctPairs: int64(p.Updates),
+		Destinations:  maxInt(p.Updates/160, 1),
+		Skew:          1.0,
+		Seed:          p.Seed + 5,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: table2 workload: %w", err)
+	}
+	ups := w.Updates()
+
+	var rows []Table2Row
+	seen := make(map[[2]int]bool)
+	measure := func(r, s int) error {
+		if seen[[2]int{r, s}] {
+			return nil
+		}
+		seen[[2]int{r, s}] = true
+		cfg := dcs.Config{Tables: r, Buckets: s, Seed: p.Seed + 6}
+
+		basic, err := dcs.New(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment: table2 basic r=%d s=%d: %w", r, s, err)
+		}
+		start := time.Now()
+		for _, u := range ups {
+			basic.Update(u.Src, u.Dst, int64(u.Delta))
+		}
+		basicUpdate := float64(time.Since(start).Nanoseconds()) / float64(len(ups))
+
+		tracking, err := tdcs.New(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment: table2 tracking r=%d s=%d: %w", r, s, err)
+		}
+		start = time.Now()
+		for _, u := range ups {
+			tracking.Update(u.Src, u.Dst, int64(u.Delta))
+		}
+		trackingUpdate := float64(time.Since(start).Nanoseconds()) / float64(len(ups))
+
+		start = time.Now()
+		for q := 0; q < p.Queries; q++ {
+			basic.TopK(p.K)
+		}
+		basicQuery := float64(time.Since(start).Microseconds()) / float64(p.Queries)
+
+		start = time.Now()
+		for q := 0; q < p.Queries; q++ {
+			tracking.TopK(p.K)
+		}
+		trackingQuery := float64(time.Since(start).Microseconds()) / float64(p.Queries)
+
+		rows = append(rows, Table2Row{
+			R: r, S: s,
+			BasicUpdateNs:    basicUpdate,
+			TrackingUpdateNs: trackingUpdate,
+			BasicQueryUs:     basicQuery,
+			TrackingQueryUs:  trackingQuery,
+		})
+		return nil
+	}
+
+	for _, r := range p.Rs {
+		if err := measure(r, dcs.DefaultBuckets); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range p.Ss {
+		if err := measure(dcs.DefaultTables, s); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Table2Table renders the sweep.
+func Table2Table(rows []Table2Row) *Table {
+	t := &Table{
+		Title: "Table 2 (empirical): Basic vs Tracking update/query costs",
+		Headers: []string{
+			"r", "s", "basic_update_ns", "tracking_update_ns",
+			"basic_query_us", "tracking_query_us",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.R, r.S, r.BasicUpdateNs, r.TrackingUpdateNs, r.BasicQueryUs, r.TrackingQueryUs)
+	}
+	return t
+}

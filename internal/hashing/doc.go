@@ -1,0 +1,11 @@
+// Package hashing provides the randomized hash substrate for the
+// Distinct-Count Sketch: seeded simple tabulation hash functions over the
+// 64-bit source-destination pair domain, the Flajolet-Martin style geometric
+// level map Pr[Level(x) = l] = 2^-(l+1), and unbiased bucket mapping for
+// second-level hash tables of arbitrary size.
+//
+// Simple tabulation hashing is 3-wise independent, which is strictly stronger
+// than the pairwise independence the paper's analysis assumes for the
+// first-level randomizer f and the second-level hashes g_1..g_r, and it is
+// fast: one table lookup per input byte and seven XORs.
+package hashing

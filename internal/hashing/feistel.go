@@ -1,0 +1,44 @@
+package hashing
+
+// Perm32 is a keyed bijection on 32-bit integers, implemented as a 4-round
+// Feistel network over 16-bit halves. The workload generators use it to mint
+// synthetic IP addresses that are pseudo-random yet collision-free by
+// construction, so a stream with U generated pairs has exactly U distinct
+// pairs and the ground-truth frequencies are known without bookkeeping.
+type Perm32 struct {
+	keys [4]uint64
+}
+
+// NewPerm32 returns a permutation derived from seed.
+func NewPerm32(seed uint64) *Perm32 {
+	rng := NewSplitMix64(seed)
+	p := &Perm32{}
+	for i := range p.keys {
+		p.keys[i] = rng.Next()
+	}
+	return p
+}
+
+// round is the Feistel round function: any function of (half, key) works for
+// bijectivity; splitmix's finalizer provides the mixing.
+func round(half uint16, key uint64) uint16 {
+	return uint16(Mix64(uint64(half) ^ key))
+}
+
+// Apply maps x through the permutation.
+func (p *Perm32) Apply(x uint32) uint32 {
+	l, r := uint16(x>>16), uint16(x)
+	for _, k := range p.keys {
+		l, r = r, l^round(r, k)
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// Invert is the inverse of Apply.
+func (p *Perm32) Invert(y uint32) uint32 {
+	l, r := uint16(y>>16), uint16(y)
+	for i := len(p.keys) - 1; i >= 0; i-- {
+		l, r = r^round(l, p.keys[i]), l
+	}
+	return uint32(l)<<16 | uint32(r)
+}

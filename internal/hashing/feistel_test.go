@@ -1,0 +1,64 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPerm32RoundTrip(t *testing.T) {
+	p := NewPerm32(42)
+	err := quick.Check(func(x uint32) bool {
+		return p.Invert(p.Apply(x)) == x
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerm32Injective(t *testing.T) {
+	p := NewPerm32(7)
+	seen := make(map[uint32]struct{}, 1<<17)
+	for x := uint32(0); x < 1<<17; x++ {
+		y := p.Apply(x)
+		if _, dup := seen[y]; dup {
+			t.Fatalf("collision at x=%d", x)
+		}
+		seen[y] = struct{}{}
+	}
+}
+
+func TestPerm32Deterministic(t *testing.T) {
+	a, b := NewPerm32(9), NewPerm32(9)
+	for x := uint32(0); x < 1000; x++ {
+		if a.Apply(x) != b.Apply(x) {
+			t.Fatal("same seed must give same permutation")
+		}
+	}
+}
+
+func TestPerm32SeedsDiffer(t *testing.T) {
+	a, b := NewPerm32(1), NewPerm32(2)
+	same := 0
+	for x := uint32(0); x < 10000; x++ {
+		if a.Apply(x) == b.Apply(x) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("permutations from different seeds agree on %d/10000 points", same)
+	}
+}
+
+func TestPerm32Scrambles(t *testing.T) {
+	// Sequential inputs must not map to sequential outputs.
+	p := NewPerm32(3)
+	sequential := 0
+	for x := uint32(0); x < 1000; x++ {
+		if p.Apply(x+1) == p.Apply(x)+1 {
+			sequential++
+		}
+	}
+	if sequential > 2 {
+		t.Fatalf("%d/1000 sequential outputs; permutation barely scrambles", sequential)
+	}
+}

@@ -1,0 +1,24 @@
+package hashing
+
+// PairKey packs a (source, destination) IPv4 address pair into the 64-bit
+// pair-domain key used throughout the sketch: the source occupies the high 32
+// bits and the destination the low 32 bits. This is the paper's
+// "concatenating the two addresses" encoding of [m^2].
+func PairKey(src, dst uint32) uint64 {
+	return uint64(src)<<32 | uint64(dst)
+}
+
+// SplitPair is the inverse of PairKey.
+func SplitPair(key uint64) (src, dst uint32) {
+	return uint32(key >> 32), uint32(key)
+}
+
+// PairDest extracts the destination address from a pair key.
+func PairDest(key uint64) uint32 {
+	return uint32(key)
+}
+
+// PairSrc extracts the source address from a pair key.
+func PairSrc(key uint64) uint32 {
+	return uint32(key >> 32)
+}

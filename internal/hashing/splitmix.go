@@ -1,0 +1,34 @@
+package hashing
+
+// SplitMix64 is a tiny, fast, well-distributed PRNG used to derive the random
+// tables of tabulation hash functions and to split one user seed into many
+// independent sub-seeds. It is Sebastiano Vigna's splitmix64 generator, the
+// standard seeder for the xoshiro family.
+//
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a fixed (unseeded)
+// bijective mixer, useful for decorrelating structured integer inputs before
+// statistical tests.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,79 @@
+package hashing
+
+import "math/bits"
+
+// numByteTables is the number of lookup tables in a Tab64: one per input byte.
+const numByteTables = 8
+
+// Tab64 is a simple tabulation hash function over 64-bit keys: the key is
+// split into 8 bytes and the hash is the XOR of one random table entry per
+// byte. Simple tabulation is 3-wise independent and behaves like a fully
+// random function for the hashing-based estimators in this repository
+// (Patrascu & Thorup, "The Power of Simple Tabulation Hashing").
+//
+// A Tab64 is immutable after construction and safe for concurrent use.
+type Tab64 struct {
+	tables [numByteTables][256]uint64
+}
+
+// NewTab64 returns a tabulation hash function whose tables are filled
+// deterministically from seed. Two Tab64 values built from the same seed
+// compute identical hashes; distinct seeds yield independent functions.
+func NewTab64(seed uint64) *Tab64 {
+	t := &Tab64{}
+	rng := NewSplitMix64(seed)
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = rng.Next()
+		}
+	}
+	return t
+}
+
+// Hash returns the 64-bit hash of x.
+func (t *Tab64) Hash(x uint64) uint64 {
+	return t.tables[0][byte(x)] ^
+		t.tables[1][byte(x>>8)] ^
+		t.tables[2][byte(x>>16)] ^
+		t.tables[3][byte(x>>24)] ^
+		t.tables[4][byte(x>>32)] ^
+		t.tables[5][byte(x>>40)] ^
+		t.tables[6][byte(x>>48)] ^
+		t.tables[7][byte(x>>56)]
+}
+
+// Level maps x onto a first-level sketch bucket with geometrically decreasing
+// probability: Pr[Level(x) = l] = 2^-(l+1) for l < maxLevel, with the
+// residual probability mass (2^-maxLevel) absorbed by the last level. This is
+// the paper's h(x) = LSB(f(x)) construction: the level is the position of the
+// least-significant 1 bit of the randomized value.
+//
+// maxLevel must be positive; levels returned are in [0, maxLevel-1].
+func (t *Tab64) Level(x uint64, maxLevel int) int {
+	l := bits.TrailingZeros64(t.Hash(x))
+	if l >= maxLevel {
+		return maxLevel - 1
+	}
+	return l
+}
+
+// Bucket maps x uniformly onto [0, s) using the multiply-shift range
+// reduction (Lemire's "fastrange"), which is unbiased for any s (not only
+// powers of two) given a uniform 64-bit hash.
+//
+// s must be positive.
+func (t *Tab64) Bucket(x uint64, s int) int {
+	hi, _ := bits.Mul64(t.Hash(x), uint64(s))
+	return int(hi)
+}
+
+// Fingerprint returns a nonzero 63-bit fingerprint of x, used by the count
+// signatures' checksum counter. The result is guaranteed nonzero and fits in
+// an int64 without overflow concerns for the counter arithmetic.
+func (t *Tab64) Fingerprint(x uint64) int64 {
+	fp := int64(t.Hash(x) >> 1) // clear the sign bit
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}

@@ -1,0 +1,235 @@
+package hashing
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTab64Deterministic(t *testing.T) {
+	a := NewTab64(42)
+	b := NewTab64(42)
+	for x := uint64(0); x < 1000; x++ {
+		if a.Hash(x) != b.Hash(x) {
+			t.Fatalf("same seed, different hash at x=%d: %x vs %x", x, a.Hash(x), b.Hash(x))
+		}
+	}
+}
+
+func TestNewTab64SeedsIndependent(t *testing.T) {
+	a := NewTab64(1)
+	b := NewTab64(2)
+	same := 0
+	const n = 10000
+	for x := uint64(0); x < n; x++ {
+		if a.Hash(x) == b.Hash(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agree on %d/%d inputs; expected ~0", same, n)
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Flipping any single input bit should flip ~32 of the 64 output bits
+	// on average. A weak bound (16..48) catches gross mixing failures.
+	h := NewTab64(7)
+	const trials = 2000
+	for bit := 0; bit < 64; bit++ {
+		total := 0
+		for i := 0; i < trials; i++ {
+			x := Mix64(uint64(i) + 1)
+			d := h.Hash(x) ^ h.Hash(x^(1<<uint(bit)))
+			total += bits.OnesCount64(d)
+		}
+		avg := float64(total) / trials
+		if avg < 16 || avg > 48 {
+			t.Errorf("input bit %d: avg output bits flipped = %.1f, want ~32", bit, avg)
+		}
+	}
+}
+
+func TestLevelGeometricDistribution(t *testing.T) {
+	h := NewTab64(99)
+	const n = 1 << 18
+	counts := make([]int, 64)
+	for i := 0; i < n; i++ {
+		counts[h.Level(uint64(i), 64)]++
+	}
+	// Pr[level = l] = 2^-(l+1); check the first few levels within 5%.
+	for l := 0; l < 6; l++ {
+		want := float64(n) / math.Pow(2, float64(l+1))
+		got := float64(counts[l])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("level %d: got %v items, want ~%v", l, got, want)
+		}
+	}
+}
+
+func TestLevelClamp(t *testing.T) {
+	h := NewTab64(3)
+	const maxLevel = 4
+	for i := 0; i < 100000; i++ {
+		l := h.Level(uint64(i), maxLevel)
+		if l < 0 || l >= maxLevel {
+			t.Fatalf("level %d out of range [0,%d)", l, maxLevel)
+		}
+	}
+}
+
+func TestLevelMaxLevelOne(t *testing.T) {
+	h := NewTab64(5)
+	for i := 0; i < 1000; i++ {
+		if l := h.Level(uint64(i), 1); l != 0 {
+			t.Fatalf("maxLevel=1 must always return level 0, got %d", l)
+		}
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	h := NewTab64(11)
+	err := quick.Check(func(x uint64, sRaw uint16) bool {
+		s := int(sRaw)%1000 + 1
+		b := h.Bucket(x, s)
+		return b >= 0 && b < s
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketUniformity(t *testing.T) {
+	h := NewTab64(13)
+	const (
+		s = 128
+		n = 1 << 17
+	)
+	counts := make([]int, s)
+	for i := 0; i < n; i++ {
+		counts[h.Bucket(uint64(i), s)]++
+	}
+	// Chi-square test with a very loose threshold: mean n/s = 1024,
+	// expected chi2 ~ s-1 = 127; reject only on gross non-uniformity.
+	mean := float64(n) / s
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	if chi2 > 2*float64(s) {
+		t.Fatalf("chi-square %.1f too large for %d buckets (mean %d)", chi2, s, int(mean))
+	}
+}
+
+func TestPairwiseCollisionRate(t *testing.T) {
+	// 3-wise independence implies the pairwise collision probability into
+	// s buckets is exactly 1/s. Measure it empirically on adjacent keys.
+	h := NewTab64(17)
+	const (
+		s = 64
+		n = 1 << 16
+	)
+	collisions := 0
+	rng := NewSplitMix64(29)
+	for i := 0; i < n; i++ {
+		x, y := rng.Next(), rng.Next()
+		if x == y {
+			continue
+		}
+		if h.Bucket(x, s) == h.Bucket(y, s) {
+			collisions++
+		}
+	}
+	want := float64(n) / s
+	got := float64(collisions)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("pairwise collision count %v, want ~%v (1/s rate)", got, want)
+	}
+}
+
+func TestFingerprintNonZero(t *testing.T) {
+	h := NewTab64(23)
+	err := quick.Check(func(x uint64) bool {
+		fp := h.Fingerprint(x)
+		return fp > 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	err := quick.Check(func(src, dst uint32) bool {
+		key := PairKey(src, dst)
+		s2, d2 := SplitPair(key)
+		return s2 == src && d2 == dst && PairSrc(key) == src && PairDest(key) == dst
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairKeyInjective(t *testing.T) {
+	// Distinct (src,dst) pairs map to distinct keys.
+	seen := make(map[uint64]struct{})
+	for src := uint32(0); src < 64; src++ {
+		for dst := uint32(0); dst < 64; dst++ {
+			key := PairKey(src, dst)
+			if _, dup := seen[key]; dup {
+				t.Fatalf("duplicate key %x for (%d,%d)", key, src, dst)
+			}
+			seen[key] = struct{}{}
+		}
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(123)
+	b := NewSplitMix64(123)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestSplitMix64ZeroValueUsable(t *testing.T) {
+	var s SplitMix64
+	x := s.Next()
+	y := s.Next()
+	if x == y {
+		t.Fatal("zero-value generator produced repeated values")
+	}
+}
+
+func TestMix64Bijection(t *testing.T) {
+	// Mix64 is a bijection, so no collisions on any sample.
+	seen := make(map[uint64]struct{}, 100000)
+	for i := uint64(0); i < 100000; i++ {
+		v := Mix64(i)
+		if _, dup := seen[v]; dup {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[v] = struct{}{}
+	}
+}
+
+func BenchmarkTab64Hash(b *testing.B) {
+	h := NewTab64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkTab64Bucket(b *testing.B) {
+	h := NewTab64(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Bucket(uint64(i), 128)
+	}
+	_ = sink
+}

@@ -1,0 +1,224 @@
+// Package iheap implements the indexed max-heap backing the Tracking
+// Distinct-Count Sketch's per-level topDestHeap structures (paper §5).
+//
+// The heap maps 32-bit destination addresses to int64 priorities (sample
+// occurrence frequencies f^s_v) and supports the operations the tracking
+// algorithm needs in O(log n): adjust a destination's frequency by ±1
+// (creating the entry on first increment, removing it when the frequency
+// returns to zero), read the maximum, and extract the top-k destinations
+// *without mutating the heap*, so continuous tracking queries never disturb
+// the incrementally maintained state.
+package iheap
+
+import "container/heap"
+
+// Entry is one (destination, priority) pair held by a Heap.
+type Entry struct {
+	Key      uint32
+	Priority int64
+}
+
+// Heap is an indexed binary max-heap. The zero value is not usable; call New.
+type Heap struct {
+	entries []Entry
+	// pos maps a key to its index in entries, enabling O(log n)
+	// adjust-key operations.
+	pos map[uint32]int
+}
+
+// New returns an empty heap with capacity preallocated for hint entries.
+func New(hint int) *Heap {
+	return &Heap{
+		entries: make([]Entry, 0, hint),
+		pos:     make(map[uint32]int, hint),
+	}
+}
+
+// Len returns the number of entries.
+func (h *Heap) Len() int { return len(h.entries) }
+
+// Get returns the priority of key and whether it is present.
+func (h *Heap) Get(key uint32) (int64, bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		return 0, false
+	}
+	return h.entries[i].Priority, true
+}
+
+// Max returns the entry with the largest priority. ok is false when the heap
+// is empty.
+func (h *Heap) Max() (Entry, bool) {
+	if len(h.entries) == 0 {
+		return Entry{}, false
+	}
+	return h.entries[0], true
+}
+
+// Adjust changes key's priority by delta, inserting the key if absent and
+// removing it if its priority drops to zero or below. It returns the key's
+// resulting priority (zero if removed).
+func (h *Heap) Adjust(key uint32, delta int64) int64 {
+	i, ok := h.pos[key]
+	if !ok {
+		if delta <= 0 {
+			return 0
+		}
+		h.entries = append(h.entries, Entry{Key: key, Priority: delta})
+		i = len(h.entries) - 1
+		h.pos[key] = i
+		h.siftUp(i)
+		return delta
+	}
+	p := h.entries[i].Priority + delta
+	if p <= 0 {
+		h.removeAt(i)
+		return 0
+	}
+	h.entries[i].Priority = p
+	if delta > 0 {
+		h.siftUp(i)
+	} else {
+		h.siftDown(i)
+	}
+	return p
+}
+
+// Remove deletes key from the heap if present and reports whether it was.
+func (h *Heap) Remove(key uint32) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// TopK returns up to k entries with the largest priorities in descending
+// priority order without modifying the heap. It runs in O(k log k) by
+// traversing the heap array with a small candidate priority queue, so a
+// tracking query costs O(k log k) independent of the heap size.
+//
+// Ties are broken by smaller key first, making the output deterministic.
+func (h *Heap) TopK(k int) []Entry {
+	if k <= 0 || len(h.entries) == 0 {
+		return nil
+	}
+	if k > len(h.entries) {
+		k = len(h.entries)
+	}
+	out := make([]Entry, 0, k)
+	cand := &candidateQueue{indices: make([]int, 0, k+1), h: h}
+	heap.Push(cand, 0)
+	for len(out) < k && cand.Len() > 0 {
+		i, ok := heap.Pop(cand).(int)
+		if !ok {
+			break
+		}
+		out = append(out, h.entries[i])
+		if l := 2*i + 1; l < len(h.entries) {
+			heap.Push(cand, l)
+		}
+		if r := 2*i + 2; r < len(h.entries) {
+			heap.Push(cand, r)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of all entries in unspecified order.
+func (h *Heap) Snapshot() []Entry {
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	return out
+}
+
+func (h *Heap) removeAt(i int) {
+	last := len(h.entries) - 1
+	delete(h.pos, h.entries[i].Key)
+	if i != last {
+		h.entries[i] = h.entries[last]
+		h.pos[h.entries[i].Key] = i
+	}
+	h.entries = h.entries[:last]
+	if i < len(h.entries) {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+// less orders entries by descending priority, then ascending key, giving the
+// heap a deterministic total order.
+func (h *Heap) less(a, b Entry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Key < b.Key
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.entries[i], h.entries[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.less(h.entries[l], h.entries[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.less(h.entries[r], h.entries[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].Key] = i
+	h.pos[h.entries[j].Key] = j
+}
+
+// candidateQueue is the auxiliary priority queue over heap-array indices used
+// by the non-destructive TopK traversal. It implements container/heap.
+type candidateQueue struct {
+	indices []int
+	h       *Heap
+}
+
+func (c *candidateQueue) Len() int { return len(c.indices) }
+
+func (c *candidateQueue) Less(i, j int) bool {
+	return c.h.less(c.h.entries[c.indices[i]], c.h.entries[c.indices[j]])
+}
+
+func (c *candidateQueue) Swap(i, j int) {
+	c.indices[i], c.indices[j] = c.indices[j], c.indices[i]
+}
+
+func (c *candidateQueue) Push(x any) {
+	i, ok := x.(int)
+	if !ok {
+		return
+	}
+	c.indices = append(c.indices, i)
+}
+
+func (c *candidateQueue) Pop() any {
+	last := len(c.indices) - 1
+	v := c.indices[last]
+	c.indices = c.indices[:last]
+	return v
+}

@@ -1,0 +1,87 @@
+// Package metrics implements the paper's evaluation metrics (§6.1): top-k
+// recall — the fraction of the true top-k destinations present in the
+// approximate answer — and the average relative error of the frequency
+// estimates over the recall set R (the true top-k destinations that the
+// estimator did return).
+package metrics
+
+import "math"
+
+// Estimate pairs a destination with an estimated frequency. It mirrors the
+// estimator output types without importing them, keeping the package
+// dependency-free.
+type Estimate struct {
+	Dest uint32
+	F    int64
+}
+
+// Recall returns |approx ∩ true| / k for a top-k query, following §6.1:
+// "the fraction of the true top-k destinations in the approximate top-k
+// result". k is taken as len(truth); an empty truth yields recall 1.
+func Recall(approx, truth []Estimate) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	trueSet := make(map[uint32]struct{}, len(truth))
+	for _, e := range truth {
+		trueSet[e.Dest] = struct{}{}
+	}
+	hits := 0
+	for _, e := range approx {
+		if _, ok := trueSet[e.Dest]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// AvgRelativeError returns the mean of |f̂_v − f_v| / f_v over the recall set
+// R — the destinations that appear in both the approximate answer and the
+// truth (§6.1). Destinations the estimator missed entirely are accounted by
+// Recall, not here. An empty recall set yields 0. True frequencies of zero
+// are skipped (they cannot appear in a meaningful truth set).
+func AvgRelativeError(approx, truth []Estimate) float64 {
+	trueF := make(map[uint32]int64, len(truth))
+	for _, e := range truth {
+		trueF[e.Dest] = e.F
+	}
+	sum, n := 0.0, 0
+	for _, e := range approx {
+		f, ok := trueF[e.Dest]
+		if !ok || f == 0 {
+			continue
+		}
+		sum += math.Abs(float64(e.F-f)) / float64(f)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}

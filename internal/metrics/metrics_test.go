@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecallPerfect(t *testing.T) {
+	truth := []Estimate{{1, 100}, {2, 50}, {3, 25}}
+	approx := []Estimate{{3, 20}, {1, 110}, {2, 55}}
+	if got := Recall(approx, truth); got != 1 {
+		t.Fatalf("Recall = %v, want 1", got)
+	}
+}
+
+func TestRecallPartial(t *testing.T) {
+	truth := []Estimate{{1, 100}, {2, 50}, {3, 25}, {4, 10}}
+	approx := []Estimate{{1, 100}, {9, 60}, {3, 25}, {8, 11}}
+	if got := Recall(approx, truth); got != 0.5 {
+		t.Fatalf("Recall = %v, want 0.5", got)
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	if got := Recall(nil, nil); got != 1 {
+		t.Fatalf("Recall(nil,nil) = %v, want 1", got)
+	}
+	if got := Recall(nil, []Estimate{{1, 1}}); got != 0 {
+		t.Fatalf("Recall(nil,truth) = %v, want 0", got)
+	}
+}
+
+func TestAvgRelativeError(t *testing.T) {
+	truth := []Estimate{{1, 100}, {2, 50}}
+	approx := []Estimate{{1, 110}, {2, 40}}
+	// errors: 0.1 and 0.2 -> mean 0.15
+	if got := AvgRelativeError(approx, truth); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("AvgRelativeError = %v, want 0.15", got)
+	}
+}
+
+func TestAvgRelativeErrorIgnoresMisses(t *testing.T) {
+	truth := []Estimate{{1, 100}, {2, 50}}
+	approx := []Estimate{{1, 100}, {9, 999}} // dest 9 not in truth
+	if got := AvgRelativeError(approx, truth); got != 0 {
+		t.Fatalf("AvgRelativeError = %v, want 0 (exact on the recall set)", got)
+	}
+}
+
+func TestAvgRelativeErrorEmpty(t *testing.T) {
+	if got := AvgRelativeError(nil, nil); got != 0 {
+		t.Fatalf("AvgRelativeError(nil,nil) = %v, want 0", got)
+	}
+	if got := AvgRelativeError([]Estimate{{1, 5}}, []Estimate{{2, 5}}); got != 0 {
+		t.Fatalf("disjoint sets must yield 0, got %v", got)
+	}
+}
+
+func TestAvgRelativeErrorSkipsZeroTruth(t *testing.T) {
+	truth := []Estimate{{1, 0}, {2, 10}}
+	approx := []Estimate{{1, 5}, {2, 11}}
+	if got := AvgRelativeError(approx, truth); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("AvgRelativeError = %v, want 0.1", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{5}); got != 0 {
+		t.Fatalf("Stddev single = %v", got)
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}

@@ -1,0 +1,231 @@
+// Package monitor implements the DDoS MONITOR of the paper's architecture
+// (Fig. 1): a component that consumes one or more flow-update streams,
+// maintains a Tracking Distinct-Count Sketch, periodically evaluates the
+// top-k distinct-source frequencies against baseline activity profiles
+// (EWMA over time, per §2: "comparing against 'baseline' profiles of network
+// activity created over longer periods"), and raises alerts for destinations
+// whose half-open population is anomalously large.
+//
+// Multiple edge monitors can run independently (one per ingress point) and a
+// Collector merges their sketches — the sketch is a linear stream summary,
+// so the merged sketch is exactly the sketch of the union stream.
+package monitor
+
+import (
+	"fmt"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/tdcs"
+)
+
+// Default monitor parameters.
+const (
+	DefaultK               = 10
+	DefaultCheckInterval   = 8192
+	DefaultBaselineAlpha   = 0.05
+	DefaultThresholdFactor = 5.0
+	DefaultMinFrequency    = 64
+)
+
+// Config parametrizes a Monitor. Zero fields take package defaults.
+type Config struct {
+	// Sketch configures the underlying tracking sketch. All monitors
+	// that will be merged by one Collector must share it (seed included).
+	Sketch dcs.Config
+	// K is how many top destinations each check inspects.
+	K int
+	// CheckInterval is the number of stream updates between checks —
+	// continuous tracking is cheap (O(k log k)), so small intervals are
+	// viable; this is the knob Fig. 9 sweeps as "query frequency".
+	CheckInterval int
+	// BaselineAlpha is the EWMA smoothing factor of the per-destination
+	// baseline profile.
+	BaselineAlpha float64
+	// ThresholdFactor raises an alert when a destination's estimated
+	// frequency exceeds ThresholdFactor times its baseline.
+	ThresholdFactor float64
+	// MinFrequency is an absolute floor below which no alert fires,
+	// suppressing noise from tiny estimates.
+	MinFrequency int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = DefaultK
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = DefaultCheckInterval
+	}
+	if c.BaselineAlpha == 0 {
+		c.BaselineAlpha = DefaultBaselineAlpha
+	}
+	if c.ThresholdFactor == 0 {
+		c.ThresholdFactor = DefaultThresholdFactor
+	}
+	if c.MinFrequency == 0 {
+		c.MinFrequency = DefaultMinFrequency
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("monitor: K = %d, must be >= 1", c.K)
+	case c.CheckInterval < 1:
+		return fmt.Errorf("monitor: CheckInterval = %d, must be >= 1", c.CheckInterval)
+	case c.BaselineAlpha <= 0 || c.BaselineAlpha > 1:
+		return fmt.Errorf("monitor: BaselineAlpha = %v, must be in (0,1]", c.BaselineAlpha)
+	case c.ThresholdFactor <= 1:
+		return fmt.Errorf("monitor: ThresholdFactor = %v, must be > 1", c.ThresholdFactor)
+	case c.MinFrequency < 1:
+		return fmt.Errorf("monitor: MinFrequency = %d, must be >= 1", c.MinFrequency)
+	}
+	return nil
+}
+
+// Alert reports a destination whose half-open distinct-source population is
+// anomalously high.
+type Alert struct {
+	// Dest is the suspected victim.
+	Dest uint32
+	// Estimated is the estimated distinct-source frequency at detection.
+	Estimated int64
+	// Baseline is the destination's EWMA profile at detection.
+	Baseline float64
+	// AtUpdate is the stream position (update count) of the detection.
+	AtUpdate uint64
+}
+
+// Monitor is a single DDoS MONITOR instance. Not safe for concurrent use.
+type Monitor struct {
+	cfg    Config
+	sketch *tdcs.Sketch
+
+	// baseline holds per-destination EWMA profiles of estimated
+	// frequency, built only from top-k observations (the only
+	// destinations a small-space monitor ever resolves).
+	baseline map[uint32]float64
+	// alerting marks destinations currently above threshold, giving the
+	// alert stream hysteresis: one alert per excursion, re-armed when
+	// the frequency falls back to half the trigger level.
+	alerting map[uint32]bool
+
+	alerts  []Alert
+	onAlert func(Alert)
+	n       uint64
+}
+
+// New builds a monitor. onAlert, if non-nil, is invoked synchronously for
+// every raised alert.
+func New(cfg Config, onAlert func(Alert)) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sk, err := tdcs.New(cfg.Sketch)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		cfg:      cfg,
+		sketch:   sk,
+		baseline: make(map[uint32]float64),
+		alerting: make(map[uint32]bool),
+		onAlert:  onAlert,
+	}, nil
+}
+
+// Config returns the monitor's effective configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Update consumes one flow update; it implements the stream.Sink shape.
+func (m *Monitor) Update(src, dst uint32, delta int64) {
+	m.sketch.Update(src, dst, delta)
+	m.n++
+	if m.n%uint64(m.cfg.CheckInterval) == 0 {
+		m.check()
+	}
+}
+
+// check runs one tracking query and updates profiles and alerts.
+func (m *Monitor) check() {
+	for _, e := range m.sketch.TopK(m.cfg.K) {
+		base := m.baseline[e.Dest]
+		trigger := m.cfg.ThresholdFactor * base
+		if float64(m.cfg.MinFrequency) > trigger {
+			trigger = float64(m.cfg.MinFrequency)
+		}
+		switch {
+		case float64(e.F) >= trigger && !m.alerting[e.Dest]:
+			m.alerting[e.Dest] = true
+			a := Alert{Dest: e.Dest, Estimated: e.F, Baseline: base, AtUpdate: m.n}
+			m.alerts = append(m.alerts, a)
+			if m.onAlert != nil {
+				m.onAlert(a)
+			}
+		case float64(e.F) < trigger/2 && m.alerting[e.Dest]:
+			delete(m.alerting, e.Dest)
+		}
+		// The profile absorbs current activity slowly, so diurnal
+		// drift follows it — but learning is frozen during an alert
+		// excursion so a sustained attack is never absorbed as the
+		// new normal.
+		if !m.alerting[e.Dest] {
+			m.baseline[e.Dest] = base + m.cfg.BaselineAlpha*(float64(e.F)-base)
+		}
+	}
+}
+
+// Alerts returns a copy of all alerts raised so far.
+func (m *Monitor) Alerts() []Alert {
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// Alerting reports whether dest is currently in an alert excursion.
+func (m *Monitor) Alerting(dest uint32) bool { return m.alerting[dest] }
+
+// TopK exposes the current tracking answer.
+func (m *Monitor) TopK(k int) []dcs.Estimate { return m.sketch.TopK(k) }
+
+// Updates returns the number of consumed updates.
+func (m *Monitor) Updates() uint64 { return m.n }
+
+// Sketch exposes the underlying tracking sketch, e.g. for a Collector.
+func (m *Monitor) Sketch() *tdcs.Sketch { return m.sketch }
+
+// Collector merges the sketches of several edge monitors into a global view
+// of the network (Fig. 1: streams from many network elements feed one DDoS
+// MONITOR; here each element pre-aggregates locally and ships its sketch).
+type Collector struct {
+	sketch *tdcs.Sketch
+}
+
+// NewCollector builds a collector; cfg must equal the edge monitors' sketch
+// config (including seed) for merging to be possible.
+func NewCollector(cfg dcs.Config) (*Collector, error) {
+	sk, err := tdcs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{sketch: sk}, nil
+}
+
+// Gather resets the collector and merges the given monitors' sketches.
+func (c *Collector) Gather(monitors ...*Monitor) error {
+	c.sketch.Reset()
+	for i, m := range monitors {
+		if err := c.sketch.Merge(m.Sketch()); err != nil {
+			return fmt.Errorf("monitor: merge sketch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TopK returns the network-wide top-k after Gather.
+func (c *Collector) TopK(k int) []dcs.Estimate { return c.sketch.TopK(k) }
+
+// Sketch exposes the merged sketch.
+func (c *Collector) Sketch() *tdcs.Sketch { return c.sketch }

@@ -1,0 +1,269 @@
+package monitor
+
+import (
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/stream"
+)
+
+func testConfig(seed uint64) Config {
+	return Config{
+		Sketch:        dcs.Config{Buckets: 256, Seed: seed},
+		CheckInterval: 500,
+		MinFrequency:  100,
+	}
+}
+
+func mustMonitor(t *testing.T, cfg Config) *Monitor {
+	t.Helper()
+	m, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func drive(m *Monitor, ups []stream.Update) {
+	for _, u := range ups {
+		m.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: -1},
+		{CheckInterval: -5},
+		{BaselineAlpha: 2},
+		{ThresholdFactor: 0.5},
+		{MinFrequency: -1},
+		{Sketch: dcs.Config{Buckets: 1}},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, nil); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := mustMonitor(t, Config{})
+	cfg := m.Config()
+	if cfg.K != DefaultK || cfg.CheckInterval != DefaultCheckInterval ||
+		cfg.BaselineAlpha != DefaultBaselineAlpha ||
+		cfg.ThresholdFactor != DefaultThresholdFactor ||
+		cfg.MinFrequency != DefaultMinFrequency {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestSYNFloodRaisesAlert(t *testing.T) {
+	m := mustMonitor(t, testConfig(1))
+	attack, err := (stream.SYNFlood{Victim: 443, Zombies: 3000, Seed: 2}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, attack)
+	alerts := m.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("SYN flood raised no alert")
+	}
+	if alerts[0].Dest != 443 {
+		t.Fatalf("first alert names dest %d, want 443", alerts[0].Dest)
+	}
+	if !m.Alerting(443) {
+		t.Fatal("victim must still be in alert state")
+	}
+}
+
+func TestFlashCrowdDoesNotPersistAlert(t *testing.T) {
+	// A completing flash crowd can transiently alert while the handshake
+	// backlog is filling, but once completions flow the excursion ends —
+	// whereas an attack never clears. This is the paper's discrimination
+	// story.
+	m := mustMonitor(t, testConfig(3))
+	crowd, err := (stream.FlashCrowd{Dest: 80, Clients: 4000, CompletionRate: 1.0, CompletionLag: 8, Seed: 4}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, crowd)
+	// Flush checks well past the crowd so the monitor observes the
+	// emptied backlog.
+	quiet, err := (stream.Background{Connections: 3000, Sources: 500, Destinations: 50, Seed: 5}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, quiet)
+	if m.Alerting(80) {
+		t.Fatal("crowd destination still alerting after all handshakes completed")
+	}
+}
+
+func TestAttackOutlivesCrowd(t *testing.T) {
+	m := mustMonitor(t, testConfig(6))
+	attack, err := (stream.SYNFlood{Victim: 443, Zombies: 2500, Seed: 7}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := (stream.FlashCrowd{Dest: 80, Clients: 2500, CompletionRate: 1.0, CompletionLag: 8, Seed: 8}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := stream.Interleave(9, attack, crowd)
+	drive(m, mixed)
+	quiet, err := (stream.Background{Connections: 2000, Sources: 400, Destinations: 40, Seed: 10}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, quiet)
+
+	if !m.Alerting(443) {
+		t.Fatal("attack victim no longer alerting")
+	}
+	if m.Alerting(80) {
+		t.Fatal("crowd destination still alerting")
+	}
+	top := m.TopK(1)
+	if len(top) == 0 || top[0].Dest != 443 {
+		t.Fatalf("TopK = %+v, want the attack victim first", top)
+	}
+}
+
+func TestAlertHysteresis(t *testing.T) {
+	// One excursion must produce exactly one alert, not one per check.
+	m := mustMonitor(t, testConfig(11))
+	attack, err := (stream.SYNFlood{Victim: 443, Zombies: 5000, Seed: 12}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, attack)
+	count := 0
+	for _, a := range m.Alerts() {
+		if a.Dest == 443 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("victim alerted %d times during one excursion, want 1", count)
+	}
+}
+
+func TestAlertCallback(t *testing.T) {
+	var got []Alert
+	cfg := testConfig(13)
+	m, err := New(cfg, func(a Alert) { got = append(got, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := (stream.SYNFlood{Victim: 443, Zombies: 2000, Seed: 14}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, attack)
+	if len(got) != len(m.Alerts()) {
+		t.Fatalf("callback saw %d alerts, stored %d", len(got), len(m.Alerts()))
+	}
+	if len(got) == 0 {
+		t.Fatal("callback never invoked")
+	}
+}
+
+func TestBaselineSuppressesSteadyTraffic(t *testing.T) {
+	// A destination with persistently moderate half-open counts (e.g. a
+	// busy server with some client churn) must not alert forever: the
+	// EWMA baseline absorbs it. We verify the baseline actually grows.
+	cfg := testConfig(15)
+	cfg.MinFrequency = 100 // above the ~30-60 oscillating population
+	cfg.CheckInterval = 100
+	m := mustMonitor(t, cfg)
+	// A steady half-open population of ~30: each round opens 30 new
+	// connections and completes the previous round's 30.
+	for round := uint32(0); round < 30; round++ {
+		for i := uint32(0); i < 30; i++ {
+			m.Update(round*100+i, 99, 1)
+		}
+		if round > 0 {
+			for i := uint32(0); i < 30; i++ {
+				m.Update((round-1)*100+i, 99, -1)
+			}
+		}
+	}
+	if len(m.Alerts()) != 0 {
+		t.Fatalf("steady sub-threshold traffic alerted: %+v", m.Alerts())
+	}
+	if m.baseline[99] == 0 {
+		t.Fatal("baseline profile never learned the steady destination")
+	}
+}
+
+func TestCollectorMergesMonitors(t *testing.T) {
+	sketchCfg := dcs.Config{Buckets: 256, Seed: 21}
+	mkMonitor := func() *Monitor {
+		m, err := New(Config{Sketch: sketchCfg}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	edge1, edge2 := mkMonitor(), mkMonitor()
+
+	// The attack is spread over two ingress points: each edge sees only
+	// half the zombies — the collector sees them all.
+	attack, err := (stream.SYNFlood{Victim: 443, Zombies: 400, Seed: 22}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range attack {
+		if i%2 == 0 {
+			edge1.Update(u.Src, u.Dst, int64(u.Delta))
+		} else {
+			edge2.Update(u.Src, u.Dst, int64(u.Delta))
+		}
+	}
+
+	col, err := NewCollector(sketchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Gather(edge1, edge2); err != nil {
+		t.Fatal(err)
+	}
+	top := col.TopK(1)
+	if len(top) != 1 || top[0].Dest != 443 {
+		t.Fatalf("collector TopK = %+v, want dest 443", top)
+	}
+	if top[0].F < 300 || top[0].F > 500 {
+		t.Fatalf("collector estimate %d, want ~400 (full attack, not half)", top[0].F)
+	}
+}
+
+func TestCollectorRejectsIncompatible(t *testing.T) {
+	col, err := NewCollector(dcs.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Sketch: dcs.Config{Seed: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Gather(m); err == nil {
+		t.Fatal("collector merged a sketch with a different seed")
+	}
+}
+
+func TestAlertsReturnsCopy(t *testing.T) {
+	m := mustMonitor(t, testConfig(23))
+	attack, err := (stream.SYNFlood{Victim: 1, Zombies: 2000, Seed: 24}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, attack)
+	a := m.Alerts()
+	if len(a) == 0 {
+		t.Fatal("no alerts")
+	}
+	a[0].Dest = 12345
+	if m.Alerts()[0].Dest == 12345 {
+		t.Fatal("Alerts must return a copy")
+	}
+}

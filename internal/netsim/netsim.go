@@ -1,0 +1,238 @@
+// Package netsim simulates a small ISP network for end-to-end evaluation of
+// the monitoring architecture (paper Fig. 1 and §2's "deployment inside the
+// network" remark): a topology of routers joined by links, flows routed over
+// shortest paths, and per-router monitors that observe exactly the flow
+// updates transiting them. It answers deployment questions the analytical
+// experiments cannot: which routers see which slice of a distributed attack,
+// and how collector-side sketch merging recovers the global view.
+//
+// The simulation is event-free and deterministic: callers inject flow
+// updates at ingress routers; the simulator forwards each update along the
+// precomputed route towards its destination's egress router, delivering it
+// to every on-path monitor.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/stream"
+	"dcsketch/internal/tdcs"
+)
+
+// RouterID names a router in the topology.
+type RouterID int
+
+// Topology is an undirected graph of routers. Build it with AddLink, then
+// hand it to New; the simulator precomputes all-pairs shortest-path routing
+// (BFS per router — topologies here are tens of routers).
+type Topology struct {
+	adj map[RouterID][]RouterID
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{adj: make(map[RouterID][]RouterID)}
+}
+
+// AddLink joins routers a and b bidirectionally. Adding a link twice is a
+// no-op.
+func (t *Topology) AddLink(a, b RouterID) {
+	if a == b {
+		return
+	}
+	for _, n := range t.adj[a] {
+		if n == b {
+			return
+		}
+	}
+	t.adj[a] = append(t.adj[a], b)
+	t.adj[b] = append(t.adj[b], a)
+}
+
+// Routers returns the router IDs in ascending order.
+func (t *Topology) Routers() []RouterID {
+	out := make([]RouterID, 0, len(t.adj))
+	for r := range t.adj {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Linear returns a chain topology 0-1-2-...-(n-1), the simplest backbone.
+func Linear(n int) *Topology {
+	t := NewTopology()
+	for i := 0; i < n-1; i++ {
+		t.AddLink(RouterID(i), RouterID(i+1))
+	}
+	return t
+}
+
+// Star returns a hub-and-spoke topology with router 0 as the hub and
+// spokes 1..n.
+func Star(n int) *Topology {
+	t := NewTopology()
+	for i := 1; i <= n; i++ {
+		t.AddLink(0, RouterID(i))
+	}
+	return t
+}
+
+// Network is the simulated ISP: a topology with one tracking-sketch monitor
+// per router and address-to-router attachment maps.
+type Network struct {
+	topo     *Topology
+	monitors map[RouterID]*tdcs.Sketch
+	// nextHop[a][b] is the next router from a towards b.
+	nextHop map[RouterID]map[RouterID]RouterID
+	// attach maps destination prefixes (the /24 of an address) to their
+	// egress router.
+	attach map[uint32]RouterID
+
+	delivered uint64
+}
+
+// New builds a network over topo with one monitor per router, all sharing
+// sketchCfg (and therefore mergeable at a collector).
+func New(topo *Topology, sketchCfg dcs.Config) (*Network, error) {
+	routers := topo.Routers()
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("netsim: empty topology")
+	}
+	n := &Network{
+		topo:     topo,
+		monitors: make(map[RouterID]*tdcs.Sketch, len(routers)),
+		nextHop:  make(map[RouterID]map[RouterID]RouterID, len(routers)),
+		attach:   make(map[uint32]RouterID),
+	}
+	for _, r := range routers {
+		sk, err := tdcs.New(sketchCfg)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: monitor %d: %w", r, err)
+		}
+		n.monitors[r] = sk
+	}
+	// All-pairs next-hop via BFS from every router.
+	for _, src := range routers {
+		n.nextHop[src] = bfsNextHops(topo, src)
+	}
+	// Verify connectivity: every router must reach every other.
+	for _, a := range routers {
+		for _, b := range routers {
+			if a == b {
+				continue
+			}
+			if _, ok := n.nextHop[a][b]; !ok {
+				return nil, fmt.Errorf("netsim: topology is disconnected (%d cannot reach %d)", a, b)
+			}
+		}
+	}
+	return n, nil
+}
+
+// bfsNextHops computes, for every destination router, the first hop on a
+// shortest path from src.
+func bfsNextHops(topo *Topology, src RouterID) map[RouterID]RouterID {
+	next := make(map[RouterID]RouterID)
+	parent := map[RouterID]RouterID{src: src}
+	queue := []RouterID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range topo.adj[cur] {
+			if _, seen := parent[nb]; seen {
+				continue
+			}
+			parent[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	for dst := range parent {
+		if dst == src {
+			continue
+		}
+		// Walk back from dst to the router adjacent to src.
+		hop := dst
+		for parent[hop] != src {
+			hop = parent[hop]
+		}
+		next[dst] = hop
+	}
+	return next
+}
+
+// AttachPrefix declares that destination addresses in the /24 of addr egress
+// at router r.
+func (n *Network) AttachPrefix(addr uint32, r RouterID) error {
+	if _, ok := n.monitors[r]; !ok {
+		return fmt.Errorf("netsim: unknown router %d", r)
+	}
+	n.attach[addr>>8] = r
+	return nil
+}
+
+// egressFor returns the egress router for a destination, defaulting to the
+// lowest-numbered router for unattached prefixes.
+func (n *Network) egressFor(dst uint32) RouterID {
+	if r, ok := n.attach[dst>>8]; ok {
+		return r
+	}
+	return n.topo.Routers()[0]
+}
+
+// Inject delivers one flow update at ingress router `ingress` and forwards
+// it along the shortest path to the destination's egress router; every
+// monitor on the path (ingress and egress included) observes it.
+func (n *Network) Inject(ingress RouterID, u stream.Update) error {
+	if _, ok := n.monitors[ingress]; !ok {
+		return fmt.Errorf("netsim: unknown ingress router %d", ingress)
+	}
+	cur := ingress
+	egress := n.egressFor(u.Dst)
+	for {
+		n.monitors[cur].Update(u.Src, u.Dst, int64(u.Delta))
+		n.delivered++
+		if cur == egress {
+			return nil
+		}
+		cur = n.nextHop[cur][egress]
+	}
+}
+
+// InjectStream injects a whole update sequence at one ingress.
+func (n *Network) InjectStream(ingress RouterID, ups []stream.Update) error {
+	for _, u := range ups {
+		if err := n.Inject(ingress, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Monitor returns router r's tracking sketch (nil for unknown routers).
+func (n *Network) Monitor(r RouterID) *tdcs.Sketch { return n.monitors[r] }
+
+// Delivered returns the total number of (update, router) observations.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// CollectorTopK merges all router sketches into a fresh collector sketch
+// and returns the network-wide top-k. Transit duplication (one flow seen by
+// several routers) inflates the merged pair *counts* but not the distinct
+// pair *identities*, so distinct-source frequencies are unaffected — the
+// metric's set semantics is exactly why the paper's approach tolerates
+// multi-point observation.
+func (n *Network) CollectorTopK(k int) ([]dcs.Estimate, error) {
+	routers := n.topo.Routers()
+	col, err := tdcs.New(n.monitors[routers[0]].Config())
+	if err != nil {
+		return nil, fmt.Errorf("netsim: collector: %w", err)
+	}
+	for _, r := range routers {
+		if err := col.Merge(n.monitors[r]); err != nil {
+			return nil, fmt.Errorf("netsim: merge router %d: %w", r, err)
+		}
+	}
+	return col.TopK(k), nil
+}

@@ -1,0 +1,197 @@
+package netsim
+
+import (
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/stream"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	topo := NewTopology()
+	topo.AddLink(0, 1)
+	topo.AddLink(1, 2)
+	topo.AddLink(0, 1) // duplicate: no-op
+	topo.AddLink(3, 3) // self-loop: no-op
+	routers := topo.Routers()
+	if len(routers) != 3 {
+		t.Fatalf("Routers = %v", routers)
+	}
+	if len(topo.adj[0]) != 1 || len(topo.adj[1]) != 2 {
+		t.Fatalf("adjacency corrupted: %v", topo.adj)
+	}
+}
+
+func TestNewRejectsBadTopologies(t *testing.T) {
+	if _, err := New(NewTopology(), dcs.Config{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	disconnected := NewTopology()
+	disconnected.AddLink(0, 1)
+	disconnected.AddLink(2, 3)
+	if _, err := New(disconnected, dcs.Config{}); err == nil {
+		t.Fatal("disconnected topology accepted")
+	}
+	if _, err := New(Linear(2), dcs.Config{Buckets: 1}); err == nil {
+		t.Fatal("invalid sketch config accepted")
+	}
+}
+
+func TestRoutingDeliversAlongPath(t *testing.T) {
+	// Chain 0-1-2-3; destination attached at 3, injected at 0: every
+	// router on the path must observe the update.
+	net, err := New(Linear(4), dcs.Config{Buckets: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dst = 0x0a010100 + 5
+	if err := net.AttachPrefix(dst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Inject(0, stream.Update{Src: 7, Dst: dst, Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delivered() != 4 {
+		t.Fatalf("Delivered = %d, want 4 (all chain routers)", net.Delivered())
+	}
+	for r := RouterID(0); r < 4; r++ {
+		top := net.Monitor(r).TopK(1)
+		if len(top) != 1 || top[0].Dest != dst {
+			t.Fatalf("router %d missed the transit flow: %+v", r, top)
+		}
+	}
+}
+
+func TestRoutingSkipsOffPathRouters(t *testing.T) {
+	// Star with hub 0 and spokes 1..4: traffic from spoke 1 to a prefix
+	// at spoke 2 transits only 1, 0, 2.
+	net, err := New(Star(4), dcs.Config{Buckets: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dst = 0x0a020200
+	if err := net.AttachPrefix(dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Inject(1, stream.Update{Src: 9, Dst: dst, Delta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delivered() != 3 {
+		t.Fatalf("Delivered = %d, want 3 (spoke-hub-spoke)", net.Delivered())
+	}
+	for _, r := range []RouterID{3, 4} {
+		if got := net.Monitor(r).TopK(1); len(got) != 0 {
+			t.Fatalf("off-path router %d observed traffic: %+v", r, got)
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	net, err := New(Linear(2), dcs.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Inject(99, stream.Update{Src: 1, Dst: 2, Delta: 1}); err == nil {
+		t.Fatal("unknown ingress accepted")
+	}
+	if err := net.AttachPrefix(1, 99); err == nil {
+		t.Fatal("attach to unknown router accepted")
+	}
+}
+
+func TestDistributedAttackVisibleAtCollector(t *testing.T) {
+	// A distributed attack enters at every spoke of a star; each spoke
+	// monitor sees a slice; the hub and the collector see everything.
+	const spokes = 4
+	net, err := New(Star(spokes), dcs.Config{Buckets: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 0x0a630000 + 7
+	if err := net.AttachPrefix(victim, 1); err != nil { // victim behind spoke 1
+		t.Fatal(err)
+	}
+
+	const zombiesPerSpoke = 100
+	for s := 1; s <= spokes; s++ {
+		for z := 0; z < zombiesPerSpoke; z++ {
+			src := uint32(s)<<16 | uint32(z) | 0xc0000000
+			if err := net.Inject(RouterID(s), stream.Update{Src: src, Dst: victim, Delta: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Spoke 3 (not the victim's) only saw its own ingress slice.
+	top3 := net.Monitor(3).TopK(1)
+	if len(top3) != 1 || top3[0].F > zombiesPerSpoke*3/2 {
+		t.Fatalf("spoke 3 view = %+v, want ~%d", top3, zombiesPerSpoke)
+	}
+	// The hub transits everything.
+	topHub := net.Monitor(0).TopK(1)
+	if len(topHub) != 1 || topHub[0].Dest != victim {
+		t.Fatalf("hub view = %+v", topHub)
+	}
+	// Collector merge recovers the global count despite transit
+	// duplication (set semantics of distinct pairs).
+	total, err := net.CollectorTopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(spokes * zombiesPerSpoke)
+	if len(total) != 1 || total[0].Dest != victim {
+		t.Fatalf("collector view = %+v", total)
+	}
+	if total[0].F < want*8/10 || total[0].F > want*12/10 {
+		t.Fatalf("collector estimate %d, want ~%d", total[0].F, want)
+	}
+}
+
+func TestTransitDuplicationDoesNotInflateFrequency(t *testing.T) {
+	// One flow crossing 5 routers is observed 5 times; after merging,
+	// its pair count is 5 but the distinct-source frequency stays 1.
+	net, err := New(Linear(5), dcs.Config{Buckets: 128, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dst = 0x0a000100
+	if err := net.AttachPrefix(dst, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.InjectStream(0, []stream.Update{{Src: 1, Dst: dst, Delta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	top, err := net.CollectorTopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].F != 1 {
+		t.Fatalf("collector frequency = %+v, want exactly 1 distinct source", top)
+	}
+}
+
+func TestDeletesPropagate(t *testing.T) {
+	net, err := New(Linear(3), dcs.Config{Buckets: 128, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dst = 0x0a000200
+	if err := net.AttachPrefix(dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	ups := []stream.Update{
+		{Src: 1, Dst: dst, Delta: 1},
+		{Src: 2, Dst: dst, Delta: 1},
+		{Src: 1, Dst: dst, Delta: -1},
+	}
+	if err := net.InjectStream(0, ups); err != nil {
+		t.Fatal(err)
+	}
+	top, err := net.CollectorTopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].F != 1 {
+		t.Fatalf("collector after delete = %+v, want frequency 1", top)
+	}
+}

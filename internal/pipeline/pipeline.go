@@ -1,0 +1,225 @@
+// Package pipeline provides multi-core ingestion for the tracking sketch: a
+// sharded pool of workers, each owning a private Tracking Distinct-Count
+// Sketch, with flow updates routed by pair hash so every (src,dst) pair's
+// inserts and deletes land on the same worker in order. Because sketches
+// with one seed merge exactly, a query drains the shards and combines them
+// into one answer — the single-node analogue of the paper's multi-monitor
+// collector (Fig. 1), used when one core cannot keep up with the link rate.
+//
+// Concurrency contract: Update may be called from any number of producer
+// goroutines (it blocks for backpressure when a shard queue is full). TopK
+// and Threshold may run concurrently with producers; each returns a
+// consistent-per-shard snapshot (shards are folded in sequence, so the
+// combined view is not a single atomic cut of the stream — the usual and
+// acceptable semantics for monitoring). Close stops the workers and waits
+// for them to exit; no update may be submitted after Close.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/tdcs"
+)
+
+// DefaultQueueDepth is the per-shard update queue length. Deeper queues
+// smooth bursts at the cost of latency for the fold in TopK.
+const DefaultQueueDepth = 1024
+
+// update is one queued flow update.
+type update struct {
+	key   uint64
+	delta int64
+}
+
+// foldRequest asks a worker to merge its sketch into acc at a quiescent
+// point of its own loop.
+type foldRequest struct {
+	acc  *tdcs.Sketch
+	done chan error
+}
+
+// worker owns one shard.
+type worker struct {
+	updates chan update
+	folds   chan foldRequest
+	sketch  *tdcs.Sketch
+	done    chan struct{}
+}
+
+func (w *worker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case u, ok := <-w.updates:
+			if !ok {
+				// Queue closed and fully drained: exit. Fold
+				// requests racing with shutdown are redirected
+				// by the coordinator once done closes.
+				return
+			}
+			w.sketch.UpdateKey(u.key, u.delta)
+		case req := <-w.folds:
+			// Prefer pending updates: drain the queue before
+			// folding so queries observe everything submitted
+			// before them (per shard).
+			drained := false
+			for !drained {
+				select {
+				case u, ok := <-w.updates:
+					if !ok {
+						drained = true
+						break
+					}
+					w.sketch.UpdateKey(u.key, u.delta)
+				default:
+					drained = true
+				}
+			}
+			req.done <- req.acc.Merge(w.sketch)
+		}
+	}
+}
+
+// Pipeline is the sharded ingestion pool.
+type Pipeline struct {
+	cfg     dcs.Config
+	shards  []*worker
+	router  *hashing.Tab64
+	n       atomic.Uint64
+	closing sync.Once
+}
+
+// New builds a pipeline with the given number of shard workers (>= 1).
+// queueDepth <= 0 selects DefaultQueueDepth.
+func New(cfg dcs.Config, workers, queueDepth int) (*Pipeline, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("pipeline: workers = %d, must be >= 1", workers)
+	}
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	// Validate the config once and reuse the defaulted form so all
+	// shards (and query accumulators) share one seed and are mergeable.
+	probe, err := tdcs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = probe.Config()
+
+	p := &Pipeline{
+		cfg:    cfg,
+		shards: make([]*worker, workers),
+		router: hashing.NewTab64(cfg.Seed ^ 0x9e3779b97f4a7c15),
+	}
+	for i := range p.shards {
+		var sk *tdcs.Sketch
+		if i == 0 {
+			sk = probe // reuse the validation sketch
+		} else {
+			sk, err = tdcs.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		w := &worker{
+			updates: make(chan update, queueDepth),
+			folds:   make(chan foldRequest),
+			sketch:  sk,
+			done:    make(chan struct{}),
+		}
+		p.shards[i] = w
+		go w.loop()
+	}
+	return p, nil
+}
+
+// Update routes one flow update to its shard, blocking when the shard's
+// queue is full (backpressure). Calling Update after Close panics, as does
+// sending on any closed channel; the contract forbids it.
+func (p *Pipeline) Update(src, dst uint32, delta int64) {
+	p.UpdateKey(hashing.PairKey(src, dst), delta)
+}
+
+// UpdateKey is Update on a packed pair key.
+func (p *Pipeline) UpdateKey(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	shard := p.router.Bucket(key, len(p.shards))
+	p.shards[shard].updates <- update{key: key, delta: delta}
+	p.n.Add(1)
+}
+
+// fold merges every shard's sketch into a fresh accumulator.
+func (p *Pipeline) fold() (*tdcs.Sketch, error) {
+	acc, err := tdcs.New(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range p.shards {
+		req := foldRequest{acc: acc, done: make(chan error, 1)}
+		select {
+		case w.folds <- req:
+			if err := <-req.done; err != nil {
+				return nil, fmt.Errorf("pipeline: fold shard %d: %w", i, err)
+			}
+		case <-w.done:
+			// Worker already stopped (Close): its sketch is
+			// quiescent, merge directly.
+			if err := acc.Merge(w.sketch); err != nil {
+				return nil, fmt.Errorf("pipeline: fold stopped shard %d: %w", i, err)
+			}
+		}
+	}
+	return acc, nil
+}
+
+// TopK folds the shards and returns the combined top-k destinations.
+func (p *Pipeline) TopK(k int) ([]dcs.Estimate, error) {
+	acc, err := p.fold()
+	if err != nil {
+		return nil, err
+	}
+	return acc.TopK(k), nil
+}
+
+// Threshold folds the shards and returns all destinations with estimated
+// frequency >= tau.
+func (p *Pipeline) Threshold(tau int64) ([]dcs.Estimate, error) {
+	acc, err := p.fold()
+	if err != nil {
+		return nil, err
+	}
+	ests := acc.Threshold(tau)
+	sort.Slice(ests, func(i, j int) bool {
+		if ests[i].F != ests[j].F {
+			return ests[i].F > ests[j].F
+		}
+		return ests[i].Dest < ests[j].Dest
+	})
+	return ests, nil
+}
+
+// Updates returns the number of updates submitted so far.
+func (p *Pipeline) Updates() uint64 { return p.n.Load() }
+
+// Shards returns the worker count.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// Close stops all workers after their queues drain and waits for them to
+// exit. Idempotent; queries remain answerable after Close.
+func (p *Pipeline) Close() {
+	p.closing.Do(func() {
+		for _, w := range p.shards {
+			close(w.updates)
+		}
+		for _, w := range p.shards {
+			<-w.done
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/tdcs"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(dcs.Config{}, 0, 0); err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+	if _, err := New(dcs.Config{Buckets: 1}, 2, 0); err == nil {
+		t.Fatal("invalid sketch config accepted")
+	}
+}
+
+func TestMatchesSingleSketch(t *testing.T) {
+	// The folded pipeline answer must exactly equal a single sketch fed
+	// the same stream (same seed, merge linearity).
+	cfg := dcs.Config{Buckets: 128, Seed: 5}
+	p, err := New(cfg, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	single, err := tdcs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := hashing.NewSplitMix64(7)
+	var live []uint64
+	for i := 0; i < 20000; i++ {
+		if len(live) > 0 && rng.Next()%4 == 0 {
+			idx := int(rng.Next() % uint64(len(live)))
+			key := live[idx]
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+			p.UpdateKey(key, -1)
+			single.UpdateKey(key, -1)
+		} else {
+			key := hashing.Mix64(rng.Next() % 8000)
+			live = append(live, key)
+			p.UpdateKey(key, 1)
+			single.UpdateKey(key, 1)
+		}
+	}
+	p.Close()
+
+	got, err := p.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.TopK(10)
+	if len(got) != len(want) {
+		t.Fatalf("TopK lengths: pipeline %d, single %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK[%d]: pipeline %+v, single %+v", i, got[i], want[i])
+		}
+	}
+	if p.Updates() != 20000 {
+		t.Fatalf("Updates = %d", p.Updates())
+	}
+}
+
+func TestConcurrentProducersAndQueries(t *testing.T) {
+	p, err := New(dcs.Config{Buckets: 128, Seed: 9}, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const producers = 6
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				src := uint32(g)<<20 | uint32(i)
+				p.Update(src, 443, 1)
+			}
+		}(g)
+	}
+	// Query concurrently with production: must not deadlock or race.
+	queryDone := make(chan struct{})
+	go func() {
+		defer close(queryDone)
+		for i := 0; i < 20; i++ {
+			if _, err := p.TopK(3); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-queryDone
+
+	top, err := p.TopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(producers * perProducer)
+	if len(top) != 1 || top[0].Dest != 443 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if top[0].F < want*8/10 || top[0].F > want*12/10 {
+		t.Fatalf("estimate %d, want ~%d", top[0].F, want)
+	}
+}
+
+func TestPairOrderingPreservedPerShard(t *testing.T) {
+	// Inserts and deletes of one pair from one producer must be applied
+	// in order (they route to the same shard queue): the net result of
+	// insert-then-delete is empty.
+	p, err := New(dcs.Config{Buckets: 128, Seed: 11}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 3000; i++ {
+		key := hashing.Mix64(uint64(i % 50))
+		p.UpdateKey(key, 1)
+		p.UpdateKey(key, -1)
+	}
+	p.Close()
+	top, err := p.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 0 {
+		t.Fatalf("cancelled stream left %+v", top)
+	}
+}
+
+func TestQueriesAfterClose(t *testing.T) {
+	p, err := New(dcs.Config{Buckets: 128, Seed: 13}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		p.Update(i, 9, 1)
+	}
+	p.Close()
+	p.Close() // idempotent
+	top, err := p.TopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Dest != 9 {
+		t.Fatalf("TopK after Close = %+v", top)
+	}
+	got, err := p.Threshold(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("Threshold after Close = %+v", got)
+	}
+}
+
+func TestZeroDeltaIgnored(t *testing.T) {
+	p, err := New(dcs.Config{Seed: 15}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Update(1, 2, 0)
+	if p.Updates() != 0 {
+		t.Fatal("zero delta counted")
+	}
+	if p.Shards() != 1 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"dcsketch/internal/wire"
+)
+
+// Client is an edge-side connection to the monitor daemon: it streams flow
+// updates, ships encoded sketches, and issues top-k queries. A Client is
+// not safe for concurrent use; run one per exporter goroutine.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
+	scratch []byte
+}
+
+// Dial connects to the daemon at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip writes one frame and reads the reply.
+func (c *Client) roundTrip(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, nil, fmt.Errorf("server: set deadline: %w", err)
+	}
+	if err := wire.WriteFrame(c.w, t, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, fmt.Errorf("server: flush: %w", err)
+	}
+	return wire.ReadFrame(c.r)
+}
+
+// expectAck consumes an Ack reply, surfacing server-side errors.
+func expectAck(typ wire.MsgType, payload []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case wire.MsgAck:
+		return nil
+	case wire.MsgError:
+		return fmt.Errorf("server: remote error: %s", payload)
+	default:
+		return fmt.Errorf("server: unexpected reply type %d", typ)
+	}
+}
+
+// SendUpdates ships a batch of flow updates and waits for the ack.
+func (c *Client) SendUpdates(updates []wire.Update) error {
+	c.scratch = wire.AppendUpdates(c.scratch[:0], updates)
+	return expectAck(c.roundTrip(wire.MsgUpdates, c.scratch))
+}
+
+// SendSketch ships an encoded sketch for collector-side merging.
+func (c *Client) SendSketch(encoded []byte) error {
+	return expectAck(c.roundTrip(wire.MsgSketch, encoded))
+}
+
+// TopK queries the daemon's current top-k destinations.
+func (c *Client) TopK(k int) ([]wire.TopKEntry, error) {
+	typ, payload, err := c.roundTrip(wire.MsgTopKQuery, wire.AppendTopKQuery(nil, k))
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgTopKReply:
+		return wire.DecodeTopKReply(payload)
+	case wire.MsgError:
+		return nil, fmt.Errorf("server: remote error: %s", payload)
+	default:
+		return nil, fmt.Errorf("server: unexpected reply type %d", typ)
+	}
+}

@@ -1,0 +1,292 @@
+// Package server implements the DDoS monitor daemon's network front end: a
+// TCP server accepting the wire protocol from edge exporters. Each
+// connection may stream flow-update batches, ship encoded edge sketches for
+// collector-side merging, and issue top-k queries answered from the shared
+// tracking state — realizing the paper's Fig. 1 deployment with one process.
+//
+// Concurrency model: one goroutine per accepted connection, all feeding one
+// mutex-protected monitor (the tracking sketch absorbs >10^6 updates/s on a
+// single core, far beyond what the protocol parsing sustains, so a single
+// shared sketch is not the bottleneck; a sharded design would change merge
+// semantics for no gain here). The server owns every goroutine it starts:
+// Shutdown stops the listener, closes live connections, and blocks until
+// all handlers have exited.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/monitor"
+	"dcsketch/internal/tdcs"
+	"dcsketch/internal/wire"
+)
+
+// Config parametrizes a Server.
+type Config struct {
+	// Monitor configures the shared detection state.
+	Monitor monitor.Config
+	// OnAlert, if non-nil, receives alerts from the shared monitor.
+	OnAlert func(monitor.Alert)
+	// ReadTimeout bounds how long a connection may stay silent before
+	// being dropped (default 30s; negative disables).
+	ReadTimeout time.Duration
+	// MaxConns bounds concurrent connections (default 256).
+	MaxConns int
+}
+
+// Server is the monitor daemon's network front end.
+type Server struct {
+	cfg Config
+
+	mu  sync.Mutex
+	mon *monitor.Monitor
+
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	connMu   sync.Mutex
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+	once     sync.Once
+
+	updatesIn, batchesIn, queriesIn, sketchesIn, protocolErrs uint64
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 256
+	}
+	mon, err := monitor.New(cfg.Monitor, cfg.OnAlert)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		mon:      mon,
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+	}, nil
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting connections
+// in a background goroutine. The bound address is returned.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if !s.track(conn) {
+			_ = conn.Close() // over MaxConns
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.shutdown:
+		return false
+	default:
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	_ = conn.Close()
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+				return
+			}
+		}
+		typ, payload, err := ReadFrameOrShutdown(r, s.shutdown)
+		if err != nil {
+			return
+		}
+		if err := s.dispatch(typ, payload, w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// ReadFrameOrShutdown reads one frame; it exists as a seam so the read can
+// observe server shutdown promptly via the connection deadline (Shutdown
+// closes connections, which unblocks the read).
+func ReadFrameOrShutdown(r *bufio.Reader, shutdown <-chan struct{}) (wire.MsgType, []byte, error) {
+	select {
+	case <-shutdown:
+		return 0, nil, errors.New("server: shutting down")
+	default:
+	}
+	return wire.ReadFrame(r)
+}
+
+// dispatch applies one request frame and writes the reply.
+func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
+	switch typ {
+	case wire.MsgUpdates:
+		updates, err := wire.DecodeUpdates(payload)
+		if err != nil {
+			s.noteProtocolError()
+			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+		}
+		s.mu.Lock()
+		for _, u := range updates {
+			s.mon.Update(u.Src, u.Dst, u.Delta)
+		}
+		s.batchesIn++
+		s.updatesIn += uint64(len(updates))
+		s.mu.Unlock()
+		return wire.WriteFrame(w, wire.MsgAck, nil)
+
+	case wire.MsgTopKQuery:
+		k, err := wire.DecodeTopKQuery(payload)
+		if err != nil {
+			s.noteProtocolError()
+			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+		}
+		s.mu.Lock()
+		ests := s.mon.TopK(k)
+		s.queriesIn++
+		s.mu.Unlock()
+		entries := make([]wire.TopKEntry, len(ests))
+		for i, e := range ests {
+			entries[i] = wire.TopKEntry{Dest: e.Dest, F: e.F}
+		}
+		return wire.WriteFrame(w, wire.MsgTopKReply, wire.AppendTopKReply(nil, entries))
+
+	case wire.MsgSketch:
+		edge, err := tdcs.UnmarshalBinary(payload)
+		if err != nil {
+			s.noteProtocolError()
+			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+		}
+		s.mu.Lock()
+		err = s.mon.Sketch().Merge(edge)
+		if err == nil {
+			s.sketchesIn++
+		} else {
+			s.protocolErrs++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+		}
+		return wire.WriteFrame(w, wire.MsgAck, nil)
+
+	default:
+		s.noteProtocolError()
+		return wire.WriteFrame(w, wire.MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
+	}
+}
+
+func (s *Server) noteProtocolError() {
+	s.mu.Lock()
+	s.protocolErrs++
+	s.mu.Unlock()
+}
+
+// TopK answers from the shared monitor (for in-process callers).
+func (s *Server) TopK(k int) []dcs.Estimate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.TopK(k)
+}
+
+// Alerting reports the shared monitor's alert state for dest.
+func (s *Server) Alerting(dest uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Alerting(dest)
+}
+
+// Stats reports server counters.
+type Stats struct {
+	Updates, Batches, Queries, Sketches, ProtocolErrors uint64
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Updates:        s.updatesIn,
+		Batches:        s.batchesIn,
+		Queries:        s.queriesIn,
+		Sketches:       s.sketchesIn,
+		ProtocolErrors: s.protocolErrs,
+	}
+}
+
+// Shutdown stops accepting, closes all live connections, and waits for
+// every goroutine the server started to exit. Safe to call multiple times.
+func (s *Server) Shutdown() {
+	s.once.Do(func() {
+		close(s.shutdown)
+		if s.listener != nil {
+			_ = s.listener.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.connMu.Unlock()
+	})
+	s.wg.Wait()
+}

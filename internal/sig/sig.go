@@ -1,0 +1,144 @@
+// Package sig implements the count signatures stored in every second-level
+// hash bucket of a Distinct-Count Sketch (paper §3).
+//
+// A signature for the 64-bit pair domain is an array of counters laid out as
+//
+//	[ total | bit_1 .. bit_64 | fingerprint? ]
+//
+// where total is the net number of pair occurrences that hashed into the
+// bucket, bit_j is the net number of occurrences whose key has bit j set, and
+// the optional fingerprint counter holds the net sum of count·fp(key) for a
+// random fingerprint function fp. Because every counter update is a signed
+// add, the structure is impervious to deletions: the signature after a stream
+// of inserts and matching deletes is identical to one that never saw the
+// deleted items.
+//
+// A bucket is decodable as a singleton when every bit counter equals either 0
+// or the total (paper's ReturnSingleton, Fig. 4). With deletions in the
+// stream, rare "false singletons" are possible — a mixed bucket whose residual
+// counters happen to mimic a single key. The fingerprint counter detects
+// those with probability 1 - 2^-63: the caller checks that the fingerprint
+// counter equals total·fp(decodedKey).
+package sig
+
+// KeyBits is the width of the sketched pair domain: source and destination
+// are 32-bit IPv4 addresses, so pairs live in [2^64] and signatures carry
+// 2·log2(m) = 64 bit-location counters.
+const KeyBits = 64
+
+// Layout describes the counter layout of one count signature.
+type Layout struct {
+	// Fingerprint indicates whether the trailing checksum counter is
+	// present. It is an extension over the paper (see package comment);
+	// disabling it reproduces the paper's structure exactly.
+	Fingerprint bool
+}
+
+// Width returns the number of int64 counters in one signature.
+func (l Layout) Width() int {
+	w := 1 + KeyBits
+	if l.Fingerprint {
+		w++
+	}
+	return w
+}
+
+// fpIndex returns the index of the fingerprint counter. Only valid when
+// l.Fingerprint is true.
+func (l Layout) fpIndex() int { return 1 + KeyBits }
+
+// Update applies a net frequency change of delta for key to the signature
+// counters in sig, which must have length l.Width(). fp is the key's
+// fingerprint and is ignored unless the layout carries a fingerprint counter.
+func (l Layout) Update(sig []int64, key uint64, delta int64, fp int64) {
+	sig[0] += delta
+	for j := 0; j < KeyBits; j++ {
+		if key&(1<<uint(j)) != 0 {
+			sig[1+j] += delta
+		}
+	}
+	if l.Fingerprint {
+		sig[l.fpIndex()] += delta * fp
+	}
+}
+
+// State classifies the decoded content of a signature.
+type State int
+
+const (
+	// Empty means no net items are present in the bucket.
+	Empty State = iota + 1
+	// Singleton means the counters are consistent with exactly one
+	// distinct key (returned alongside its net count).
+	Singleton
+	// Collision means at least two distinct keys are provably present.
+	Collision
+)
+
+// Decode inspects a signature and, when it is consistent with a single
+// distinct key, reconstructs that key and its net count.
+//
+// Decode performs the structural check only (bit counters ∈ {0, total}); the
+// fingerprint verification, which needs the hash function, is done by
+// VerifyFingerprint. A Singleton result with count <= 0 is impossible for
+// well-formed streams (deletes never exceed inserts per pair) and is reported
+// as Collision so corrupted streams cannot yield phantom samples.
+func (l Layout) Decode(sig []int64) (key uint64, count int64, state State) {
+	total := sig[0]
+	if total == 0 {
+		// All-zero bit counters with zero total is the empty bucket; a
+		// zero total with nonzero bit counters is a net-negative
+		// artifact of a corrupted stream — treat as collision.
+		for j := 1; j <= KeyBits; j++ {
+			if sig[j] != 0 {
+				return 0, 0, Collision
+			}
+		}
+		return 0, 0, Empty
+	}
+	if total < 0 {
+		return 0, 0, Collision
+	}
+	for j := 0; j < KeyBits; j++ {
+		switch sig[1+j] {
+		case total:
+			key |= 1 << uint(j)
+		case 0:
+			// bit j is 0 in the candidate key
+		default:
+			return 0, 0, Collision
+		}
+	}
+	return key, total, Singleton
+}
+
+// VerifyFingerprint reports whether a decoded singleton (key, count) is
+// consistent with the signature's fingerprint counter. fp must be the
+// fingerprint of key under the sketch's fingerprint hash. Layouts without a
+// fingerprint counter always verify.
+func (l Layout) VerifyFingerprint(sig []int64, count int64, fp int64) bool {
+	if !l.Fingerprint {
+		return true
+	}
+	return sig[l.fpIndex()] == count*fp
+}
+
+// IsZero reports whether every counter in sig is zero (a fully empty,
+// artifact-free bucket).
+func (l Layout) IsZero(sig []int64) bool {
+	for _, c := range sig {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates the counters of src into dst, implementing sketch merging
+// (the signature is a linear function of the stream). Both slices must have
+// length l.Width().
+func (l Layout) Add(dst, src []int64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}

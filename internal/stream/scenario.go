@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsketch/internal/hashing"
+)
+
+// This file provides the attack and traffic scenario generators behind the
+// paper's motivating examples (§1): TCP-SYN floods from spoofed sources,
+// flash crowds whose handshakes complete, and legitimate background traffic.
+// Each generator returns an ordered update sequence; use Interleave to mix
+// scenarios into a single monitored stream.
+
+// SYNFlood describes a spoofed-source SYN-flooding attack on one victim.
+type SYNFlood struct {
+	// Victim is the attacked destination address.
+	Victim uint32
+	// Zombies is the number of distinct (spoofed) source addresses.
+	Zombies int
+	// SYNsPerZombie is how many SYNs each spoofed source sends (>= 1).
+	// Repeats do not increase the victim's distinct-source frequency but
+	// do increase stream volume, which is what volume-based detectors
+	// see.
+	SYNsPerZombie int
+	// Seed drives the spoofed-address generator.
+	Seed uint64
+}
+
+// Updates generates the attack stream: only inserts, because spoofed sources
+// never complete the handshake — the signature property that distinguishes a
+// flood from a crowd.
+func (f SYNFlood) Updates() ([]Update, error) {
+	if f.Zombies <= 0 {
+		return nil, fmt.Errorf("stream: SYNFlood.Zombies = %d, must be positive", f.Zombies)
+	}
+	reps := f.SYNsPerZombie
+	if reps < 1 {
+		reps = 1
+	}
+	perm := hashing.NewPerm32(f.Seed)
+	out := make([]Update, 0, f.Zombies*reps)
+	for z := 0; z < f.Zombies; z++ {
+		src := perm.Apply(uint32(z))
+		for r := 0; r < reps; r++ {
+			out = append(out, Update{Src: src, Dst: f.Victim, Delta: 1})
+		}
+	}
+	Shuffle(f.Seed^0x5a5a, out)
+	return out, nil
+}
+
+// FlashCrowd describes a surge of legitimate clients towards one
+// destination: many distinct sources connect, and most complete the TCP
+// handshake shortly after, producing a -1 update that removes them from the
+// half-open population.
+type FlashCrowd struct {
+	// Dest is the destination experiencing the crowd.
+	Dest uint32
+	// Clients is the number of distinct legitimate sources.
+	Clients int
+	// CompletionRate is the fraction of clients whose handshake
+	// completes (emitting the -1); 1.0 means every connection is
+	// legitimate, 0 degenerates to an attack-shaped stream.
+	CompletionRate float64
+	// CompletionLag is the number of stream positions between a client's
+	// SYN and its ACK (default 16).
+	CompletionLag int
+	// Seed drives address generation and completion choices.
+	Seed uint64
+}
+
+// Updates generates the crowd stream in arrival order.
+func (c FlashCrowd) Updates() ([]Update, error) {
+	if c.Clients <= 0 {
+		return nil, fmt.Errorf("stream: FlashCrowd.Clients = %d, must be positive", c.Clients)
+	}
+	if c.CompletionRate < 0 || c.CompletionRate > 1 {
+		return nil, fmt.Errorf("stream: FlashCrowd.CompletionRate = %v, must be in [0,1]", c.CompletionRate)
+	}
+	lag := c.CompletionLag
+	if lag <= 0 {
+		lag = 16
+	}
+	perm := hashing.NewPerm32(c.Seed ^ 0xf1a5)
+	rng := hashing.NewSplitMix64(c.Seed)
+	type event struct {
+		t int
+		u Update
+	}
+	events := make([]event, 0, c.Clients*2)
+	for i := 0; i < c.Clients; i++ {
+		src := perm.Apply(uint32(i))
+		events = append(events, event{t: 2 * i, u: Update{Src: src, Dst: c.Dest, Delta: 1}})
+		if float64(rng.Next()>>11)/(1<<53) < c.CompletionRate {
+			events = append(events, event{t: 2*i + lag, u: Update{Src: src, Dst: c.Dest, Delta: -1}})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].t < events[b].t })
+	out := make([]Update, len(events))
+	for i, e := range events {
+		out[i] = e.u
+	}
+	return out, nil
+}
+
+// Background describes ordinary wide-area traffic: random source-destination
+// pairs, almost all of which complete their handshakes.
+type Background struct {
+	// Connections is the number of connection attempts to generate.
+	Connections int
+	// Sources and Destinations bound the address pools.
+	Sources, Destinations int
+	// CompletionRate is the fraction of connections that complete
+	// (default 0.95 when zero).
+	CompletionRate float64
+	// CompletionLag as in FlashCrowd (default 32).
+	CompletionLag int
+	// Seed drives all random choices.
+	Seed uint64
+}
+
+// Updates generates the background stream in arrival order.
+func (b Background) Updates() ([]Update, error) {
+	if b.Connections <= 0 {
+		return nil, fmt.Errorf("stream: Background.Connections = %d, must be positive", b.Connections)
+	}
+	if b.Sources <= 0 || b.Destinations <= 0 {
+		return nil, fmt.Errorf("stream: Background needs positive Sources and Destinations")
+	}
+	rate := b.CompletionRate
+	if rate == 0 {
+		rate = 0.95
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("stream: Background.CompletionRate = %v, must be in [0,1]", rate)
+	}
+	lag := b.CompletionLag
+	if lag <= 0 {
+		lag = 32
+	}
+	srcPerm := hashing.NewPerm32(b.Seed ^ 0xbeef)
+	dstPerm := hashing.NewPerm32(b.Seed ^ 0xcafe)
+	rng := hashing.NewSplitMix64(b.Seed)
+
+	type event struct {
+		t int
+		u Update
+	}
+	// Every -1 is scheduled strictly after its own +1, so all prefixes
+	// keep every pair's net count non-negative by construction.
+	events := make([]event, 0, b.Connections*2)
+	for i := 0; i < b.Connections; i++ {
+		src := srcPerm.Apply(uint32(rng.Next() % uint64(b.Sources)))
+		dst := dstPerm.Apply(uint32(rng.Next() % uint64(b.Destinations)))
+		events = append(events, event{t: 2 * i, u: Update{Src: src, Dst: dst, Delta: 1}})
+		if float64(rng.Next()>>11)/(1<<53) < rate {
+			events = append(events, event{t: 2*i + lag, u: Update{Src: src, Dst: dst, Delta: -1}})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].t < events[b].t })
+	out := make([]Update, len(events))
+	for i, e := range events {
+		out[i] = e.u
+	}
+	return out, nil
+}

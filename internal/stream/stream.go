@@ -1,0 +1,155 @@
+// Package stream defines the flow-update stream model of the paper's §2 —
+// triples (source, dest, ±1) where +1 records a potentially-malicious
+// connection (e.g. a TCP SYN creating a half-open connection) and -1 removes
+// one (e.g. the client ACK completing the handshake) — together with
+// composable sources, deterministic interleaving, and attack/crowd scenario
+// generators used by the evaluation.
+package stream
+
+import (
+	"fmt"
+
+	"dcsketch/internal/hashing"
+)
+
+// Update is one flow update.
+type Update struct {
+	Src   uint32
+	Dst   uint32
+	Delta int8
+}
+
+// Key returns the packed 64-bit pair key of the update.
+func (u Update) Key() uint64 { return hashing.PairKey(u.Src, u.Dst) }
+
+// Sink consumes flow updates; both sketches, the exact tracker and the
+// volume baselines satisfy it via small adapters.
+type Sink interface {
+	Update(src, dst uint32, delta int64)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(src, dst uint32, delta int64)
+
+// Update implements Sink.
+func (f SinkFunc) Update(src, dst uint32, delta int64) { f(src, dst, delta) }
+
+// Source yields a finite stream of updates.
+type Source interface {
+	// Next returns the next update; ok is false once exhausted.
+	Next() (u Update, ok bool)
+}
+
+// SliceSource replays a slice of updates.
+type SliceSource struct {
+	updates []Update
+	pos     int
+}
+
+// NewSliceSource returns a source over updates. The slice is not copied; the
+// caller must not mutate it while the source is in use.
+func NewSliceSource(updates []Update) *SliceSource {
+	return &SliceSource{updates: updates}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Update, bool) {
+	if s.pos >= len(s.updates) {
+		return Update{}, false
+	}
+	u := s.updates[s.pos]
+	s.pos++
+	return u, true
+}
+
+// Len returns the number of remaining updates.
+func (s *SliceSource) Len() int { return len(s.updates) - s.pos }
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Drive feeds every update from src into the sinks and returns the number of
+// updates delivered.
+func Drive(src Source, sinks ...Sink) int {
+	n := 0
+	for {
+		u, ok := src.Next()
+		if !ok {
+			return n
+		}
+		for _, s := range sinks {
+			s.Update(u.Src, u.Dst, int64(u.Delta))
+		}
+		n++
+	}
+}
+
+// Collect materializes a source into a slice.
+func Collect(src Source) []Update {
+	var out []Update
+	for {
+		u, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, u)
+	}
+}
+
+// Interleave merges several update sequences into one, preserving each
+// input's internal order (so a delete never precedes its insert) while
+// mixing the sequences pseudo-randomly in proportion to their remaining
+// lengths. This models several edge monitors feeding one DDoS MONITOR
+// (Fig. 1). The result is deterministic in seed.
+func Interleave(seed uint64, seqs ...[]Update) []Update {
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	out := make([]Update, 0, total)
+	pos := make([]int, len(seqs))
+	remaining := total
+	rng := hashing.NewSplitMix64(seed)
+	for remaining > 0 {
+		// Pick a sequence with probability proportional to its
+		// remaining length, which yields a uniformly random merge.
+		pick := int64(rng.Next() % uint64(remaining))
+		for i, s := range seqs {
+			left := int64(len(s) - pos[i])
+			if pick < left {
+				out = append(out, s[pos[i]])
+				pos[i]++
+				break
+			}
+			pick -= left
+		}
+		remaining--
+	}
+	return out
+}
+
+// Shuffle permutes updates in place (Fisher-Yates, deterministic in seed).
+// Only safe for insert-only sequences: shuffling a sequence with deletes can
+// reorder a delete before its insert.
+func Shuffle(seed uint64, updates []Update) {
+	rng := hashing.NewSplitMix64(seed)
+	for i := len(updates) - 1; i > 0; i-- {
+		j := int(rng.Next() % uint64(i+1))
+		updates[i], updates[j] = updates[j], updates[i]
+	}
+}
+
+// Validate checks that a sequence is well-formed: every prefix keeps every
+// pair's net count non-negative. It returns an error naming the first
+// offending update.
+func Validate(updates []Update) error {
+	net := make(map[uint64]int64)
+	for i, u := range updates {
+		k := u.Key()
+		net[k] += int64(u.Delta)
+		if net[k] < 0 {
+			return fmt.Errorf("stream: update %d drives pair (%d,%d) net-negative", i, u.Src, u.Dst)
+		}
+	}
+	return nil
+}

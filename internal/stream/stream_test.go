@@ -1,0 +1,279 @@
+package stream
+
+import (
+	"testing"
+
+	"dcsketch/internal/exact"
+)
+
+func TestSliceSource(t *testing.T) {
+	ups := []Update{{1, 2, 1}, {3, 4, 1}, {1, 2, -1}}
+	s := NewSliceSource(ups)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	var got []Update
+	for {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, u)
+	}
+	if len(got) != 3 || got[0] != ups[0] || got[2] != ups[2] {
+		t.Fatalf("collected %+v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source must keep returning !ok")
+	}
+	s.Reset()
+	if s.Len() != 3 {
+		t.Fatal("Reset must rewind")
+	}
+}
+
+func TestDriveFansOut(t *testing.T) {
+	ups := []Update{{1, 10, 1}, {2, 10, 1}, {1, 10, -1}}
+	a, b := exact.New(), exact.New()
+	n := Drive(NewSliceSource(ups), sinkOf(a), sinkOf(b))
+	if n != 3 {
+		t.Fatalf("Drive delivered %d, want 3", n)
+	}
+	if a.F(10) != 1 || b.F(10) != 1 {
+		t.Fatalf("F = %d/%d, want 1/1", a.F(10), b.F(10))
+	}
+}
+
+func sinkOf(tr *exact.Tracker) Sink {
+	return SinkFunc(func(src, dst uint32, delta int64) { tr.Update(src, dst, delta) })
+}
+
+func TestCollect(t *testing.T) {
+	ups := []Update{{1, 2, 1}, {3, 4, -1}}
+	got := Collect(NewSliceSource(ups))
+	if len(got) != 2 || got[0] != ups[0] || got[1] != ups[1] {
+		t.Fatalf("Collect = %+v", got)
+	}
+}
+
+func TestInterleavePreservesOrderAndContent(t *testing.T) {
+	a := []Update{{1, 1, 1}, {1, 1, -1}, {2, 1, 1}}
+	b := []Update{{9, 9, 1}, {8, 9, 1}}
+	merged := Interleave(7, a, b)
+	if len(merged) != 5 {
+		t.Fatalf("merged length %d, want 5", len(merged))
+	}
+	// Per-input order must be preserved.
+	var gotA, gotB []Update
+	for _, u := range merged {
+		if u.Dst == 1 {
+			gotA = append(gotA, u)
+		} else {
+			gotB = append(gotB, u)
+		}
+	}
+	for i := range a {
+		if gotA[i] != a[i] {
+			t.Fatalf("input-a order broken: %+v", gotA)
+		}
+	}
+	for i := range b {
+		if gotB[i] != b[i] {
+			t.Fatalf("input-b order broken: %+v", gotB)
+		}
+	}
+	if err := Validate(merged); err != nil {
+		t.Fatalf("interleaved stream invalid: %v", err)
+	}
+}
+
+func TestInterleaveDeterministic(t *testing.T) {
+	a := []Update{{1, 1, 1}, {2, 1, 1}}
+	b := []Update{{3, 2, 1}, {4, 2, 1}}
+	m1 := Interleave(5, a, b)
+	m2 := Interleave(5, a, b)
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("Interleave must be deterministic in seed")
+		}
+	}
+}
+
+func TestInterleaveEmptyInputs(t *testing.T) {
+	if got := Interleave(1); len(got) != 0 {
+		t.Fatalf("Interleave() = %+v", got)
+	}
+	if got := Interleave(1, nil, []Update{{1, 1, 1}}, nil); len(got) != 1 {
+		t.Fatalf("Interleave with empties = %+v", got)
+	}
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	mk := func() []Update {
+		out := make([]Update, 100)
+		for i := range out {
+			out[i] = Update{Src: uint32(i), Dst: 1, Delta: 1}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	Shuffle(3, a)
+	Shuffle(3, b)
+	moved := 0
+	seen := make(map[uint32]bool, len(a))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Shuffle must be deterministic in seed")
+		}
+		if a[i].Src != uint32(i) {
+			moved++
+		}
+		seen[a[i].Src] = true
+	}
+	if moved < 50 {
+		t.Fatalf("only %d elements moved; not a real shuffle", moved)
+	}
+	if len(seen) != 100 {
+		t.Fatal("Shuffle lost elements")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Update{{1, 1, 1}, {1, 1, -1}, {1, 1, 1}}
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	bad := []Update{{1, 1, -1}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("net-negative prefix accepted")
+	}
+}
+
+func TestSYNFloodShape(t *testing.T) {
+	f := SYNFlood{Victim: 443, Zombies: 500, SYNsPerZombie: 3, Seed: 1}
+	ups, err := f.Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1500 {
+		t.Fatalf("got %d updates, want 1500", len(ups))
+	}
+	tr := exact.New()
+	for _, u := range ups {
+		if u.Delta != 1 {
+			t.Fatal("a SYN flood must contain no completions")
+		}
+		if u.Dst != 443 {
+			t.Fatalf("stray destination %d", u.Dst)
+		}
+		tr.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+	if got := tr.F(443); got != 500 {
+		t.Fatalf("distinct-source frequency = %d, want 500 (spoofed sources distinct)", got)
+	}
+}
+
+func TestSYNFloodValidation(t *testing.T) {
+	if _, err := (SYNFlood{Victim: 1, Zombies: 0}).Updates(); err == nil {
+		t.Fatal("Zombies=0 accepted")
+	}
+}
+
+func TestFlashCrowdCompletes(t *testing.T) {
+	c := FlashCrowd{Dest: 80, Clients: 1000, CompletionRate: 1.0, Seed: 2}
+	ups, err := c.Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ups); err != nil {
+		t.Fatalf("crowd stream invalid: %v", err)
+	}
+	tr := exact.New()
+	for _, u := range ups {
+		tr.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+	if got := tr.F(80); got != 0 {
+		t.Fatalf("fully-completing crowd leaves frequency %d, want 0", got)
+	}
+	if len(ups) != 2000 {
+		t.Fatalf("got %d updates, want 2000", len(ups))
+	}
+}
+
+func TestFlashCrowdPartialCompletion(t *testing.T) {
+	c := FlashCrowd{Dest: 80, Clients: 2000, CompletionRate: 0.9, Seed: 3}
+	ups, err := c.Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exact.New()
+	for _, u := range ups {
+		tr.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+	left := tr.F(80)
+	// ~10% of 2000 clients never complete.
+	if left < 120 || left > 280 {
+		t.Fatalf("residual frequency %d, want ~200", left)
+	}
+}
+
+func TestFlashCrowdMidStreamFrequencyIsHigh(t *testing.T) {
+	// While the crowd is arriving, the half-open population is nonzero —
+	// the transient a detector must not confuse with an attack.
+	c := FlashCrowd{Dest: 80, Clients: 1000, CompletionRate: 1.0, CompletionLag: 64, Seed: 4}
+	ups, err := c.Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exact.New()
+	for _, u := range ups[:len(ups)/2] {
+		tr.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+	if tr.F(80) < 16 {
+		t.Fatalf("mid-crowd half-open population %d; expected a visible transient", tr.F(80))
+	}
+}
+
+func TestFlashCrowdValidation(t *testing.T) {
+	if _, err := (FlashCrowd{Dest: 1, Clients: 0}).Updates(); err == nil {
+		t.Fatal("Clients=0 accepted")
+	}
+	if _, err := (FlashCrowd{Dest: 1, Clients: 5, CompletionRate: 1.5}).Updates(); err == nil {
+		t.Fatal("CompletionRate>1 accepted")
+	}
+}
+
+func TestBackgroundMostlyCompletes(t *testing.T) {
+	b := Background{Connections: 5000, Sources: 2000, Destinations: 100, Seed: 5}
+	ups, err := b.Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ups); err != nil {
+		t.Fatalf("background stream invalid: %v", err)
+	}
+	tr := exact.New()
+	for _, u := range ups {
+		tr.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+	var residual int64
+	for _, e := range tr.TopK(100) {
+		residual += e.Priority
+	}
+	// Default completion rate 0.95 leaves ~5% of 5000 half-open.
+	if residual > 600 {
+		t.Fatalf("residual half-open population %d, want < 600", residual)
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	if _, err := (Background{Connections: 0, Sources: 1, Destinations: 1}).Updates(); err == nil {
+		t.Fatal("Connections=0 accepted")
+	}
+	if _, err := (Background{Connections: 1, Sources: 0, Destinations: 1}).Updates(); err == nil {
+		t.Fatal("Sources=0 accepted")
+	}
+	if _, err := (Background{Connections: 1, Sources: 1, Destinations: 1, CompletionRate: -0.5}).Updates(); err == nil {
+		t.Fatal("negative CompletionRate accepted")
+	}
+}

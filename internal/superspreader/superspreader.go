@@ -1,0 +1,70 @@
+// Package superspreader applies the Distinct-Count Sketch to the dual
+// problem the paper mentions in §1 (footnote 1): identifying *sources* that
+// contact many distinct destinations — the signature of port scans and worm
+// propagation. It is the same top-k distinct-frequency machinery with the
+// roles of the pair reversed, and unlike the k-superspreaders algorithms of
+// Venkataraman et al. it needs no a-priori threshold k on the number of
+// contacted destinations.
+package superspreader
+
+import (
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/tdcs"
+)
+
+// Estimate is a source with its estimated distinct-destination count.
+type Estimate struct {
+	Src uint32
+	F   int64
+}
+
+// Tracker tracks the top-k sources by the number of distinct destinations
+// they contact, with full deletion support (e.g. remove scans that complete
+// legitimate handshakes).
+type Tracker struct {
+	sketch *tdcs.Sketch
+}
+
+// New builds a tracker; cfg has the same semantics as the sketch config.
+func New(cfg dcs.Config) (*Tracker, error) {
+	s, err := tdcs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{sketch: s}, nil
+}
+
+// Update observes a flow update. It satisfies the same Sink shape as the
+// destination-oriented trackers, so the one monitored stream can feed both.
+func (t *Tracker) Update(src, dst uint32, delta int64) {
+	// Reverse the pair: the sketch's "destination" slot carries the
+	// source whose fan-out we are counting.
+	t.sketch.Update(dst, src, delta)
+}
+
+// TopK returns the k sources contacting the most distinct destinations.
+func (t *Tracker) TopK(k int) []Estimate {
+	ests := t.sketch.TopK(k)
+	out := make([]Estimate, len(ests))
+	for i, e := range ests {
+		out[i] = Estimate{Src: e.Dest, F: e.F}
+	}
+	return out
+}
+
+// Threshold returns all sources contacting at least tau distinct
+// destinations.
+func (t *Tracker) Threshold(tau int64) []Estimate {
+	ests := t.sketch.Threshold(tau)
+	out := make([]Estimate, len(ests))
+	for i, e := range ests {
+		out[i] = Estimate{Src: e.Dest, F: e.F}
+	}
+	return out
+}
+
+// Updates returns the number of processed updates.
+func (t *Tracker) Updates() uint64 { return t.sketch.Updates() }
+
+// SizeBytes returns the tracker's memory footprint.
+func (t *Tracker) SizeBytes() int { return t.sketch.SizeBytes() }

@@ -1,0 +1,90 @@
+package superspreader
+
+import (
+	"testing"
+
+	"dcsketch/internal/dcs"
+)
+
+func TestPortScannerDetected(t *testing.T) {
+	tr, err := New(dcs.Config{Buckets: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scanner 99 probes 200 distinct destinations; normal hosts touch 3.
+	for d := uint32(0); d < 200; d++ {
+		tr.Update(99, 0x0a000000+d, 1)
+	}
+	for src := uint32(1); src <= 20; src++ {
+		for d := uint32(0); d < 3; d++ {
+			tr.Update(src, 0x0b000000+d, 1)
+		}
+	}
+	top := tr.TopK(1)
+	if len(top) != 1 || top[0].Src != 99 {
+		t.Fatalf("TopK = %+v, want scanner 99", top)
+	}
+	if top[0].F < 150 || top[0].F > 250 {
+		t.Fatalf("scanner fan-out estimate %d, want ~200", top[0].F)
+	}
+}
+
+func TestCompletedConnectionsRemoved(t *testing.T) {
+	tr, err := New(dcs.Config{Buckets: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A busy proxy contacts 100 dests but all connections complete.
+	for d := uint32(0); d < 100; d++ {
+		tr.Update(7, d, 1)
+	}
+	for d := uint32(0); d < 100; d++ {
+		tr.Update(7, d, -1)
+	}
+	// A scanner leaves 50 half-open probes.
+	for d := uint32(0); d < 50; d++ {
+		tr.Update(9, 1000+d, 1)
+	}
+	top := tr.TopK(1)
+	if len(top) != 1 || top[0].Src != 9 {
+		t.Fatalf("TopK = %+v, want scanner 9 (proxy's flows completed)", top)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	tr, err := New(dcs.Config{Buckets: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint32(0); d < 40; d++ {
+		tr.Update(1, d, 1)
+	}
+	for d := uint32(0); d < 5; d++ {
+		tr.Update(2, 100+d, 1)
+	}
+	got := tr.Threshold(20)
+	if len(got) != 1 || got[0].Src != 1 {
+		t.Fatalf("Threshold(20) = %+v, want only source 1", got)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(dcs.Config{Buckets: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	tr, err := New(dcs.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Update(1, 2, 1)
+	tr.Update(1, 3, 1)
+	if tr.Updates() != 2 {
+		t.Fatalf("Updates = %d, want 2", tr.Updates())
+	}
+	if tr.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}

@@ -1,0 +1,114 @@
+package superspreader
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsketch/internal/hashing"
+)
+
+// This file implements the one-level filtering algorithm of Venkataraman,
+// Song, Gibbons and Blum ("New Streaming Algorithms for Superspreader
+// Detection", NDSS 2005) as a comparison baseline — the prior work the paper
+// positions itself against in §1: it detects sources contacting more than a
+// *pre-chosen* threshold k of distinct destinations, whereas the
+// Distinct-Count Sketch tracks the top-k without any threshold and survives
+// deletions.
+//
+// One-level filtering: each distinct (src,dst) pair is retained with
+// probability p = c/k (decided by a hash of the pair, so duplicates make one
+// coherent decision); a source is reported when more than a fixed number of
+// its pairs were retained. Insert-only by construction — a deletion can only
+// be honored for retained pairs, and the decision threshold has no way to
+// account for completions it never sampled.
+
+// KSuperspreader is the one-level filtering detector.
+type KSuperspreader struct {
+	k int
+	// prob is the retention probability c/k.
+	prob float64
+	// reportAt is the retained-pair count that triggers a report.
+	reportAt int
+
+	pairHash *hashing.Tab64
+	// retained maps sources to their set of retained destination pairs.
+	retained map[uint32]map[uint64]struct{}
+}
+
+// NewKSuperspreader builds a detector for the fan-out threshold k with
+// oversampling factor c (Venkataraman et al. suggest small constants; c
+// trades memory for confidence). The detector reports sources whose
+// estimated fan-out exceeds ~k.
+func NewKSuperspreader(k int, c float64, seed uint64) (*KSuperspreader, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("superspreader: k = %d, must be >= 1", k)
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("superspreader: c = %v, must be positive", c)
+	}
+	prob := c / float64(k)
+	if prob > 1 {
+		prob = 1
+	}
+	reportAt := int(c)
+	if reportAt < 1 {
+		reportAt = 1
+	}
+	return &KSuperspreader{
+		k:        k,
+		prob:     prob,
+		reportAt: reportAt,
+		pairHash: hashing.NewTab64(seed),
+		retained: make(map[uint32]map[uint64]struct{}),
+	}, nil
+}
+
+// Observe processes one (src, dst) contact. Deltas are ignored: the
+// published algorithm is insert-only (the structural contrast with the
+// sketch).
+func (v *KSuperspreader) Observe(src, dst uint32) {
+	key := hashing.PairKey(src, dst)
+	// Coherent coin flip: hash the pair to [0,1).
+	u := float64(v.pairHash.Hash(key)>>11) / (1 << 53)
+	if u >= v.prob {
+		return
+	}
+	set := v.retained[src]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		v.retained[src] = set
+	}
+	set[key] = struct{}{}
+}
+
+// Report returns the sources whose retained-pair count crossed the report
+// threshold, i.e. the claimed k-superspreaders, sorted by descending
+// estimated fan-out then ascending source.
+func (v *KSuperspreader) Report() []Estimate {
+	var out []Estimate
+	for src, set := range v.retained {
+		if len(set) >= v.reportAt {
+			out = append(out, Estimate{
+				Src: src,
+				F:   int64(float64(len(set)) / v.prob),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].F != out[j].F {
+			return out[i].F > out[j].F
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}
+
+// RetainedPairs returns the total number of stored pairs (the memory
+// footprint driver).
+func (v *KSuperspreader) RetainedPairs() int {
+	n := 0
+	for _, set := range v.retained {
+		n += len(set)
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package superspreader
+
+import (
+	"math"
+	"testing"
+
+	"dcsketch/internal/dcs"
+)
+
+func TestKSuperspreaderValidation(t *testing.T) {
+	if _, err := NewKSuperspreader(0, 2, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewKSuperspreader(10, 0, 1); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+}
+
+func TestKSuperspreaderDetectsHeavySource(t *testing.T) {
+	v, err := NewKSuperspreader(100, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scanner contacts 1000 distinct destinations (10x the threshold);
+	// normal hosts contact 5.
+	for d := uint32(0); d < 1000; d++ {
+		v.Observe(42, d)
+	}
+	for src := uint32(100); src < 300; src++ {
+		for d := uint32(0); d < 5; d++ {
+			v.Observe(src, 70000+d)
+		}
+	}
+	report := v.Report()
+	if len(report) == 0 || report[0].Src != 42 {
+		t.Fatalf("Report = %+v, want scanner 42 first", report)
+	}
+	if math.Abs(float64(report[0].F)-1000)/1000 > 0.5 {
+		t.Fatalf("fan-out estimate %d, want ~1000", report[0].F)
+	}
+	for _, e := range report {
+		if e.Src >= 100 && e.Src < 300 {
+			t.Fatalf("normal host %d reported as superspreader", e.Src)
+		}
+	}
+}
+
+func TestKSuperspreaderDuplicatesCoherent(t *testing.T) {
+	// Repeated contacts to the same destination make one retention
+	// decision, so they do not inflate the estimate.
+	v, err := NewKSuperspreader(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 100; rep++ {
+		for d := uint32(0); d < 3; d++ {
+			v.Observe(7, d)
+		}
+	}
+	if got := v.RetainedPairs(); got > 3 {
+		t.Fatalf("retained %d pairs for 3 distinct contacts", got)
+	}
+	if report := v.Report(); len(report) != 0 {
+		t.Fatalf("3-destination source reported as 10-superspreader: %+v", report)
+	}
+}
+
+// TestThresholdBlindnessVsSketch captures the paper's §1 contrast: the
+// one-level filter needs its threshold k chosen in advance — a scanner
+// operating below it is invisible — while the sketch's top-k needs no
+// threshold at all.
+func TestThresholdBlindnessVsSketch(t *testing.T) {
+	// Operator guessed k = 500; the actual scanner fans out to 120.
+	v, err := NewKSuperspreader(500, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := New(dcs.Config{Buckets: 256, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint32(0); d < 120; d++ {
+		v.Observe(42, 0xac100000+d)
+		sk.Update(42, 0xac100000+d, 1)
+	}
+	for src := uint32(1); src <= 50; src++ {
+		for d := uint32(0); d < 3; d++ {
+			v.Observe(src, d)
+			sk.Update(src, d, 1)
+		}
+	}
+	if report := v.Report(); len(report) != 0 {
+		t.Fatalf("filter with k=500 reported %+v; expected blindness below threshold", report)
+	}
+	top := sk.TopK(1)
+	if len(top) != 1 || top[0].Src != 42 {
+		t.Fatalf("sketch top-1 = %+v, want the scanner regardless of thresholds", top)
+	}
+}
+
+func TestKSuperspreaderProbClamped(t *testing.T) {
+	// c > k implies retention probability 1: everything kept, exact.
+	v, err := NewKSuperspreader(2, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint32(0); d < 20; d++ {
+		v.Observe(1, d)
+	}
+	report := v.Report()
+	if len(report) != 1 || report[0].F != 20 {
+		t.Fatalf("Report = %+v, want exact fan-out 20", report)
+	}
+}

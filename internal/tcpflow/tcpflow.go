@@ -1,0 +1,242 @@
+// Package tcpflow converts raw packet observations (trace.Record) into the
+// flow-update stream the DDoS monitor consumes, implementing the TCP
+// SYN-flood semantics of the paper's §1-§2:
+//
+//   - a client SYN creates a half-open connection at the server: emit
+//     (src, dst, +1);
+//   - the client ACK completing the three-way handshake legitimizes it:
+//     emit (src, dst, -1);
+//   - an RST tearing down a half-open connection also removes it: emit
+//     (src, dst, -1) — the victim no longer holds state for it.
+//
+// Spoofed-source SYN floods therefore accumulate +1s that are never matched,
+// while flash crowds and ordinary traffic cancel out, which is exactly the
+// signal the Distinct-Count Sketch tracks.
+//
+// The converter keeps per-connection state keyed by the full 4-tuple, so
+// several concurrent connections between the same hosts are handled
+// correctly, and bounds its memory with an eviction policy: half-open state
+// older than Timeout is dropped *without* emitting a -1 (the connection is
+// still half-open at the victim — dropping monitor state must not erase the
+// attack signal), and the state table never exceeds MaxStates entries.
+package tcpflow
+
+import (
+	"container/list"
+	"errors"
+	"io"
+
+	"dcsketch/internal/stream"
+	"dcsketch/internal/trace"
+)
+
+// Default converter parameters.
+const (
+	// DefaultTimeout is the half-open state eviction horizon in trace
+	// time units (microseconds): 30 seconds, a typical SYN-backlog
+	// retention.
+	DefaultTimeout = 30_000_000
+	// DefaultMaxStates bounds the number of tracked half-open
+	// connections.
+	DefaultMaxStates = 1 << 20
+)
+
+// connKey identifies a connection by its 4-tuple, oriented client->server.
+type connKey struct {
+	src, dst     uint32
+	sport, dport uint16
+}
+
+// connState is the tracked state of one half-open connection.
+type connState struct {
+	key  connKey
+	born uint64 // trace time of the SYN
+}
+
+// Converter turns packet records into flow updates.
+type Converter struct {
+	// Timeout is the half-open eviction horizon in trace time units;
+	// zero selects DefaultTimeout, negative disables eviction.
+	Timeout int64
+	// MaxStates bounds the tracked state table; zero selects
+	// DefaultMaxStates.
+	MaxStates int
+
+	// halfOpen maps 4-tuples to their LRU list element; the list is
+	// ordered by SYN time (oldest at front) for O(1) eviction.
+	halfOpen map[connKey]*list.Element
+	order    *list.List
+
+	// stats
+	opened, completed, reset, evicted, ignored uint64
+}
+
+// New returns a converter with default parameters.
+func New() *Converter {
+	return &Converter{
+		halfOpen: make(map[connKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Stats reports converter counters: half-open connections created, completed
+// by ACK, torn down by RST/FIN, evicted by timeout/capacity, and packets
+// that produced no update.
+type Stats struct {
+	Opened    uint64
+	Completed uint64
+	Reset     uint64
+	Evicted   uint64
+	Ignored   uint64
+}
+
+// Stats returns a snapshot of the converter counters.
+func (c *Converter) Stats() Stats {
+	return Stats{
+		Opened:    c.opened,
+		Completed: c.completed,
+		Reset:     c.reset,
+		Evicted:   c.evicted,
+		Ignored:   c.ignored,
+	}
+}
+
+// HalfOpen returns the number of currently tracked half-open connections.
+func (c *Converter) HalfOpen() int { return len(c.halfOpen) }
+
+func (c *Converter) timeout() int64 {
+	if c.Timeout == 0 {
+		return DefaultTimeout
+	}
+	return c.Timeout
+}
+
+func (c *Converter) maxStates() int {
+	if c.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return c.MaxStates
+}
+
+// Process consumes one packet record and feeds the resulting flow updates
+// (zero or one) into sink. Records must arrive in non-decreasing Time order
+// for eviction to be meaningful; out-of-order records are still handled
+// safely (no spurious -1 is ever emitted).
+func (c *Converter) Process(r trace.Record, sink stream.Sink) {
+	c.evict(r.Time)
+	switch {
+	case r.Flags&trace.FlagSYN != 0 && r.Flags&trace.FlagACK == 0:
+		// Client SYN (not SYN-ACK): open half-open state unless this
+		// is a retransmission of one we already track.
+		key := connKey{r.Src, r.Dst, r.SrcPort, r.DstPort}
+		if _, dup := c.halfOpen[key]; dup {
+			c.ignored++
+			return
+		}
+		if len(c.halfOpen) >= c.maxStates() {
+			c.evictOldest()
+		}
+		c.halfOpen[key] = c.order.PushBack(&connState{key: key, born: r.Time})
+		c.opened++
+		sink.Update(r.Src, r.Dst, 1)
+
+	case r.Flags&trace.FlagACK != 0 && r.Flags&trace.FlagSYN == 0:
+		// Client ACK (or data) completing the handshake: only counts
+		// if we track the half-open state in the same direction.
+		key := connKey{r.Src, r.Dst, r.SrcPort, r.DstPort}
+		if elem, ok := c.halfOpen[key]; ok {
+			c.drop(elem)
+			c.completed++
+			sink.Update(r.Src, r.Dst, -1)
+			return
+		}
+		c.ignored++
+
+	case r.Flags&trace.FlagRST != 0:
+		// RST from either endpoint tears the connection down; the
+		// server frees its backlog entry, so the half-open count
+		// decreases. Normalize to the client->server orientation.
+		if elem, ok := c.halfOpen[connKey{r.Src, r.Dst, r.SrcPort, r.DstPort}]; ok {
+			st, stOK := elem.Value.(*connState)
+			c.drop(elem)
+			c.reset++
+			if stOK {
+				sink.Update(st.key.src, st.key.dst, -1)
+			}
+			return
+		}
+		if elem, ok := c.halfOpen[connKey{r.Dst, r.Src, r.DstPort, r.SrcPort}]; ok {
+			st, stOK := elem.Value.(*connState)
+			c.drop(elem)
+			c.reset++
+			if stOK {
+				sink.Update(st.key.src, st.key.dst, -1)
+			}
+			return
+		}
+		c.ignored++
+
+	default:
+		// SYN-ACK from the server, FIN teardown of established
+		// connections, bare data packets: no effect on the half-open
+		// population.
+		c.ignored++
+	}
+}
+
+// drop removes a tracked state.
+func (c *Converter) drop(elem *list.Element) {
+	st, ok := elem.Value.(*connState)
+	if !ok {
+		return
+	}
+	delete(c.halfOpen, st.key)
+	c.order.Remove(elem)
+}
+
+// evict drops states whose SYN is older than the timeout horizon. No update
+// is emitted: the victim still holds the half-open connection.
+func (c *Converter) evict(now uint64) {
+	to := c.timeout()
+	if to < 0 {
+		return
+	}
+	horizon := uint64(to)
+	for {
+		front := c.order.Front()
+		if front == nil {
+			return
+		}
+		st, ok := front.Value.(*connState)
+		if !ok || now < st.born || now-st.born <= horizon {
+			return
+		}
+		c.drop(front)
+		c.evicted++
+	}
+}
+
+// evictOldest drops the single oldest state to make room.
+func (c *Converter) evictOldest() {
+	if front := c.order.Front(); front != nil {
+		c.drop(front)
+		c.evicted++
+	}
+}
+
+// Convert drains a trace reader through the converter into sink and returns
+// the number of records processed.
+func Convert(r trace.Reader, c *Converter, sink stream.Sink) (int, error) {
+	n := 0
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		c.Process(rec, sink)
+		n++
+	}
+}

@@ -1,0 +1,254 @@
+package tcpflow
+
+import (
+	"bytes"
+	"testing"
+
+	"dcsketch/internal/exact"
+	"dcsketch/internal/stream"
+	"dcsketch/internal/trace"
+)
+
+// collector records the emitted flow updates and mirrors them into an exact
+// tracker for frequency assertions.
+type collector struct {
+	updates []stream.Update
+	tracker *exact.Tracker
+}
+
+func newCollector() *collector {
+	return &collector{tracker: exact.New()}
+}
+
+func (c *collector) Update(src, dst uint32, delta int64) {
+	c.updates = append(c.updates, stream.Update{Src: src, Dst: dst, Delta: int8(delta)})
+	c.tracker.Update(src, dst, delta)
+}
+
+func syn(t uint64, src, dst uint32, sport, dport uint16) trace.Record {
+	return trace.Record{Time: t, Src: src, Dst: dst, SrcPort: sport, DstPort: dport, Flags: trace.FlagSYN}
+}
+
+func synAck(t uint64, src, dst uint32, sport, dport uint16) trace.Record {
+	return trace.Record{Time: t, Src: src, Dst: dst, SrcPort: sport, DstPort: dport, Flags: trace.FlagSYN | trace.FlagACK}
+}
+
+func ack(t uint64, src, dst uint32, sport, dport uint16) trace.Record {
+	return trace.Record{Time: t, Src: src, Dst: dst, SrcPort: sport, DstPort: dport, Flags: trace.FlagACK}
+}
+
+func rst(t uint64, src, dst uint32, sport, dport uint16) trace.Record {
+	return trace.Record{Time: t, Src: src, Dst: dst, SrcPort: sport, DstPort: dport, Flags: trace.FlagRST}
+}
+
+func TestHandshakeCancelsOut(t *testing.T) {
+	c := New()
+	col := newCollector()
+	// Full three-way handshake: SYN, SYN-ACK, ACK.
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(synAck(1, 20, 10, 80, 1000), col)
+	c.Process(ack(2, 10, 20, 1000, 80), col)
+
+	if got := col.tracker.F(20); got != 0 {
+		t.Fatalf("completed handshake leaves F = %d, want 0", got)
+	}
+	if len(col.updates) != 2 || col.updates[0].Delta != 1 || col.updates[1].Delta != -1 {
+		t.Fatalf("updates = %+v, want [+1, -1]", col.updates)
+	}
+	st := c.Stats()
+	if st.Opened != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.HalfOpen() != 0 {
+		t.Fatalf("half-open table not empty: %d", c.HalfOpen())
+	}
+}
+
+func TestUnansweredSYNStaysHalfOpen(t *testing.T) {
+	c := New()
+	col := newCollector()
+	for i := uint32(0); i < 100; i++ {
+		c.Process(syn(uint64(i), 1000+i, 20, uint16(2000+i), 80), col)
+	}
+	if got := col.tracker.F(20); got != 100 {
+		t.Fatalf("F = %d, want 100 (spoofed SYNs never complete)", got)
+	}
+}
+
+func TestDuplicateSYNIsRetransmission(t *testing.T) {
+	c := New()
+	col := newCollector()
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(syn(5, 10, 20, 1000, 80), col) // retransmit, same 4-tuple
+	if got := col.tracker.F(20); got != 1 {
+		t.Fatalf("F = %d, want 1", got)
+	}
+	if len(col.updates) != 1 {
+		t.Fatalf("retransmission emitted an update: %+v", col.updates)
+	}
+}
+
+func TestConcurrentConnectionsSameHosts(t *testing.T) {
+	// Two connections between the same hosts on different ports are
+	// tracked independently; completing one leaves the other half-open.
+	c := New()
+	col := newCollector()
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(syn(1, 10, 20, 1001, 80), col)
+	c.Process(ack(2, 10, 20, 1000, 80), col)
+	// Net +1 for the (10,20) pair: one connection still half-open.
+	if got := col.tracker.F(20); got != 1 {
+		t.Fatalf("F = %d, want 1", got)
+	}
+	if c.HalfOpen() != 1 {
+		t.Fatalf("HalfOpen = %d, want 1", c.HalfOpen())
+	}
+}
+
+func TestRSTFromServerClearsHalfOpen(t *testing.T) {
+	c := New()
+	col := newCollector()
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(rst(1, 20, 10, 80, 1000), col) // server rejects
+	if got := col.tracker.F(20); got != 0 {
+		t.Fatalf("F after server RST = %d, want 0", got)
+	}
+	if c.Stats().Reset != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestRSTFromClientClearsHalfOpen(t *testing.T) {
+	c := New()
+	col := newCollector()
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(rst(1, 10, 20, 1000, 80), col)
+	if got := col.tracker.F(20); got != 0 {
+		t.Fatalf("F after client RST = %d, want 0", got)
+	}
+}
+
+func TestStrayPacketsEmitNothing(t *testing.T) {
+	c := New()
+	col := newCollector()
+	c.Process(ack(0, 10, 20, 1000, 80), col)    // ACK with no SYN
+	c.Process(rst(1, 10, 20, 1000, 80), col)    // RST with no state
+	c.Process(synAck(2, 20, 10, 80, 1000), col) // unsolicited SYN-ACK
+	c.Process(trace.Record{Time: 3, Src: 1, Dst: 2, Flags: trace.FlagFIN}, col)
+	if len(col.updates) != 0 {
+		t.Fatalf("stray packets emitted %+v", col.updates)
+	}
+	if got := c.Stats().Ignored; got != 4 {
+		t.Fatalf("Ignored = %d, want 4", got)
+	}
+}
+
+func TestNoSpuriousNegative(t *testing.T) {
+	// Double ACK: only the first matches tracked state.
+	c := New()
+	col := newCollector()
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(ack(1, 10, 20, 1000, 80), col)
+	c.Process(ack(2, 10, 20, 1000, 80), col)
+	if got := col.tracker.F(20); got != 0 {
+		t.Fatalf("F = %d, want 0", got)
+	}
+	if err := stream.Validate(col.updates); err != nil {
+		t.Fatalf("emitted stream invalid: %v", err)
+	}
+}
+
+func TestTimeoutEvictionKeepsSignal(t *testing.T) {
+	// Evicting stale monitor state must NOT emit -1: the victim still
+	// holds the half-open connection, so the frequency stays.
+	c := New()
+	c.Timeout = 1000
+	col := newCollector()
+	c.Process(syn(0, 10, 20, 1000, 80), col)
+	c.Process(syn(5000, 11, 20, 1001, 80), col) // triggers eviction of the first
+	if c.HalfOpen() != 1 {
+		t.Fatalf("HalfOpen = %d, want 1 after eviction", c.HalfOpen())
+	}
+	if got := col.tracker.F(20); got != 2 {
+		t.Fatalf("F = %d, want 2 (eviction must not erase the attack signal)", got)
+	}
+	if c.Stats().Evicted != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// A late ACK for the evicted connection finds no state: ignored.
+	c.Process(ack(6000, 10, 20, 1000, 80), col)
+	if got := col.tracker.F(20); got != 2 {
+		t.Fatalf("late ACK changed F to %d", got)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	c := New()
+	c.MaxStates = 10
+	c.Timeout = -1 // disable time-based eviction
+	col := newCollector()
+	for i := uint32(0); i < 25; i++ {
+		c.Process(syn(uint64(i), 100+i, 20, uint16(3000+i), 80), col)
+	}
+	if c.HalfOpen() != 10 {
+		t.Fatalf("HalfOpen = %d, want capped at 10", c.HalfOpen())
+	}
+	if got := col.tracker.F(20); got != 25 {
+		t.Fatalf("F = %d, want 25", got)
+	}
+	if c.Stats().Evicted != 15 {
+		t.Fatalf("Evicted = %d, want 15", c.Stats().Evicted)
+	}
+}
+
+func TestConvertFromTraceReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewBinaryWriter(&buf)
+	recs := []trace.Record{
+		syn(0, 10, 20, 1000, 80),
+		synAck(1, 20, 10, 80, 1000),
+		ack(2, 10, 20, 1000, 80),
+		syn(3, 66, 20, 4000, 80), // never completed
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	col := newCollector()
+	n, err := Convert(trace.NewBinaryReader(&buf), c, col)
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("processed %d records, want 4", n)
+	}
+	if got := col.tracker.F(20); got != 1 {
+		t.Fatalf("F = %d, want 1", got)
+	}
+}
+
+func TestConvertPropagatesReaderErrors(t *testing.T) {
+	bad := bytes.NewReader([]byte("XXXX\x01\x00\x00\x00"))
+	_, err := Convert(trace.NewBinaryReader(bad), New(), newCollector())
+	if err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+}
+
+func TestOutOfOrderTimestampsSafe(t *testing.T) {
+	c := New()
+	c.Timeout = 1000
+	col := newCollector()
+	c.Process(syn(5000, 10, 20, 1000, 80), col)
+	c.Process(syn(100, 11, 20, 1001, 80), col) // time goes backwards
+	c.Process(ack(200, 10, 20, 1000, 80), col)
+	if err := stream.Validate(col.updates); err != nil {
+		t.Fatalf("out-of-order input produced invalid stream: %v", err)
+	}
+}

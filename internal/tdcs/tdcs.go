@@ -1,0 +1,314 @@
+// Package tdcs implements the Tracking Distinct-Count Sketch (paper §5):
+// a basic Distinct-Count Sketch augmented with incrementally maintained
+// distinct-sample state so that top-k queries run in guaranteed logarithmic
+// time instead of rescanning the whole counter array.
+//
+// Per first-level bucket b the tracking state holds (Fig. 5):
+//
+//   - singletons(b): the current set of verified singleton pairs in bucket
+//     b's second-level tables, each with the number of tables in which it
+//     appears as a singleton;
+//   - numSingletons(b) = |singletons(b)|;
+//   - topDestHeap(b): a max-heap over destinations keyed by their occurrence
+//     frequency f^s_v in the distinct sample collected from levels >= b.
+//
+// Procedure UpdateTracking (Fig. 6) is realized as a before/after diff of the
+// affected second-level buckets, which uniformly covers every transition the
+// paper enumerates (empty->singleton, singleton->collision, and the symmetric
+// delete transitions) as well as the fingerprint-verified edge cases.
+// Procedure TrackTopk (Fig. 7) reads the cumulative singleton counters to
+// pick the sample level and answers from that level's heap in O(k·log k)
+// without mutating it.
+package tdcs
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/iheap"
+)
+
+// Sketch is a Tracking Distinct-Count Sketch. Like the basic sketch it is
+// not safe for concurrent mutation.
+type Sketch struct {
+	base *dcs.Sketch
+
+	// singles[b] maps each verified singleton pair in level b to the
+	// number of second-level tables (1..r) where it is currently a
+	// singleton. Its key set is the level's contribution to the distinct
+	// sample; numSingletons(b) = len(singles[b]).
+	singles []map[uint64]uint8
+
+	// heaps[b] is topDestHeap(b): destination -> f^s_v over the sample
+	// from levels >= b.
+	heaps []*iheap.Heap
+
+	// scratch buffers reused across updates to keep the hot path
+	// allocation-free.
+	beforeKeys []uint64
+	beforeOK   []bool
+}
+
+// New builds an empty tracking sketch. The Config semantics are identical to
+// the basic sketch's.
+func New(cfg dcs.Config) (*Sketch, error) {
+	base, err := dcs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromBase(base), nil
+}
+
+func fromBase(base *dcs.Sketch) *Sketch {
+	cfg := base.Config()
+	t := &Sketch{
+		base:       base,
+		singles:    make([]map[uint64]uint8, cfg.Levels),
+		heaps:      make([]*iheap.Heap, cfg.Levels),
+		beforeKeys: make([]uint64, cfg.Tables),
+		beforeOK:   make([]bool, cfg.Tables),
+	}
+	for i := range t.singles {
+		t.singles[i] = make(map[uint64]uint8)
+		t.heaps[i] = iheap.New(16)
+	}
+	return t
+}
+
+// Config returns the sketch's effective configuration.
+func (t *Sketch) Config() dcs.Config { return t.base.Config() }
+
+// Updates returns the number of stream updates processed.
+func (t *Sketch) Updates() uint64 { return t.base.Updates() }
+
+// Base exposes the underlying basic sketch (shared counter array). Callers
+// must not mutate it directly; doing so desynchronizes the tracking state.
+func (t *Sketch) Base() *dcs.Sketch { return t.base }
+
+// SizeBytes returns the approximate memory footprint: the counter array plus
+// the tracking structures. The paper observes the tracking overhead is a
+// small constant factor (~2x) over the basic sketch.
+func (t *Sketch) SizeBytes() int {
+	n := t.base.SizeBytes()
+	for b := range t.singles {
+		// ~24 bytes per map entry (key+count+bucket overhead) and 16
+		// bytes per heap entry plus the position index.
+		n += len(t.singles[b])*24 + t.heaps[b].Len()*28
+	}
+	return n
+}
+
+// Update processes one flow update for the (src, dst) pair (procedure
+// UpdateTracking, Fig. 6).
+func (t *Sketch) Update(src, dst uint32, delta int64) {
+	t.UpdateKey(hashing.PairKey(src, dst), delta)
+}
+
+// UpdateKey is Update on a pre-packed 64-bit pair key.
+func (t *Sketch) UpdateKey(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	cfg := t.base.Config()
+	level := t.base.LevelOf(key)
+
+	// Decode the affected buckets before and after the counter update and
+	// diff the verified-singleton occupancy. Only the r buckets key maps
+	// to can change, and any occupant of those buckets lives at the same
+	// first-level level (DecodeBucket enforces it).
+	for j := 0; j < cfg.Tables; j++ {
+		t.beforeKeys[j], _, t.beforeOK[j] = t.base.DecodeBucket(level, j, t.base.BucketOf(j, key))
+	}
+	t.base.UpdateKey(key, delta)
+	for j := 0; j < cfg.Tables; j++ {
+		afterKey, _, afterOK := t.base.DecodeBucket(level, j, t.base.BucketOf(j, key))
+		beforeKey, beforeOK := t.beforeKeys[j], t.beforeOK[j]
+		if beforeOK == afterOK && beforeKey == afterKey {
+			continue
+		}
+		if beforeOK {
+			t.decrSingleton(level, beforeKey)
+		}
+		if afterOK {
+			t.incrSingleton(level, afterKey)
+		}
+	}
+}
+
+// incrSingleton records that key gained a singleton occurrence in one
+// second-level table of the given level; on its first occurrence the key
+// joins the distinct sample and its destination's frequency is bumped in
+// every heap at levels <= level (Fig. 6, steps 15-23).
+func (t *Sketch) incrSingleton(level int, key uint64) {
+	c := t.singles[level][key]
+	t.singles[level][key] = c + 1
+	if c != 0 {
+		return
+	}
+	dest := hashing.PairDest(key)
+	for l := level; l >= 0; l-- {
+		t.heaps[l].Adjust(dest, 1)
+	}
+}
+
+// decrSingleton is the inverse of incrSingleton (Fig. 6, steps 4-13).
+func (t *Sketch) decrSingleton(level int, key uint64) {
+	c, ok := t.singles[level][key]
+	if !ok {
+		// Cannot happen for well-formed tracking state; tolerate it
+		// rather than corrupting heap frequencies.
+		return
+	}
+	if c > 1 {
+		t.singles[level][key] = c - 1
+		return
+	}
+	delete(t.singles[level], key)
+	dest := hashing.PairDest(key)
+	for l := level; l >= 0; l-- {
+		t.heaps[l].Adjust(dest, -1)
+	}
+}
+
+// NumSingletons returns numSingletons(level), the size of the distinct
+// sample contributed by one first-level bucket.
+func (t *Sketch) NumSingletons(level int) int { return len(t.singles[level]) }
+
+// sampleLevel implements the level-selection loop of TrackTopk (Fig. 7,
+// steps 1-7): descend from the topmost level accumulating numSingletons
+// until the target sample size is reached.
+func (t *Sketch) sampleLevel() int {
+	target := t.base.Config().SampleTarget
+	size := 0
+	for b := len(t.singles) - 1; b >= 0; b-- {
+		size += len(t.singles[b])
+		if size >= target {
+			return b
+		}
+	}
+	return 0
+}
+
+// TopK returns the approximate top-k destinations by distinct-source
+// frequency (procedure TrackTopk, Fig. 7) in O(log m + k·log k) time,
+// without mutating the tracking state.
+func (t *Sketch) TopK(k int) []dcs.Estimate {
+	if k <= 0 {
+		return nil
+	}
+	b := t.sampleLevel()
+	scale := int64(1) << uint(b)
+	top := t.heaps[b].TopK(k)
+	out := make([]dcs.Estimate, len(top))
+	for i, e := range top {
+		out[i] = dcs.Estimate{Dest: e.Key, F: e.Priority * scale}
+	}
+	return out
+}
+
+// Threshold returns every destination whose estimated frequency is at least
+// tau, sorted by descending frequency then ascending address (§2 fn. 3).
+func (t *Sketch) Threshold(tau int64) []dcs.Estimate {
+	b := t.sampleLevel()
+	scale := int64(1) << uint(b)
+	var out []dcs.Estimate
+	for _, e := range t.heaps[b].Snapshot() {
+		if f := e.Priority * scale; f >= tau {
+			out = append(out, dcs.Estimate{Dest: e.Key, F: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].F != out[j].F {
+			return out[i].F > out[j].F
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+// EstimateDistinctPairs estimates U from the tracked sample: 2^b times the
+// sample size at the chosen level.
+func (t *Sketch) EstimateDistinctPairs() int64 {
+	b := t.sampleLevel()
+	var size int64
+	for l := b; l < len(t.singles); l++ {
+		size += int64(len(t.singles[l]))
+	}
+	return size << uint(b)
+}
+
+// SampleKeys returns the pair keys in the tracked distinct sample from
+// levels >= the chosen sample level, in unspecified order.
+func (t *Sketch) SampleKeys() []uint64 {
+	b := t.sampleLevel()
+	var out []uint64
+	for l := b; l < len(t.singles); l++ {
+		for key := range t.singles[l] {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Merge adds other's stream into t (both counter arrays and tracking state).
+// The tracking structures are not linear, so they are rebuilt from the merged
+// counters; merging is therefore O(sketch size), which is the intended
+// deployment model (rare merges at a collector, cheap updates at the edge).
+func (t *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return dcs.ErrIncompatible
+	}
+	if err := t.base.Merge(other.base); err != nil {
+		return err
+	}
+	t.Rebuild()
+	return nil
+}
+
+// Rebuild reconstructs the tracking state (singleton sets and heaps) from
+// the counter array. It is used after Merge and deserialization.
+func (t *Sketch) Rebuild() {
+	cfg := t.base.Config()
+	for b := range t.singles {
+		clear(t.singles[b])
+		t.heaps[b] = iheap.New(16)
+	}
+	for level := 0; level < cfg.Levels; level++ {
+		for j := 0; j < cfg.Tables; j++ {
+			for bkt := 0; bkt < cfg.Buckets; bkt++ {
+				if key, _, ok := t.base.DecodeBucket(level, j, bkt); ok {
+					t.incrSingleton(level, key)
+				}
+			}
+		}
+	}
+}
+
+// Reset clears the sketch to its freshly-constructed state.
+func (t *Sketch) Reset() {
+	t.base.Reset()
+	for b := range t.singles {
+		clear(t.singles[b])
+		t.heaps[b] = iheap.New(16)
+	}
+}
+
+// MarshalBinary encodes the sketch. Only the (linear) counter array is
+// serialized; the tracking state is rebuilt on decode.
+func (t *Sketch) MarshalBinary() ([]byte, error) {
+	return t.base.MarshalBinary()
+}
+
+// UnmarshalBinary decodes a tracking sketch from either a tracking or a
+// basic sketch encoding and rebuilds the tracking state.
+func UnmarshalBinary(data []byte) (*Sketch, error) {
+	base, err := dcs.UnmarshalBinary(data)
+	if err != nil {
+		return nil, fmt.Errorf("tdcs: %w", err)
+	}
+	t := fromBase(base)
+	t.Rebuild()
+	return t, nil
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Format names the supported trace encodings.
+const (
+	FormatBinary = "binary"
+	FormatText   = "text"
+	FormatPcap   = "pcap"
+)
+
+// NewReader returns a Reader for the named format ("binary", "text" or
+// "pcap").
+func NewReader(format string, r io.Reader) (Reader, error) {
+	switch format {
+	case FormatBinary:
+		return NewBinaryReader(r), nil
+	case FormatText:
+		return NewTextReader(r), nil
+	case FormatPcap:
+		return NewPcapReader(r), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown format %q (want binary, text or pcap)", format)
+	}
+}
+
+// NewWriter returns a Writer for the named format.
+func NewWriter(format string, w io.Writer) (Writer, error) {
+	switch format {
+	case FormatBinary:
+		return NewBinaryWriter(w), nil
+	case FormatText:
+		return NewTextWriter(w), nil
+	case FormatPcap:
+		return NewPcapWriter(w), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown format %q (want binary, text or pcap)", format)
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParseRecord(f *testing.F) {
+	f.Add("0 1.2.3.4:1 > 5.6.7.8:80 S")
+	f.Add("999 255.255.255.255:65535 > 0.0.0.0:0 FSRPA")
+	f.Add("x 1.2.3.4:1 > 5.6.7.8:80 S")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip.
+		again, err := ParseRecord(rec.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rec.String(), line, err)
+		}
+		if again != rec {
+			t.Fatalf("round trip changed record: %+v vs %+v", rec, again)
+		}
+	})
+}
+
+func FuzzParseIPv4(f *testing.F) {
+	f.Add("1.2.3.4")
+	f.Add("256.1.1.1")
+	f.Add("....")
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIPv4(s)
+		if err != nil {
+			return
+		}
+		if got, err := ParseIPv4(FormatIPv4(ip)); err != nil || got != ip {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+	})
+}
+
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid trace and mutations of it.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	_ = w.Write(Record{Time: 1, Src: 2, Dst: 3, SrcPort: 4, DstPort: 5, Flags: FlagSYN})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("DTRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and must terminate (bounded by input size).
+		r := NewBinaryReader(bytes.NewReader(data))
+		for i := 0; i < len(data)+2; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

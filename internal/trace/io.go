@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Binary trace format: an 8-byte header ("DTRC" + version 1 + 3 reserved
+// bytes) followed by fixed 21-byte little-endian records:
+//
+//	time u64 | src u32 | dst u32 | sport u16 | dport u16 | flags u8
+
+const (
+	binaryMagic   = "DTRC"
+	binaryVersion = 1
+	recordSize    = 21
+)
+
+// ErrBadTrace is wrapped by all format errors from readers in this package.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// BinaryWriter writes records in the binary trace format.
+type BinaryWriter struct {
+	w           *bufio.Writer
+	wroteHeader bool
+	buf         [recordSize]byte
+}
+
+// NewBinaryWriter wraps w. Call Flush before closing the underlying writer.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record.
+func (bw *BinaryWriter) Write(r Record) error {
+	if !bw.wroteHeader {
+		header := [8]byte{}
+		copy(header[:], binaryMagic)
+		header[4] = binaryVersion
+		if _, err := bw.w.Write(header[:]); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		bw.wroteHeader = true
+	}
+	b := bw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], r.Time)
+	binary.LittleEndian.PutUint32(b[8:], r.Src)
+	binary.LittleEndian.PutUint32(b[12:], r.Dst)
+	binary.LittleEndian.PutUint16(b[16:], r.SrcPort)
+	binary.LittleEndian.PutUint16(b[18:], r.DstPort)
+	b[20] = byte(r.Flags)
+	if _, err := bw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output, writing the header even for empty traces.
+func (bw *BinaryWriter) Flush() error {
+	if !bw.wroteHeader {
+		header := [8]byte{}
+		copy(header[:], binaryMagic)
+		header[4] = binaryVersion
+		if _, err := bw.w.Write(header[:]); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+		bw.wroteHeader = true
+	}
+	return bw.w.Flush()
+}
+
+// BinaryReader reads the binary trace format.
+type BinaryReader struct {
+	r          *bufio.Reader
+	readHeader bool
+	buf        [recordSize]byte
+}
+
+// NewBinaryReader wraps r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next record, or io.EOF at a clean end of trace.
+func (br *BinaryReader) Next() (Record, error) {
+	if !br.readHeader {
+		var header [8]byte
+		if _, err := io.ReadFull(br.r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, fmt.Errorf("%w: truncated header", ErrBadTrace)
+			}
+			return Record{}, fmt.Errorf("trace: read header: %w", err)
+		}
+		if string(header[:4]) != binaryMagic {
+			return Record{}, fmt.Errorf("%w: bad magic %q", ErrBadTrace, header[:4])
+		}
+		if header[4] != binaryVersion {
+			return Record{}, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, header[4])
+		}
+		br.readHeader = true
+	}
+	b := br.buf[:]
+	if _, err := io.ReadFull(br.r, b); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, fmt.Errorf("%w: truncated record", ErrBadTrace)
+		}
+		return Record{}, fmt.Errorf("trace: read record: %w", err)
+	}
+	return Record{
+		Time:    binary.LittleEndian.Uint64(b[0:]),
+		Src:     binary.LittleEndian.Uint32(b[8:]),
+		Dst:     binary.LittleEndian.Uint32(b[12:]),
+		SrcPort: binary.LittleEndian.Uint16(b[16:]),
+		DstPort: binary.LittleEndian.Uint16(b[18:]),
+		Flags:   TCPFlags(b[20]),
+	}, nil
+}
+
+// TextWriter writes records in the line-oriented text format, one record per
+// line, with '#' comment support on read.
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Write appends one record line.
+func (tw *TextWriter) Write(r Record) error {
+	if _, err := tw.w.WriteString(r.String()); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	if err := tw.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("trace: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (tw *TextWriter) Flush() error { return tw.w.Flush() }
+
+// TextReader reads the text format, skipping blank lines and '#' comments.
+type TextReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	return &TextReader{s: bufio.NewScanner(r)}
+}
+
+// Next returns the next record, or io.EOF at end of input.
+func (tr *TextReader) Next() (Record, error) {
+	for tr.s.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: line %d: %v", ErrBadTrace, tr.line, err)
+		}
+		return rec, nil
+	}
+	if err := tr.s.Err(); err != nil {
+		return Record{}, fmt.Errorf("trace: scan: %w", err)
+	}
+	return Record{}, io.EOF
+}
+
+// Reader is the common interface of both trace readers.
+type Reader interface {
+	Next() (Record, error)
+}
+
+// Writer is the common interface of both trace writers.
+type Writer interface {
+	Write(Record) error
+	Flush() error
+}
+
+// ReadAll drains a reader into a slice.
+func ReadAll(r Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes all records and flushes.
+func WriteAll(w Writer, recs []Record) error {
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements libpcap-format support so the monitor ingests real
+// capture files (tcpdump -w) directly: a reader that parses the classic
+// pcap global header and per-packet records, decodes Ethernet/IPv4/TCP
+// headers, and yields the same Record type as the native formats; and a
+// writer that emits captures replayable with standard tools. Non-TCP and
+// non-IPv4 packets are skipped (counted, not errored): a capture is allowed
+// to contain ARP, UDP and friends.
+//
+// Supported: classic pcap magic 0xa1b2c3d4 (microsecond timestamps) and
+// 0xa1b23c4d (nanosecond), either endianness, linktype EN10MB (Ethernet).
+
+const (
+	pcapMagicMicros = 0xa1b2c3d4
+	pcapMagicNanos  = 0xa1b23c4d
+	linktypeEN10MB  = 1
+
+	etherTypeIPv4  = 0x0800
+	ipProtoTCP     = 6
+	etherHeaderLen = 14
+	maxSnapLen     = 1 << 18
+)
+
+// ErrNotPcap is returned when the input does not start with a pcap header.
+var ErrNotPcap = errors.New("trace: not a pcap file")
+
+// PcapReader reads TCP/IPv4 packets from a libpcap capture as Records.
+type PcapReader struct {
+	r          *bufio.Reader
+	order      binary.ByteOrder
+	nanos      bool
+	readHeader bool
+	// Skipped counts packets that were not TCP/IPv4 (or were truncated
+	// below the needed headers).
+	skipped uint64
+	// base anchors timestamps so Record.Time starts near zero.
+	base    uint64
+	haveTS  bool
+	scratch []byte
+}
+
+// NewPcapReader wraps r.
+func NewPcapReader(r io.Reader) *PcapReader {
+	return &PcapReader{r: bufio.NewReader(r)}
+}
+
+// Skipped returns how many non-TCP/IPv4 packets were skipped so far.
+func (p *PcapReader) Skipped() uint64 { return p.skipped }
+
+func (p *PcapReader) header() error {
+	var h [24]byte
+	if _, err := io.ReadFull(p.r, h[:]); err != nil {
+		return fmt.Errorf("%w: truncated global header", ErrNotPcap)
+	}
+	magicLE := binary.LittleEndian.Uint32(h[:4])
+	magicBE := binary.BigEndian.Uint32(h[:4])
+	switch {
+	case magicLE == pcapMagicMicros:
+		p.order = binary.LittleEndian
+	case magicLE == pcapMagicNanos:
+		p.order, p.nanos = binary.LittleEndian, true
+	case magicBE == pcapMagicMicros:
+		p.order = binary.BigEndian
+	case magicBE == pcapMagicNanos:
+		p.order, p.nanos = binary.BigEndian, true
+	default:
+		return fmt.Errorf("%w: bad magic %x", ErrNotPcap, h[:4])
+	}
+	if lt := p.order.Uint32(h[20:]); lt != linktypeEN10MB {
+		return fmt.Errorf("trace: unsupported pcap linktype %d (want Ethernet)", lt)
+	}
+	p.readHeader = true
+	return nil
+}
+
+// Next returns the next TCP/IPv4 packet as a Record, or io.EOF at a clean
+// end of capture. Record.Time is microseconds since the first packet.
+func (p *PcapReader) Next() (Record, error) {
+	if !p.readHeader {
+		if err := p.header(); err != nil {
+			return Record{}, err
+		}
+	}
+	for {
+		var ph [16]byte
+		if _, err := io.ReadFull(p.r, ph[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Record{}, io.EOF
+			}
+			return Record{}, fmt.Errorf("%w: truncated packet header", ErrBadTrace)
+		}
+		sec := uint64(p.order.Uint32(ph[0:]))
+		frac := uint64(p.order.Uint32(ph[4:]))
+		caplen := p.order.Uint32(ph[8:])
+		if caplen > maxSnapLen {
+			return Record{}, fmt.Errorf("%w: caplen %d too large", ErrBadTrace, caplen)
+		}
+		if cap(p.scratch) < int(caplen) {
+			p.scratch = make([]byte, caplen)
+		}
+		data := p.scratch[:caplen]
+		if _, err := io.ReadFull(p.r, data); err != nil {
+			return Record{}, fmt.Errorf("%w: truncated packet body", ErrBadTrace)
+		}
+
+		micros := sec * 1_000_000
+		if p.nanos {
+			micros += frac / 1000
+		} else {
+			micros += frac
+		}
+		if !p.haveTS {
+			p.base, p.haveTS = micros, true
+		}
+
+		rec, ok := decodeEthernetTCP(data)
+		if !ok {
+			p.skipped++
+			continue
+		}
+		rec.Time = micros - p.base
+		return rec, nil
+	}
+}
+
+// decodeEthernetTCP parses Ethernet/IPv4/TCP headers into a Record (Time
+// unset). ok is false for anything that is not a well-formed TCP/IPv4
+// packet.
+func decodeEthernetTCP(data []byte) (Record, bool) {
+	if len(data) < etherHeaderLen {
+		return Record{}, false
+	}
+	if binary.BigEndian.Uint16(data[12:14]) != etherTypeIPv4 {
+		return Record{}, false
+	}
+	ip := data[etherHeaderLen:]
+	if len(ip) < 20 {
+		return Record{}, false
+	}
+	if ip[0]>>4 != 4 {
+		return Record{}, false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl {
+		return Record{}, false
+	}
+	if ip[9] != ipProtoTCP {
+		return Record{}, false
+	}
+	tcp := ip[ihl:]
+	if len(tcp) < 14 {
+		return Record{}, false
+	}
+	return Record{
+		Src:     binary.BigEndian.Uint32(ip[12:16]),
+		Dst:     binary.BigEndian.Uint32(ip[16:20]),
+		SrcPort: binary.BigEndian.Uint16(tcp[0:2]),
+		DstPort: binary.BigEndian.Uint16(tcp[2:4]),
+		Flags:   TCPFlags(tcp[13] & 0x1f),
+	}, true
+}
+
+// PcapWriter writes Records as a libpcap capture (classic microsecond
+// format, little-endian, Ethernet linktype) with minimal synthetic
+// Ethernet/IPv4/TCP framing, replayable by tcpdump/wireshark.
+type PcapWriter struct {
+	w           *bufio.Writer
+	wroteHeader bool
+	buf         []byte
+}
+
+// NewPcapWriter wraps w.
+func NewPcapWriter(w io.Writer) *PcapWriter {
+	return &PcapWriter{w: bufio.NewWriter(w)}
+}
+
+// packetLen is the fixed frame size: Ethernet(14) + IPv4(20) + TCP(20).
+const packetLen = etherHeaderLen + 20 + 20
+
+func (pw *PcapWriter) writeHeader() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:], pcapMagicMicros)
+	binary.LittleEndian.PutUint16(h[4:], 2) // version major
+	binary.LittleEndian.PutUint16(h[6:], 4) // version minor
+	binary.LittleEndian.PutUint32(h[16:], maxSnapLen)
+	binary.LittleEndian.PutUint32(h[20:], linktypeEN10MB)
+	if _, err := pw.w.Write(h[:]); err != nil {
+		return fmt.Errorf("trace: write pcap header: %w", err)
+	}
+	pw.wroteHeader = true
+	return nil
+}
+
+// Write appends one record as a synthetic TCP packet.
+func (pw *PcapWriter) Write(r Record) error {
+	if !pw.wroteHeader {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if pw.buf == nil {
+		pw.buf = make([]byte, 16+packetLen)
+	}
+	b := pw.buf
+	binary.LittleEndian.PutUint32(b[0:], uint32(r.Time/1_000_000))
+	binary.LittleEndian.PutUint32(b[4:], uint32(r.Time%1_000_000))
+	binary.LittleEndian.PutUint32(b[8:], packetLen)
+	binary.LittleEndian.PutUint32(b[12:], packetLen)
+
+	eth := b[16:]
+	for i := 0; i < 12; i++ {
+		eth[i] = 0 // zero MACs
+	}
+	binary.BigEndian.PutUint16(eth[12:], etherTypeIPv4)
+
+	ip := eth[etherHeaderLen:]
+	ip[0] = 0x45 // v4, IHL 5
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:], 40) // total length
+	ip[8] = 64                             // TTL
+	ip[9] = ipProtoTCP
+	binary.BigEndian.PutUint32(ip[12:], r.Src)
+	binary.BigEndian.PutUint32(ip[16:], r.Dst)
+	binary.BigEndian.PutUint16(ip[10:], ipv4Checksum(ip[:20]))
+
+	tcp := ip[20:]
+	binary.BigEndian.PutUint16(tcp[0:], r.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:], r.DstPort)
+	tcp[12] = 5 << 4 // data offset 5 words
+	tcp[13] = byte(r.Flags)
+	binary.BigEndian.PutUint16(tcp[14:], 65535) // window
+
+	if _, err := pw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: write pcap packet: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output, writing the header even for empty
+// captures.
+func (pw *PcapWriter) Flush() error {
+	if !pw.wroteHeader {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return pw.w.Flush()
+}
+
+// ipv4Checksum computes the IPv4 header checksum over hdr (with the
+// checksum field zeroed by the caller).
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func pcapSample(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Time:    uint64(i) * 137,
+			Src:     uint32(0x0a000000 + i),
+			Dst:     0xCB007107,
+			SrcPort: uint16(1024 + i),
+			DstPort: 443,
+			Flags:   TCPFlags(i%31 + 1),
+		}
+	}
+	return recs
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	recs := pcapSample(500)
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewPcapReader(&buf)
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if r.Skipped() != 0 {
+		t.Fatalf("Skipped = %d on an all-TCP capture", r.Skipped())
+	}
+}
+
+func TestPcapEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewPcapWriter(&buf).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewPcapReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty capture yielded %d records", len(got))
+	}
+}
+
+func TestPcapRejectsBadMagic(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader(make([]byte, 24))).Next(); !errors.Is(err, ErrNotPcap) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	if _, err := NewPcapReader(bytes.NewReader(nil)).Next(); !errors.Is(err, ErrNotPcap) {
+		t.Fatalf("empty input: err = %v", err)
+	}
+}
+
+func TestPcapRejectsWrongLinktype(t *testing.T) {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(h[20:], 101) // LINKTYPE_RAW
+	if _, err := NewPcapReader(bytes.NewReader(h[:])).Next(); err == nil {
+		t.Fatal("non-Ethernet linktype accepted")
+	}
+}
+
+func TestPcapSkipsNonTCP(t *testing.T) {
+	// Hand-build a capture with one ARP frame, one UDP/IPv4 packet and
+	// one TCP packet: only the TCP one must surface.
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	if err := w.Write(Record{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Flags: FlagSYN}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	capture := buf.Bytes()
+
+	// Append an ARP frame record (ethertype 0x0806).
+	arp := make([]byte, 16+etherHeaderLen)
+	binary.LittleEndian.PutUint32(arp[8:], etherHeaderLen)
+	binary.LittleEndian.PutUint32(arp[12:], etherHeaderLen)
+	binary.BigEndian.PutUint16(arp[16+12:], 0x0806)
+	capture = append(capture, arp...)
+
+	// Append a UDP packet (IPv4 proto 17).
+	udp := make([]byte, 16+etherHeaderLen+20+8)
+	binary.LittleEndian.PutUint32(udp[8:], uint32(etherHeaderLen+20+8))
+	binary.LittleEndian.PutUint32(udp[12:], uint32(etherHeaderLen+20+8))
+	binary.BigEndian.PutUint16(udp[16+12:], etherTypeIPv4)
+	ip := udp[16+etherHeaderLen:]
+	ip[0] = 0x45
+	ip[9] = 17 // UDP
+	capture = append(capture, udp...)
+
+	r := NewPcapReader(bytes.NewReader(capture))
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Flags != FlagSYN {
+		t.Fatalf("got %+v, want the single TCP packet", got)
+	}
+	if r.Skipped() != 2 {
+		t.Fatalf("Skipped = %d, want 2", r.Skipped())
+	}
+}
+
+func TestPcapBigEndianAndNanos(t *testing.T) {
+	// Build a big-endian nanosecond capture by hand with one TCP packet.
+	var buf bytes.Buffer
+	var h [24]byte
+	binary.BigEndian.PutUint32(h[0:], pcapMagicNanos)
+	binary.BigEndian.PutUint32(h[20:], linktypeEN10MB)
+	buf.Write(h[:])
+
+	pkt := make([]byte, packetLen)
+	binary.BigEndian.PutUint16(pkt[12:], etherTypeIPv4)
+	ip := pkt[etherHeaderLen:]
+	ip[0] = 0x45
+	ip[9] = ipProtoTCP
+	binary.BigEndian.PutUint32(ip[12:], 7)
+	binary.BigEndian.PutUint32(ip[16:], 9)
+	tcp := ip[20:]
+	binary.BigEndian.PutUint16(tcp[0:], 1000)
+	binary.BigEndian.PutUint16(tcp[2:], 80)
+	tcp[13] = byte(FlagSYN | FlagACK)
+
+	var ph [16]byte
+	binary.BigEndian.PutUint32(ph[0:], 10)        // sec
+	binary.BigEndian.PutUint32(ph[4:], 500_000)   // nanos -> 500 µs
+	binary.BigEndian.PutUint32(ph[8:], packetLen) // caplen
+	binary.BigEndian.PutUint32(ph[12:], packetLen)
+	buf.Write(ph[:])
+	buf.Write(pkt)
+
+	got, err := ReadAll(NewPcapReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records", len(got))
+	}
+	want := Record{Time: 0, Src: 7, Dst: 9, SrcPort: 1000, DstPort: 80, Flags: FlagSYN | FlagACK}
+	if got[0] != want {
+		t.Fatalf("got %+v, want %+v", got[0], want)
+	}
+}
+
+func TestPcapTimeRebased(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	// Absolute timestamps far from zero; the reader rebases to the first.
+	for i := uint64(0); i < 3; i++ {
+		if err := w.Write(Record{Time: 1_700_000_000_000_000 + i*250, Src: 1, Dst: 2, Flags: FlagSYN}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewPcapReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Time != uint64(i)*250 {
+			t.Fatalf("record %d time = %d, want %d", i, r.Time, i*250)
+		}
+	}
+}
+
+func TestPcapTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	if err := w.Write(Record{Src: 1, Dst: 2, Flags: FlagSYN}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{30, len(data) - 3} {
+		_, err := ReadAll(NewPcapReader(bytes.NewReader(data[:cut])))
+		if !errors.Is(err, ErrBadTrace) {
+			t.Errorf("truncation at %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestPcapHugeCaplenRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ph [16]byte
+	binary.LittleEndian.PutUint32(ph[8:], 1<<30)
+	buf.Write(ph[:])
+	if _, err := NewPcapReader(&buf).Next(); !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("huge caplen: err = %v", err)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	// Verify the emitted IPv4 checksum is correct: re-sum including the
+	// checksum field must yield 0xffff (ones-complement identity).
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	if err := w.Write(Record{Src: 0x0a010203, Dst: 0xc0a80101, SrcPort: 1, DstPort: 2, Flags: FlagSYN}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	ip := data[24+16+etherHeaderLen:]
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if sum != 0xffff {
+		t.Fatalf("IPv4 checksum invalid: residual sum %#x", sum)
+	}
+}

@@ -1,0 +1,158 @@
+// Package trace implements the packet/flow trace substrate feeding the DDoS
+// monitor: a NetFlow-lite record carrying the fields the paper's detection
+// pipeline needs (addresses, ports, TCP flags — §2 suggests NetFlow or
+// GigaScope exports of egress flows and TCP flags), plus compact binary and
+// human-readable text serializations with robust parsing.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TCPFlags is the TCP flag byte; bit positions follow the TCP header.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// flagLetters maps flag bits to their canonical letters in header order.
+var flagLetters = []struct {
+	bit    TCPFlags
+	letter byte
+}{
+	{FlagFIN, 'F'},
+	{FlagSYN, 'S'},
+	{FlagRST, 'R'},
+	{FlagPSH, 'P'},
+	{FlagACK, 'A'},
+}
+
+// String renders flags as tcpdump-style letters ("SA" for SYN+ACK); "." for
+// none.
+func (f TCPFlags) String() string {
+	if f == 0 {
+		return "."
+	}
+	var b strings.Builder
+	for _, fl := range flagLetters {
+		if f&fl.bit != 0 {
+			b.WriteByte(fl.letter)
+		}
+	}
+	return b.String()
+}
+
+// ParseFlags parses the String representation.
+func ParseFlags(s string) (TCPFlags, error) {
+	if s == "." || s == "" {
+		return 0, nil
+	}
+	var f TCPFlags
+	for i := 0; i < len(s); i++ {
+		matched := false
+		for _, fl := range flagLetters {
+			if s[i] == fl.letter {
+				f |= fl.bit
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return 0, fmt.Errorf("trace: unknown TCP flag %q in %q", s[i], s)
+		}
+	}
+	return f, nil
+}
+
+// Record is one trace entry: a packet (or flow event) observation.
+type Record struct {
+	// Time is a logical timestamp in microseconds from trace start.
+	Time uint64
+	// Src and Dst are IPv4 addresses in host byte order.
+	Src, Dst uint32
+	// SrcPort and DstPort are the transport ports.
+	SrcPort, DstPort uint16
+	// Flags carries the TCP flags of the observation.
+	Flags TCPFlags
+}
+
+// FormatIPv4 renders an address in dotted-quad form.
+func FormatIPv4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// ParseIPv4 parses dotted-quad form.
+func ParseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("trace: %q is not a dotted-quad IPv4 address", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("trace: bad IPv4 octet %q in %q", p, s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return ip, nil
+}
+
+// String renders the record in the text trace format:
+//
+//	time src:sport > dst:dport flags
+func (r Record) String() string {
+	return fmt.Sprintf("%d %s:%d > %s:%d %s",
+		r.Time, FormatIPv4(r.Src), r.SrcPort, FormatIPv4(r.Dst), r.DstPort, r.Flags)
+}
+
+// ParseRecord parses the text format produced by Record.String.
+func ParseRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[2] != ">" {
+		return Record{}, fmt.Errorf("trace: malformed record %q", line)
+	}
+	var r Record
+	t, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad timestamp in %q: %v", line, err)
+	}
+	r.Time = t
+	r.Src, r.SrcPort, err = parseEndpoint(fields[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad source in %q: %v", line, err)
+	}
+	r.Dst, r.DstPort, err = parseEndpoint(fields[3])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad destination in %q: %v", line, err)
+	}
+	r.Flags, err = ParseFlags(fields[4])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad flags in %q: %v", line, err)
+	}
+	return r, nil
+}
+
+func parseEndpoint(s string) (uint32, uint16, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("missing port in %q", s)
+	}
+	ip, err := ParseIPv4(s[:i])
+	if err != nil {
+		return 0, 0, err
+	}
+	port, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port in %q", s)
+	}
+	return ip, uint16(port), nil
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagsStringRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw uint8) bool {
+		f := TCPFlags(raw) & (FlagFIN | FlagSYN | FlagRST | FlagPSH | FlagACK)
+		parsed, err := ParseFlags(f.String())
+		return err == nil && parsed == f
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsKnownForms(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SA" {
+		t.Fatalf("SYN|ACK renders as %q, want \"SA\"", got)
+	}
+	if got := TCPFlags(0).String(); got != "." {
+		t.Fatalf("no flags renders as %q, want \".\"", got)
+	}
+	if _, err := ParseFlags("SX"); err == nil {
+		t.Fatal("unknown flag letter accepted")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	err := quick.Check(func(ip uint32) bool {
+		parsed, err := ParseIPv4(FormatIPv4(ip))
+		return err == nil && parsed == ip
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.-4"} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) accepted", s)
+		}
+	}
+}
+
+func TestRecordTextRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Src: 0x0a000001, Dst: 0xc0a80101, SrcPort: 12345, DstPort: 80, Flags: FlagSYN},
+		{Time: 999999, Src: 1, Dst: 2, SrcPort: 0, DstPort: 65535, Flags: FlagSYN | FlagACK},
+		{Time: 42, Src: 0xffffffff, Dst: 0, SrcPort: 1, DstPort: 1, Flags: 0},
+	}
+	for _, r := range recs {
+		got, err := ParseRecord(r.String())
+		if err != nil {
+			t.Fatalf("ParseRecord(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Fatalf("round trip %q: got %+v, want %+v", r.String(), got, r)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 2 3",
+		"x 1.2.3.4:1 > 5.6.7.8:2 S",
+		"1 1.2.3.4:1 < 5.6.7.8:2 S",
+		"1 1.2.3.4 > 5.6.7.8:2 S",
+		"1 1.2.3.4:99999 > 5.6.7.8:2 S",
+		"1 1.2.3.4:1 > 5.6.7.8:2 Z",
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) accepted", line)
+		}
+	}
+}
+
+func sampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Time:    uint64(i * 17),
+			Src:     uint32(i*2654435761 + 1),
+			Dst:     uint32(i*40503 + 7),
+			SrcPort: uint16(i),
+			DstPort: 443,
+			Flags:   TCPFlags(i % 32),
+		}
+	}
+	return recs
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sampleRecords(1000)
+	var buf bytes.Buffer
+	if err := WriteAll(NewBinaryWriter(&buf), recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewBinaryWriter(&buf).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace yielded %d records", len(got))
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("XXXX\x01\x00\x00\x00"))
+	if _, err := r.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad magic: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestBinaryRejectsBadVersion(t *testing.T) {
+	r := NewBinaryReader(strings.NewReader("DTRC\x09\x00\x00\x00"))
+	if _, err := r.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad version: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	recs := sampleRecords(3)
+	var buf bytes.Buffer
+	if err := WriteAll(NewBinaryWriter(&buf), recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewBinaryReader(bytes.NewReader(data[:len(data)-5]))
+	_, err := ReadAll(r)
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated trace: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestBinaryRejectsEmptyInput(t *testing.T) {
+	if _, err := NewBinaryReader(strings.NewReader("")).Next(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty input: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	recs := sampleRecords(200)
+	var buf bytes.Buffer
+	if err := WriteAll(NewTextWriter(&buf), recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTextSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header comment\n\n0 1.2.3.4:1 > 5.6.7.8:80 S\n   \n# tail\n"
+	got, err := ReadAll(NewTextReader(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].DstPort != 80 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTextReportsLineNumber(t *testing.T) {
+	input := "# ok\n0 1.2.3.4:1 > 5.6.7.8:80 S\nnot a record\n"
+	r := NewTextReader(strings.NewReader(input))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrBadTrace) || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want ErrBadTrace naming line 3", err)
+	}
+}
+
+func TestTextEOF(t *testing.T) {
+	r := NewTextReader(strings.NewReader(""))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}

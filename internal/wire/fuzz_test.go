@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeUpdates(f *testing.F) {
+	f.Add(AppendUpdates(nil, []Update{{1, 2, 1}, {3, 4, -1}}))
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ups, err := DecodeUpdates(data)
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to an equivalent decode.
+		again, err := DecodeUpdates(AppendUpdates(nil, ups))
+		if err != nil || len(again) != len(ups) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for i := range ups {
+			if ups[i] != again[i] {
+				t.Fatalf("update %d changed: %+v vs %+v", i, ups[i], again[i])
+			}
+		}
+	})
+}
+
+func FuzzDecodeTopKReply(f *testing.F) {
+	f.Add(AppendTopKReply(nil, []TopKEntry{{1, 10}}))
+	f.Add([]byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeTopKReply(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeTopKReply(AppendTopKReply(nil, entries))
+		if err != nil || len(again) != len(entries) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, MsgAck, nil)
+	_ = WriteFrame(&buf, MsgUpdates, []byte("payload"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < len(data)+2; i++ {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("frame of %d bytes accepted (type %d)", len(payload), typ)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package wire defines the framed TCP protocol spoken between edge
+// exporters and the DDoS monitor daemon (cmd/ddosmond), realizing the
+// paper's deployment architecture (Fig. 1): network elements export flow
+// updates to a central DDoS MONITOR, and per-edge sketches can be shipped
+// upward for collector-side merging.
+//
+// Every message is one frame:
+//
+//	u32 little-endian payload length | u8 type | payload
+//
+// Payload encodings are varint-based and delta-friendly:
+//
+//	MsgUpdates:   count, then per update: src u32, dst u32 (fixed LE),
+//	              delta zigzag varint
+//	MsgTopKQuery: k uvarint
+//	MsgTopKReply: count, then per entry: dest u32 LE, frequency uvarint
+//	MsgSketch:    an encoded sketch (dcs wire format) for merging
+//	MsgAck:       empty
+//	MsgError:     UTF-8 message
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Frame types.
+const (
+	MsgUpdates MsgType = iota + 1
+	MsgTopKQuery
+	MsgTopKReply
+	MsgSketch
+	MsgAck
+	MsgError
+)
+
+// MaxFrameSize bounds a frame payload; larger frames are rejected before
+// allocation (a malicious peer must not make the monitor allocate
+// gigabytes).
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrMalformed is wrapped by all payload decoding errors.
+var ErrMalformed = errors.New("wire: malformed payload")
+
+// Update mirrors the flow-update triple.
+type Update struct {
+	Src, Dst uint32
+	Delta    int64
+}
+
+// TopKEntry is one entry of a top-k reply.
+type TopKEntry struct {
+	Dest uint32
+	F    int64
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var header [5]byte
+	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+	header[4] = byte(t)
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r. io.EOF is returned verbatim at a clean
+// frame boundary.
+func ReadFrame(r *bufio.Reader) (MsgType, []byte, error) {
+	var header [5]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(header[:4])
+	if n > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return MsgType(header[4]), payload, nil
+}
+
+// AppendUpdates encodes a batch of updates onto buf.
+func AppendUpdates(buf []byte, updates []Update) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+	for _, u := range updates {
+		buf = binary.LittleEndian.AppendUint32(buf, u.Src)
+		buf = binary.LittleEndian.AppendUint32(buf, u.Dst)
+		buf = binary.AppendVarint(buf, u.Delta)
+	}
+	return buf
+}
+
+// DecodeUpdates decodes a MsgUpdates payload.
+func DecodeUpdates(payload []byte) ([]Update, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated count", ErrMalformed)
+	}
+	payload = payload[n:]
+	// Each update needs at least 9 bytes; reject counts the payload
+	// cannot possibly hold before allocating.
+	if count > uint64(len(payload)/9+1) {
+		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrMalformed, count)
+	}
+	out := make([]Update, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("%w: truncated update %d", ErrMalformed, i)
+		}
+		u := Update{
+			Src: binary.LittleEndian.Uint32(payload),
+			Dst: binary.LittleEndian.Uint32(payload[4:]),
+		}
+		payload = payload[8:]
+		delta, dn := binary.Varint(payload)
+		if dn <= 0 {
+			return nil, fmt.Errorf("%w: truncated delta %d", ErrMalformed, i)
+		}
+		payload = payload[dn:]
+		u.Delta = delta
+		out = append(out, u)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(payload))
+	}
+	return out, nil
+}
+
+// AppendTopKQuery encodes a top-k query payload.
+func AppendTopKQuery(buf []byte, k int) []byte {
+	return binary.AppendUvarint(buf, uint64(k))
+}
+
+// DecodeTopKQuery decodes a MsgTopKQuery payload.
+func DecodeTopKQuery(payload []byte) (int, error) {
+	k, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, fmt.Errorf("%w: bad top-k query", ErrMalformed)
+	}
+	if k > 1<<20 {
+		return 0, fmt.Errorf("%w: implausible k %d", ErrMalformed, k)
+	}
+	return int(k), nil
+}
+
+// AppendTopKReply encodes a top-k reply payload.
+func AppendTopKReply(buf []byte, entries []TopKEntry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, e.Dest)
+		buf = binary.AppendUvarint(buf, uint64(e.F))
+	}
+	return buf
+}
+
+// DecodeTopKReply decodes a MsgTopKReply payload.
+func DecodeTopKReply(payload []byte) ([]TopKEntry, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated count", ErrMalformed)
+	}
+	payload = payload[n:]
+	if count > uint64(len(payload)/5+1) {
+		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrMalformed, count)
+	}
+	out := make([]TopKEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: truncated entry %d", ErrMalformed, i)
+		}
+		dest := binary.LittleEndian.Uint32(payload)
+		payload = payload[4:]
+		f, fn := binary.Uvarint(payload)
+		if fn <= 0 {
+			return nil, fmt.Errorf("%w: truncated frequency %d", ErrMalformed, i)
+		}
+		payload = payload[fn:]
+		out = append(out, TopKEntry{Dest: dest, F: int64(f)})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(payload))
+	}
+	return out, nil
+}

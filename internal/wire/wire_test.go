@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, MsgUpdates, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	typ, got, err := ReadFrame(r)
+	if err != nil || typ != MsgUpdates || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: (%v,%q,%v)", typ, got, err)
+	}
+	typ, got, err = ReadFrame(r)
+	if err != nil || typ != MsgAck || len(got) != 0 {
+		t.Fatalf("frame 2: (%v,%q,%v)", typ, got, err)
+	}
+	if _, _, err := ReadFrame(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgSketch, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{1, 4, 7, len(data) - 1} {
+		if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(data[:cut]))); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFrameSizeBound(t *testing.T) {
+	// A header claiming a gigantic payload must be rejected without
+	// allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, byte(MsgUpdates)}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, MsgSketch, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write err = %v", err)
+	}
+}
+
+func TestUpdatesRoundTrip(t *testing.T) {
+	err := quick.Check(func(srcs, dsts []uint32, deltas []int8) bool {
+		n := len(srcs)
+		if len(dsts) < n {
+			n = len(dsts)
+		}
+		if len(deltas) < n {
+			n = len(deltas)
+		}
+		in := make([]Update, n)
+		for i := range in {
+			in[i] = Update{Src: srcs[i], Dst: dsts[i], Delta: int64(deltas[i])}
+		}
+		out, err := DecodeUpdates(AppendUpdates(nil, in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeUpdatesRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty-nonzero-count": {5},
+		"huge count":          {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"truncated update":    append([]byte{1}, 1, 2, 3),
+		"trailing bytes":      append(AppendUpdates(nil, []Update{{1, 2, 1}}), 0xee),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeUpdates(payload); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestTopKQueryRoundTrip(t *testing.T) {
+	for _, k := range []int{0, 1, 10, 100000} {
+		got, err := DecodeTopKQuery(AppendTopKQuery(nil, k))
+		if err != nil || got != k {
+			t.Fatalf("k=%d: (%d,%v)", k, got, err)
+		}
+	}
+	if _, err := DecodeTopKQuery(nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := DecodeTopKQuery(append(AppendTopKQuery(nil, 1), 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeTopKQuery(AppendTopKQuery(nil, 1<<30)); err == nil {
+		t.Error("implausible k accepted")
+	}
+}
+
+func TestTopKReplyRoundTrip(t *testing.T) {
+	in := []TopKEntry{{Dest: 0xdeadbeef, F: 12345}, {Dest: 0, F: 0}, {Dest: 7, F: 1 << 40}}
+	out, err := DecodeTopKReply(AppendTopKReply(nil, in))
+	if err != nil || len(out) != len(in) {
+		t.Fatalf("(%v, %v)", out, err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+	if _, err := DecodeTopKReply([]byte{9}); err == nil {
+		t.Error("truncated reply accepted")
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	out, err := DecodeUpdates(AppendUpdates(nil, nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: (%v,%v)", out, err)
+	}
+	entries, err := DecodeTopKReply(AppendTopKReply(nil, nil))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("empty reply: (%v,%v)", entries, err)
+	}
+}

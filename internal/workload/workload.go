@@ -1,0 +1,146 @@
+// Package workload implements the paper's synthetic update-stream generator
+// (§6.1): a stream whose U distinct source-destination pairs are spread over
+// d distinct destinations with Zipfian skew z, i.e. the destination of rank i
+// receives a 1/i^z share of the distinct sources. The paper's experiments
+// use U ∈ [2·10^6, 16·10^6], d ∈ [10^3, 10^5] and z ∈ [1, 2.5] with defaults
+// U = 8·10^6, d = 5·10^4.
+//
+// Addresses are minted through keyed 32-bit permutations, so all generated
+// pairs are distinct by construction and the ground-truth frequencies are
+// exact: f of the rank-i destination is precisely its partition share.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/stream"
+	"dcsketch/internal/zipf"
+)
+
+// Config parametrizes a synthetic workload, mirroring the paper's (U, d, z).
+type Config struct {
+	// DistinctPairs is U, the number of distinct source-destination pairs.
+	DistinctPairs int64
+	// Destinations is d, the number of distinct destination addresses.
+	Destinations int
+	// Skew is the Zipf parameter z.
+	Skew float64
+	// Seed makes the workload reproducible.
+	Seed uint64
+}
+
+// PaperDefaults returns the paper's default experiment parameters at the
+// given scale factor: scale = 1 reproduces U = 8·10^6, d = 5·10^4; smaller
+// scales shrink both proportionally for laptop-speed runs while preserving
+// the U/d ratio (160 distinct sources per destination on average).
+func PaperDefaults(scale float64, skew float64, seed uint64) Config {
+	u := int64(8e6 * scale)
+	if u < 1 {
+		u = 1
+	}
+	d := int(5e4 * scale)
+	if d < 1 {
+		d = 1
+	}
+	return Config{DistinctPairs: u, Destinations: d, Skew: skew, Seed: seed}
+}
+
+// Workload is a generated stream with exact ground truth.
+type Workload struct {
+	cfg Config
+	// updates is the insert-only update sequence, in generation order.
+	// The sketch is order-independent, so no shuffle is applied; callers
+	// that need arrival-order realism can stream.Shuffle it.
+	updates []stream.Update
+	// truth maps each destination address to its exact distinct-source
+	// frequency.
+	truth map[uint32]int64
+	// top lists destinations by descending frequency (ties by ascending
+	// address), i.e. the true top-k prefix order.
+	top []TruthEntry
+}
+
+// TruthEntry is one destination with its exact frequency.
+type TruthEntry struct {
+	Dest uint32
+	F    int64
+}
+
+// Generate builds the workload.
+func Generate(cfg Config) (*Workload, error) {
+	if cfg.DistinctPairs < 1 {
+		return nil, fmt.Errorf("workload: DistinctPairs = %d, must be positive", cfg.DistinctPairs)
+	}
+	if cfg.Destinations < 1 {
+		return nil, fmt.Errorf("workload: Destinations = %d, must be positive", cfg.Destinations)
+	}
+	if cfg.DistinctPairs < int64(cfg.Destinations) {
+		return nil, fmt.Errorf("workload: U = %d < d = %d; every destination needs at least one pair",
+			cfg.DistinctPairs, cfg.Destinations)
+	}
+	dist, err := zipf.New(cfg.Destinations, cfg.Skew)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	shares := dist.Partition(cfg.DistinctPairs)
+
+	destPerm := hashing.NewPerm32(cfg.Seed ^ 0xd357)
+	srcPerm := hashing.NewPerm32(cfg.Seed ^ 0x51c5)
+
+	w := &Workload{
+		cfg:     cfg,
+		updates: make([]stream.Update, 0, cfg.DistinctPairs),
+		truth:   make(map[uint32]int64, cfg.Destinations),
+	}
+	var srcCounter uint32
+	for i, share := range shares {
+		dst := destPerm.Apply(uint32(i))
+		w.truth[dst] = share
+		for j := int64(0); j < share; j++ {
+			src := srcPerm.Apply(srcCounter)
+			srcCounter++
+			w.updates = append(w.updates, stream.Update{Src: src, Dst: dst, Delta: 1})
+		}
+	}
+
+	w.top = make([]TruthEntry, 0, cfg.Destinations)
+	for dst, f := range w.truth {
+		w.top = append(w.top, TruthEntry{Dest: dst, F: f})
+	}
+	sort.Slice(w.top, func(a, b int) bool {
+		if w.top[a].F != w.top[b].F {
+			return w.top[a].F > w.top[b].F
+		}
+		return w.top[a].Dest < w.top[b].Dest
+	})
+	return w, nil
+}
+
+// Config returns the generating parameters.
+func (w *Workload) Config() Config { return w.cfg }
+
+// Updates returns the update sequence. The slice is owned by the workload;
+// callers must not mutate it.
+func (w *Workload) Updates() []stream.Update { return w.updates }
+
+// Source returns a replayable stream source over the updates.
+func (w *Workload) Source() *stream.SliceSource { return stream.NewSliceSource(w.updates) }
+
+// TrueF returns the exact frequency of dest (zero if absent).
+func (w *Workload) TrueF(dest uint32) int64 { return w.truth[dest] }
+
+// TrueTopK returns the exact top-k destinations by frequency.
+func (w *Workload) TrueTopK(k int) []TruthEntry {
+	if k > len(w.top) {
+		k = len(w.top)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return w.top[:k]
+}
+
+// DistinctPairs returns U.
+func (w *Workload) DistinctPairs() int64 { return w.cfg.DistinctPairs }

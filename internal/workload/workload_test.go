@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"dcsketch/internal/exact"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Config{
+		{DistinctPairs: 0, Destinations: 1},
+		{DistinctPairs: 10, Destinations: 0},
+		{DistinctPairs: 5, Destinations: 10}, // U < d
+		{DistinctPairs: 10, Destinations: 2, Skew: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestGroundTruthMatchesActualStream(t *testing.T) {
+	w, err := Generate(Config{DistinctPairs: 20000, Destinations: 500, Skew: 1.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := exact.New()
+	for _, u := range w.Updates() {
+		tr.Update(u.Src, u.Dst, int64(u.Delta))
+	}
+	if got := tr.DistinctPairs(); got != 20000 {
+		t.Fatalf("stream has %d distinct pairs, want exactly 20000", got)
+	}
+	for _, e := range w.TrueTopK(500) {
+		if got := tr.F(e.Dest); got != e.F {
+			t.Fatalf("dest %d: stream frequency %d, declared truth %d", e.Dest, got, e.F)
+		}
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	w, err := Generate(Config{DistinctPairs: 10000, Destinations: 100, Skew: 1.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := w.TrueTopK(100)
+	if len(top) != 100 {
+		t.Fatalf("TrueTopK(100) returned %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].F > top[i-1].F {
+			t.Fatalf("truth not sorted at %d: %+v > %+v", i, top[i], top[i-1])
+		}
+	}
+	if got := len(w.TrueTopK(1000)); got != 100 {
+		t.Fatalf("TrueTopK beyond d returned %d", got)
+	}
+	if got := len(w.TrueTopK(-1)); got != 0 {
+		t.Fatalf("TrueTopK(-1) returned %d", got)
+	}
+}
+
+func TestSkewConcentration(t *testing.T) {
+	w, err := Generate(Config{DistinctPairs: 100000, Destinations: 1000, Skew: 2.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top5 int64
+	for _, e := range w.TrueTopK(5) {
+		top5 += e.F
+	}
+	if float64(top5)/100000 < 0.95 {
+		t.Fatalf("z=2.5 top-5 mass = %d/100000, want > 95%%", top5)
+	}
+}
+
+func TestEveryDestinationPresent(t *testing.T) {
+	w, err := Generate(Config{DistinctPairs: 5000, Destinations: 50, Skew: 1.0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := make(map[uint32]bool)
+	for _, u := range w.Updates() {
+		dests[u.Dst] = true
+	}
+	if len(dests) != 50 {
+		t.Fatalf("stream touches %d destinations, want 50", len(dests))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{DistinctPairs: 1000, Destinations: 20, Skew: 1.0, Seed: 9}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, ub := a.Updates(), b.Updates()
+	if len(ua) != len(ub) {
+		t.Fatal("lengths differ")
+	}
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatalf("update %d differs", i)
+		}
+	}
+}
+
+func TestSeedsProduceDifferentAddresses(t *testing.T) {
+	a, err := Generate(Config{DistinctPairs: 100, Destinations: 10, Skew: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{DistinctPairs: 100, Destinations: 10, Skew: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates()[0] == b.Updates()[0] {
+		t.Fatal("different seeds produced identical first update")
+	}
+}
+
+func TestPaperDefaults(t *testing.T) {
+	cfg := PaperDefaults(1.0, 1.5, 7)
+	if cfg.DistinctPairs != 8e6 || cfg.Destinations != 5e4 {
+		t.Fatalf("full-scale defaults = %+v", cfg)
+	}
+	small := PaperDefaults(0.01, 1.5, 7)
+	if small.DistinctPairs != 80000 || small.Destinations != 500 {
+		t.Fatalf("1%%-scale defaults = %+v", small)
+	}
+	tiny := PaperDefaults(1e-9, 1, 7)
+	if tiny.DistinctPairs < 1 || tiny.Destinations < 1 {
+		t.Fatalf("degenerate scale must clamp: %+v", tiny)
+	}
+}
+
+func TestSourceReplays(t *testing.T) {
+	w, err := Generate(Config{DistinctPairs: 100, Destinations: 5, Skew: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Source()
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("source yielded %d updates, want 100", n)
+	}
+}

@@ -1,0 +1,107 @@
+// Package zipf provides deterministic Zipfian distributions over ranks
+// 1..N, the workload model of the paper's experimental study (§6.1): "a
+// synthetic data generator based on Zipfian frequency distributions [37]
+// (with various levels of skew)".
+//
+// Rank i carries probability mass proportional to 1/i^z. The package offers
+// both a sampler (draw ranks with the right marginal distribution) and an
+// exact partitioner (split a fixed total across ranks in Zipf proportions),
+// which is what the update-stream generator uses to hit an exact number of
+// distinct source-destination pairs U.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcsketch/internal/hashing"
+)
+
+// Dist is a Zipfian distribution over ranks 1..N with skew z.
+type Dist struct {
+	n   int
+	z   float64
+	cdf []float64 // cdf[i] = Pr[rank <= i+1]
+}
+
+// New builds the distribution. n must be positive; z must be non-negative
+// (z = 0 degenerates to uniform).
+func New(n int, z float64) (*Dist, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: n = %d, must be positive", n)
+	}
+	if z < 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		return nil, fmt.Errorf("zipf: invalid skew %v", z)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -z)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Dist{n: n, z: z, cdf: cdf}, nil
+}
+
+// N returns the number of ranks.
+func (d *Dist) N() int { return d.n }
+
+// Skew returns the skew parameter z.
+func (d *Dist) Skew() float64 { return d.z }
+
+// P returns the probability mass of rank i (1-based).
+func (d *Dist) P(rank int) float64 {
+	if rank < 1 || rank > d.n {
+		return 0
+	}
+	if rank == 1 {
+		return d.cdf[0]
+	}
+	return d.cdf[rank-1] - d.cdf[rank-2]
+}
+
+// Rank maps a uniform value u in [0,1) to a rank in 1..N by inverse CDF.
+func (d *Dist) Rank(u float64) int {
+	return sort.SearchFloat64s(d.cdf, u) + 1
+}
+
+// Sample draws a rank using the given PRNG.
+func (d *Dist) Sample(rng *hashing.SplitMix64) int {
+	u := float64(rng.Next()>>11) / (1 << 53)
+	return d.Rank(u)
+}
+
+// Partition splits total into N non-negative integer shares proportional to
+// the Zipf masses, with the shares summing exactly to total (largest-
+// remainder rounding). Share i corresponds to rank i+1. This is how the
+// generator assigns exactly U distinct pairs across d destinations.
+func (d *Dist) Partition(total int64) []int64 {
+	shares := make([]int64, d.n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, d.n)
+	var assigned int64
+	for i := 0; i < d.n; i++ {
+		exact := d.P(i+1) * float64(total)
+		fl := math.Floor(exact)
+		shares[i] = int64(fl)
+		assigned += shares[i]
+		rems[i] = rem{idx: i, frac: exact - fl}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := int64(0); i < total-assigned; i++ {
+		shares[rems[int(i)%d.n].idx]++
+	}
+	return shares
+}

@@ -1,0 +1,168 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+
+	"dcsketch/internal/hashing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(-5, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(10, -1); err == nil {
+		t.Error("negative skew accepted")
+	}
+	if _, err := New(10, math.NaN()); err == nil {
+		t.Error("NaN skew accepted")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1, 1.5, 2, 2.5} {
+		d, err := New(1000, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 1; i <= d.N(); i++ {
+			sum += d.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("z=%v: probabilities sum to %v", z, sum)
+		}
+	}
+}
+
+func TestPMonotoneDecreasing(t *testing.T) {
+	d, err := New(100, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 100; i++ {
+		if d.P(i) > d.P(i-1)+1e-12 {
+			t.Fatalf("P(%d)=%v > P(%d)=%v", i, d.P(i), i-1, d.P(i-1))
+		}
+	}
+}
+
+func TestPOutOfRange(t *testing.T) {
+	d, err := New(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P(0) != 0 || d.P(11) != 0 || d.P(-1) != 0 {
+		t.Fatal("out-of-range ranks must have zero mass")
+	}
+}
+
+func TestUniformWhenZeroSkew(t *testing.T) {
+	d, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if math.Abs(d.P(i)-0.25) > 1e-9 {
+			t.Fatalf("z=0: P(%d) = %v, want 0.25", i, d.P(i))
+		}
+	}
+}
+
+func TestRankBoundaries(t *testing.T) {
+	d, err := New(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Rank(0); got != 1 {
+		t.Fatalf("Rank(0) = %d, want 1", got)
+	}
+	if got := d.Rank(0.9999999); got < 1 || got > 10 {
+		t.Fatalf("Rank(~1) = %d out of range", got)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d, err := New(50, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewSplitMix64(1)
+	const n = 200000
+	counts := make([]int, 51)
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	for rank := 1; rank <= 5; rank++ {
+		want := d.P(rank) * n
+		got := float64(counts[rank])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("rank %d: %v samples, want ~%v", rank, got, want)
+		}
+	}
+}
+
+func TestPartitionSumsExactly(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		z     float64
+		total int64
+	}{
+		{10, 1, 100},
+		{1000, 1.5, 12345},
+		{7, 2.5, 3},
+		{5, 0, 17},
+		{100, 1, 0},
+	} {
+		d, err := New(tc.n, tc.z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := d.Partition(tc.total)
+		var sum int64
+		for _, s := range shares {
+			if s < 0 {
+				t.Fatalf("n=%d z=%v total=%d: negative share", tc.n, tc.z, tc.total)
+			}
+			sum += s
+		}
+		if sum != tc.total {
+			t.Fatalf("n=%d z=%v: shares sum to %d, want %d", tc.n, tc.z, sum, tc.total)
+		}
+	}
+}
+
+func TestPartitionRoughlyMonotone(t *testing.T) {
+	d, err := New(100, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := d.Partition(100000)
+	for i := 1; i < len(shares); i++ {
+		if shares[i] > shares[i-1]+1 {
+			t.Fatalf("share[%d]=%d exceeds share[%d]=%d", i, shares[i], i-1, shares[i-1])
+		}
+	}
+	if shares[0] == 0 {
+		t.Fatal("top rank received no mass")
+	}
+}
+
+func TestExtremeSkewConcentratesMass(t *testing.T) {
+	// The paper notes that at z=2.5 more than 95% of the mass sits in the
+	// top-5 destinations.
+	d, err := New(50000, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top5 := 0.0
+	for i := 1; i <= 5; i++ {
+		top5 += d.P(i)
+	}
+	if top5 < 0.95 {
+		t.Fatalf("z=2.5 top-5 mass = %v, want > 0.95", top5)
+	}
+}

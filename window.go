@@ -1,0 +1,56 @@
+package dcsketch
+
+import (
+	"dcsketch/internal/window"
+)
+
+// WindowedTracker tracks the top-k destinations over a tumbling window of
+// recent epochs instead of the whole stream, exploiting the sketch's
+// linearity: retiring an epoch is a counter subtraction. Use it when the
+// monitor runs indefinitely and old, never-completed flows (pre-dating the
+// monitor, or with lost completions) should age out of the ranking.
+type WindowedTracker struct {
+	inner *window.Tracker
+}
+
+// NewWindowedTracker builds a tracker over `epochs` live epochs (>= 1).
+// Call Rotate on a timer (e.g. once a minute) to advance the window.
+func NewWindowedTracker(epochs int, opts ...Option) (*WindowedTracker, error) {
+	inner, err := window.New(buildConfig(opts), epochs)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedTracker{inner: inner}, nil
+}
+
+// Insert records a potentially-malicious connection in the current epoch.
+func (w *WindowedTracker) Insert(src, dst uint32) { w.inner.Update(src, dst, 1) }
+
+// Delete removes a previously recorded connection.
+func (w *WindowedTracker) Delete(src, dst uint32) { w.inner.Update(src, dst, -1) }
+
+// Update applies a signed net frequency change in the current epoch.
+func (w *WindowedTracker) Update(src, dst uint32, delta int64) { w.inner.Update(src, dst, delta) }
+
+// Rotate seals the current epoch and retires the oldest one.
+func (w *WindowedTracker) Rotate() error { return w.inner.Rotate() }
+
+// TopK returns the approximate top-k destinations over the live window.
+func (w *WindowedTracker) TopK(k int) []Estimate {
+	return convertEstimates(w.inner.TopK(k))
+}
+
+// Threshold returns all windowed destinations with estimated frequency >=
+// tau.
+func (w *WindowedTracker) Threshold(tau int64) []Estimate {
+	return convertEstimates(w.inner.Threshold(tau))
+}
+
+// DistinctPairs estimates the live distinct pairs within the window.
+func (w *WindowedTracker) DistinctPairs() int64 { return w.inner.DistinctPairs() }
+
+// Epochs returns the window width in epochs.
+func (w *WindowedTracker) Epochs() int { return w.inner.Epochs() }
+
+// SizeBytes returns the tracker's memory footprint (epochs+1 sketches).
+func (w *WindowedTracker) SizeBytes() int { return w.inner.SizeBytes() }
