@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test lint race debugtest check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sketchlint ./...
+
+race:
+	$(GO) test -race ./...
+
+debugtest:
+	$(GO) test -tags dcsdebug ./internal/dcs ./internal/tdcs
+
+# Full pre-merge gate: build, tests, vet, sketchlint, -race, dcsdebug
+# assertions, and a fuzz smoke pass. Mirrors ./ci.sh check.
+check:
+	./ci.sh check

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# CI entry points for the dcsketch repo.
+#
+#   ./ci.sh tier1   build + unit tests (the always-green floor)
+#   ./ci.sh check   tier1 plus vet, sketchlint, -race tests, dcsdebug
+#                   assertion tests, and a fuzz smoke pass
+#
+# `check` is the full gate documented in ROADMAP.md; run it before merging.
+set -eu
+
+cd "$(dirname "$0")"
+
+tier1() {
+	go build ./...
+	go test ./...
+}
+
+check() {
+	tier1
+	go vet ./...
+	# sketchlint enforces the sketch invariants the type system cannot:
+	# same-seed merges, '// guarded by' mutex discipline, handled wire
+	# errors, and the ±1 delta discipline. See DESIGN.md.
+	go run ./cmd/sketchlint ./...
+	go test -race ./...
+	# Runtime invariant assertions (counter non-negativity, tracking/
+	# counter consistency) compiled in via the dcsdebug build tag.
+	go test -tags dcsdebug ./internal/dcs ./internal/tdcs
+	# Fuzz smoke: a short budget per representative target catches
+	# decoder and routing regressions without holding CI hostage.
+	go test -fuzz='^FuzzUnmarshalBinary$' -fuzztime=10s ./internal/dcs
+	go test -fuzz='^FuzzShardRouting$' -fuzztime=10s ./internal/pipeline
+	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
+}
+
+case "${1:-tier1}" in
+tier1) tier1 ;;
+check) check ;;
+*)
+	echo "usage: $0 [tier1|check]" >&2
+	exit 2
+	;;
+esac

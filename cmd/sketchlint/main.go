@@ -1,0 +1,140 @@
+// Command sketchlint is the project's static-analysis driver: a
+// multichecker running the four dcsketch invariant analyzers over the whole
+// module.
+//
+//	seedcompat  sketch Merge/Subtract/Fold operands must share one Config/seed
+//	lockcheck   '// guarded by <mu>' fields need the named mutex held
+//	wireerr     no discarded errors on the wire path
+//	deltasign   no raw integer→int64 delta conversions into Update APIs
+//
+// Usage:
+//
+//	sketchlint ./...
+//	sketchlint -analyzers seedcompat,wireerr ./...
+//
+// Diagnostics print as file:line:col: analyzer: message, and the exit status
+// is 1 when any diagnostic is reported (the CI `check` target treats that as
+// failure). Escape hatches (//lint:seedok, //lint:lockok, //lint:wireok,
+// //lint:deltaok and //lint:locked) are documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"dcsketch/internal/analysis"
+	"dcsketch/internal/analysis/deltasign"
+	"dcsketch/internal/analysis/lockcheck"
+	"dcsketch/internal/analysis/seedcompat"
+	"dcsketch/internal/analysis/wireerr"
+)
+
+// analyzers is the full suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	seedcompat.Analyzer,
+	lockcheck.Analyzer,
+	wireerr.Analyzer,
+	deltasign.Analyzer,
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the multichecker and returns the process exit code: 0 clean,
+// 1 when diagnostics were reported.
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("sketchlint", flag.ContinueOnError)
+	var (
+		names = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		list  = fs.Bool("list", false, "list available analyzers and exit")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(w, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	suite, err := selectAnalyzers(*names)
+	if err != nil {
+		return 2, err
+	}
+	// Package patterns: sketchlint always analyzes the enclosing module;
+	// "./..." (the only supported pattern) is accepted for familiarity.
+	for _, pat := range fs.Args() {
+		if pat != "./..." && pat != "." {
+			return 2, fmt.Errorf("unsupported package pattern %q (sketchlint analyzes the whole module; use ./...)", pat)
+		}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 2, err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return 2, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			ds, err := analysis.Run(a, pkg)
+			if err != nil {
+				return 2, err
+			}
+			for _, d := range ds {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(w, "sketchlint: %d problem(s) in %d package(s) analyzed\n", len(diags), len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// selectAnalyzers resolves the -analyzers flag to a subset of the suite.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -175,9 +175,9 @@ func runCombine(args []string, w io.Writer, subtract bool) error {
 			return err
 		}
 		if subtract {
-			err = acc.Subtract(next)
+			err = acc.Subtract(next) //lint:seedok operands come from user files; Subtract rejects config/seed mismatches at runtime
 		} else {
-			err = acc.Merge(next)
+			err = acc.Merge(next) //lint:seedok operands come from user files; Merge rejects config/seed mismatches at runtime
 		}
 		if err != nil {
 			return fmt.Errorf("%s %s: %w", name, path, err)

@@ -73,7 +73,7 @@ func run() error {
 		return err
 	}
 	for _, t := range edge[1:] {
-		if err := collector.Merge(t); err != nil {
+		if err := collector.Merge(t); err != nil { //lint:seedok collector is decoded from edge[0]'s bytes and all edges share one cfg
 			return err
 		}
 	}

@@ -1,0 +1,155 @@
+// Package analysis is a self-contained static-analysis framework for the
+// dcsketch repository, mirroring the shape of golang.org/x/tools/go/analysis
+// on top of the standard library's go/ast and go/types only (the build
+// environment is offline, so x/tools cannot be a dependency).
+//
+// An Analyzer inspects one type-checked package at a time through a Pass and
+// reports Diagnostics. The project analyzers live in subpackages
+// (seedcompat, lockcheck, wireerr, deltasign) and are driven over the whole
+// module by cmd/sketchlint; each is unit-tested against golden packages with
+// the analysistest subpackage.
+//
+// Two source annotations are recognized framework-wide:
+//
+//   - "//lint:<name> <reason>" on the same line as a reported construct
+//     suppresses the named analyzer's diagnostic (e.g. //lint:seedok).
+//   - "//lint:locked <mu>" in a function's doc comment declares that the
+//     function is only called with the receiver's mutex field <mu> held
+//     (consumed by lockcheck).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one analysis: a name, documentation, and a Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Directive is the "//lint:<directive>" suppression name honored by
+	// Reportf; it defaults to Name.
+	Directive string
+	// Run inspects a package via pass and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic; the driver and test harness install
+	// their own sinks.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos, unless the source line
+// carries a "//lint:<analyzer-name>" suppression directive.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed reports whether the line holding pos carries the analyzer's
+// "//lint:<directive>" escape hatch.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	directive := p.Analyzer.Directive
+	if directive == "" {
+		directive = p.Analyzer.Name
+	}
+	return p.LineDirective(pos, directive)
+}
+
+// LineDirective reports whether the source line containing pos carries a
+// "//lint:<name>" comment (an escape hatch acknowledging a reviewed,
+// intentionally unproven construct).
+func (p *Pass) LineDirective(pos token.Pos, name string) bool {
+	file := p.FileFor(pos)
+	if file == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if p.Fset.Position(c.Pos()).Line != line {
+				continue
+			}
+			if directiveName(c.Text) == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileFor returns the *ast.File whose source range contains pos.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// directiveName extracts <name> from a "//lint:<name> ..." comment, or "".
+func directiveName(text string) string {
+	const prefix = "//lint:"
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// DocDirectiveArg scans a doc comment for "//lint:<name> <arg>" and returns
+// the first argument of the first match (e.g. the mutex name in
+// "//lint:locked mu"). ok is false when the directive is absent.
+func DocDirectiveArg(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if directiveName(c.Text) != name {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(c.Text, "//lint:"+name))
+		if len(fields) == 0 {
+			return "", true
+		}
+		return fields[0], true
+	}
+	return "", false
+}
+
+// ExprString renders an expression as compact source text, used to compare
+// expressions structurally (e.g. two mentions of "p.cfg").
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	_ = printer.Fprint(&sb, fset, e)
+	return sb.String()
+}

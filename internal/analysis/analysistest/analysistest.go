@@ -1,0 +1,170 @@
+// Package analysistest runs an analyzer over golden test packages and checks
+// its diagnostics against "// want" comment expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// A test package lives at testdata/src/<path> relative to the calling test.
+// Imports between testdata packages resolve GOPATH-style within testdata/src.
+// Each line that should trigger a diagnostic carries a comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Every reported diagnostic must match one expectation on its line, and every
+// expectation must be matched by exactly one diagnostic.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dcsketch/internal/analysis"
+)
+
+// Run loads testdata/src/<path> (plus any testdata-local imports), applies
+// the analyzer to the named package, and verifies its diagnostics against the
+// package's "// want" expectations.
+func Run(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := map[string]string{}
+	err = filepath.WalkDir(srcRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if rel, rerr := filepath.Rel(srcRoot, p); rerr == nil && rel != "." {
+				dirs[filepath.ToSlash(rel)] = p
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", srcRoot, err)
+	}
+	pkgs, err := analysis.LoadTree(dirs)
+	if err != nil {
+		t.Fatalf("load testdata: %v", err)
+	}
+	var target *analysis.Package
+	for _, p := range pkgs {
+		if p.Path == path {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatalf("package %q not found under %s", path, srcRoot)
+	}
+
+	diags, err := analysis.Run(a, target)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	checkExpectations(t, target, diags)
+}
+
+// expectation is one "// want" regexp, keyed by file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parseWant(t, c.Text, pos) {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation on the diagnostic's line whose
+// regexp matches the message.
+func matchWant(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." "..."` comment.
+func parseWant(t *testing.T, text string, pos token.Position) []*regexp.Regexp {
+	t.Helper()
+	body, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s: malformed want comment %q", pos, text)
+		}
+		end := quotedEnd(rest)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern in %q", pos, text)
+		}
+		lit := rest[:end+1]
+		rest = strings.TrimSpace(rest[end+1:])
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+		}
+		pats = append(pats, re)
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: want comment with no patterns: %q", pos, text)
+	}
+	return pats
+}
+
+// quotedEnd returns the index of the closing quote of a leading quoted Go
+// string literal (double- or back-quoted), honoring backslash escapes in the
+// former.
+func quotedEnd(s string) int {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quote == '"' {
+				i++
+			}
+		case quote:
+			return i
+		}
+	}
+	return -1
+}

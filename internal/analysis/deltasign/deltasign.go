@@ -1,0 +1,145 @@
+// Package deltasign implements the sketchlint analyzer guarding the ±1
+// flow-update discipline. The paper's stream model is unit updates: +1 when
+// a potentially-malicious connection appears (TCP SYN), -1 when it is
+// legitimized (client ACK). The repository encodes that discipline in the
+// type system — stream.Update.Delta is an int8 that generators only ever set
+// to ±1 — but the sketch Update APIs accept a general int64 delta (they are
+// linear, and windowed subtraction needs it). The weak point is the
+// conversion: a raw int64(n) at an Update call site launders an arbitrary
+// count into the delta channel, which breaks the distinct-count semantics
+// (f_v counts *sources*, not packets; feeding per-flow packet counts
+// silently turns the detector into a volume monitor, exactly what §2 of the
+// paper warns against).
+//
+// deltasign therefore flags integer conversions appearing as the delta
+// argument of an Update/UpdateKey call unless the source type already
+// carries the discipline:
+//
+//   - conversions from int8 (the stream delta type) are allowed;
+//   - identity int64 conversions are allowed;
+//   - constant expressions evaluating to +1 or -1 are allowed;
+//   - everything else (int, uint64, int32 counts, ...) is reported, with
+//     "//lint:deltaok <reason>" as the reviewed escape hatch.
+package deltasign
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the deltasign analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "deltasign",
+	Doc:       "report raw integer-to-int64 delta conversions that bypass the ±1 flow-update discipline",
+	Directive: "deltaok",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall inspects calls to functions or methods named Update/UpdateKey
+// whose final parameter is an int64 delta.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	name := calleeName(call)
+	if name != "Update" && name != "UpdateKey" {
+		return
+	}
+	sig := calleeSignature(pass, call)
+	if sig == nil || sig.Variadic() {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 || len(call.Args) != params.Len() {
+		return
+	}
+	last := params.At(params.Len() - 1).Type()
+	if basic, ok := last.(*types.Basic); !ok || basic.Kind() != types.Int64 {
+		return
+	}
+	arg := ast.Unparen(call.Args[len(call.Args)-1])
+	conv, ok := arg.(*ast.CallExpr)
+	if !ok || len(conv.Args) != 1 {
+		return
+	}
+	// Only conversions are suspect; ordinary int64 expressions (literals,
+	// variables, arithmetic) either carry the discipline already or cannot
+	// be distinguished locally.
+	tv, ok := pass.TypesInfo.Types[conv.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Kind() != types.Int64 {
+		return
+	}
+	inner := conv.Args[0]
+	if allowedDeltaSource(pass, inner) {
+		return
+	}
+	srcType := "unknown"
+	if t := pass.TypesInfo.Types[inner].Type; t != nil {
+		srcType = t.String()
+	}
+	pass.Reportf(conv.Pos(),
+		"raw %s→int64 delta conversion bypasses the ±1 flow-update discipline; derive the delta from a ±1-typed source (int8) or annotate //lint:deltaok",
+		srcType)
+}
+
+// allowedDeltaSource reports whether the conversion operand already carries
+// the ±1 discipline: an int8 value, an int64 identity, or a constant ±1.
+func allowedDeltaSource(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		if tv.Value.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(tv.Value); exact && (v == 1 || v == -1) {
+				return true
+			}
+		}
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Int8, types.Int64:
+		return true
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}

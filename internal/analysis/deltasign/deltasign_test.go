@@ -1,0 +1,12 @@
+package deltasign_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/deltasign"
+)
+
+func TestDeltaSign(t *testing.T) {
+	analysistest.Run(t, deltasign.Analyzer, "deltasign")
+}

@@ -1,0 +1,63 @@
+// Package deltasign is golden-test input covering delta-argument
+// conversions into Update-shaped APIs.
+package deltasign
+
+// Sketch stands in for an update API with an int64 delta.
+type Sketch struct{}
+
+// Update applies a net frequency change.
+func (s *Sketch) Update(src, dst uint32, delta int64) {}
+
+// UpdateKey is Update on a packed key.
+func (s *Sketch) UpdateKey(key uint64, delta int64) {}
+
+// Other has an Update with a non-int64 tail and is ignored.
+type Other struct{}
+
+// Update here ends in a string.
+func (o *Other) Update(name string) {}
+
+func unitUpdates(s *Sketch) {
+	s.Update(1, 2, 1)
+	s.Update(1, 2, -1)
+	s.UpdateKey(9, 1)
+}
+
+func int8Source(s *Sketch, d int8) {
+	s.Update(1, 2, int64(d))  // allowed: int8 carries the ±1 discipline
+	s.UpdateKey(9, int64(-d)) // allowed: still int8
+}
+
+func int64Passthrough(s *Sketch, delta int64) {
+	s.Update(1, 2, delta)
+	s.UpdateKey(9, int64(delta)) // allowed: identity conversion
+}
+
+func constUnits(s *Sketch) {
+	s.Update(1, 2, int64(1))
+	s.Update(1, 2, int64(-1))
+}
+
+func launderInt(s *Sketch, count int) {
+	s.Update(1, 2, int64(count)) // want `raw int→int64 delta conversion bypasses`
+}
+
+func launderUint(s *Sketch, n uint32) {
+	s.UpdateKey(7, int64(n)) // want `raw uint32→int64 delta conversion bypasses`
+}
+
+func launderInt32(s *Sketch, n int32) {
+	s.Update(1, 2, int64(n)) // want `raw int32→int64 delta conversion bypasses`
+}
+
+func launderConst(s *Sketch) {
+	s.Update(1, 2, int64(7)) // want `delta conversion bypasses`
+}
+
+func suppressed(s *Sketch, count int) {
+	s.Update(1, 2, int64(count)) //lint:deltaok replaying a pre-aggregated trace
+}
+
+func otherShape(o *Other) {
+	o.Update("x") // ignored: delta tail is not int64
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// LoadModule discovers, parses and type-checks every package of the Go module
+// rooted at root (the directory holding go.mod), excluding test files and
+// testdata trees. Packages are returned in dependency order.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]string{} // import path -> dir
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			imp := modPath
+			if rel != "." {
+				imp = modPath + "/" + filepath.ToSlash(rel)
+			}
+			dirs[imp] = path
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walk %s: %w", root, err)
+	}
+	return LoadTree(dirs)
+}
+
+// LoadTree parses and type-checks the packages in dirs, a mapping from import
+// path to source directory. Imports found in the mapping resolve to the
+// freshly checked packages; all other imports resolve from the standard
+// library. Packages are returned in dependency order.
+func LoadTree(dirs map[string]string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		dirs:   dirs,
+		loaded: map[string]*Package{},
+		state:  map[string]int{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	paths := make([]string, 0, len(dirs))
+	for p := range dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := ld.load(p); err != nil {
+			return nil, err
+		}
+	}
+	return ld.order, nil
+}
+
+type loader struct {
+	fset   *token.FileSet
+	dirs   map[string]string
+	loaded map[string]*Package
+	state  map[string]int // 0 unvisited, 1 visiting, 2 done
+	order  []*Package
+	std    types.Importer
+}
+
+// Import implements types.Importer: module-internal paths resolve to loaded
+// packages, everything else to the standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, ok := ld.dirs[path]; ok {
+		if err := ld.load(path); err != nil {
+			return nil, err
+		}
+		return ld.loaded[path].Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) error {
+	switch ld.state[path] {
+	case 2:
+		return nil
+	case 1:
+		return fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	ld.state[path] = 1
+	dir := ld.dirs[path]
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			ld.state[path] = 2
+			return nil
+		}
+		return fmt.Errorf("analysis: scan %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysis: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	// Load module-internal dependencies first so Import never recurses into
+	// a half-checked package.
+	for _, imp := range bp.Imports {
+		if _, ok := ld.dirs[imp]; ok {
+			if err := ld.load(imp); err != nil {
+				return err
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	cfg := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := cfg.Check(path, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return fmt.Errorf("analysis: type-check %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info}
+	ld.loaded[path] = pkg
+	ld.order = append(ld.order, pkg)
+	ld.state[path] = 2
+	return nil
+}
+
+// Run applies one analyzer to one package and returns its diagnostics.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	return diags, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

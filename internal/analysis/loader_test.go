@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModule loads the enclosing module and checks that core packages
+// come back parsed, type-checked, and dependency-ordered.
+func TestLoadModule(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Abs(root); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := map[string]int{}
+	for i, p := range pkgs {
+		if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.Path)
+		}
+		index[p.Path] = i
+	}
+	for _, want := range []string{"dcsketch", "dcsketch/internal/dcs", "dcsketch/internal/tdcs", "dcsketch/internal/wire", "dcsketch/cmd/sketchlint"} {
+		if _, ok := index[want]; !ok {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	// Dependency order: dcs before tdcs before the root package.
+	if !(index["dcsketch/internal/dcs"] < index["dcsketch/internal/tdcs"] && index["dcsketch/internal/tdcs"] < index["dcsketch"]) {
+		t.Errorf("packages not in dependency order: dcs=%d tdcs=%d root=%d",
+			index["dcsketch/internal/dcs"], index["dcsketch/internal/tdcs"], index["dcsketch"])
+	}
+}
+
+// TestModulePathErrors covers go.mod discovery failure modes.
+func TestModulePathErrors(t *testing.T) {
+	if _, err := modulePath(filepath.Join(t.TempDir(), "go.mod")); err == nil {
+		t.Error("expected error for missing go.mod")
+	}
+	if _, err := FindModuleRoot("/"); err == nil {
+		t.Error("expected error for rootless directory")
+	}
+}

@@ -1,0 +1,235 @@
+// Package seedcompat implements the sketchlint analyzer that enforces the
+// merge-compatibility invariant of the Distinct-Count Sketch: Merge, Subtract
+// and Fold combine two sketches correctly only when both were built from one
+// Config (seed included) — the sketch is a linear transform of the stream
+// under a *fixed* family of hash functions, so combining differently-seeded
+// counter arrays is numerically meaningless (the implementation degrades this
+// to a runtime ErrIncompatible, which seedcompat turns into a lint-time
+// report).
+//
+// A call x.Merge(y) (likewise Subtract/Fold) is accepted when the analyzer
+// can prove same-origin locally:
+//
+//   - homologous fields: x and y are the same struct field of two values of
+//     one type (e.g. t.base.Merge(other.base)) — the shared constructor of
+//     that type upholds the invariant;
+//   - shared construction: both operands were assigned in this function from
+//     constructor calls carrying the textually identical configuration
+//     argument (e.g. a, _ := dcs.New(cfg); b, _ := dcs.New(cfg));
+//   - derived construction: one operand's constructor argument is the other
+//     operand's Config() (e.g. acc, _ := dcs.New(edge.Config())).
+//
+// Anything else — operands arriving as parameters, fields of different
+// types, or decoded off the wire — must carry a same-line
+// "//lint:seedok <reason>" annotation acknowledging that compatibility is
+// established elsewhere (a dynamic check, a documented protocol contract).
+package seedcompat
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the seedcompat analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "seedcompat",
+	Doc:       "report sketch Merge/Subtract/Fold calls whose operands are not provably built from one Config/seed",
+	Directive: "seedok",
+	Run:       run,
+}
+
+// combineMethods are the sketch-combining method names covered by the
+// invariant.
+var combineMethods = map[string]bool{"Merge": true, "Subtract": true, "Fold": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			origins := constructorOrigins(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, origins)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCall reports call if it is a sketch-combining method call whose
+// operands cannot be proven config-compatible.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, origins map[types.Object]string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 || !combineMethods[sel.Sel.Name] {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return
+	}
+	recvT := pass.TypesInfo.Types[sel.X].Type
+	if recvT == nil || !types.Identical(sig.Params().At(0).Type(), recvT) {
+		return // not a self-typed combine method (e.g. some unrelated Merge)
+	}
+	recv, arg := sel.X, call.Args[0]
+	if homologousFields(pass, recv, arg) {
+		return
+	}
+	if sameOrigin(pass, recv, arg, origins) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"cannot prove %s and %s share one sketch Config/seed for %s; build both from one Config or annotate //lint:seedok",
+		analysis.ExprString(pass.Fset, recv), analysis.ExprString(pass.Fset, arg), sel.Sel.Name)
+}
+
+// homologousFields reports whether recv and arg select the same struct field
+// (same types.Object) from bases of identical type — e.g. s.inner and
+// other.inner on two *Tracker values, whose shared constructor establishes
+// the invariant.
+func homologousFields(pass *analysis.Pass, recv, arg ast.Expr) bool {
+	rs, ok1 := ast.Unparen(recv).(*ast.SelectorExpr)
+	as, ok2 := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok1 || !ok2 {
+		return false
+	}
+	rObj := pass.TypesInfo.Uses[rs.Sel]
+	aObj := pass.TypesInfo.Uses[as.Sel]
+	if rObj == nil || rObj != aObj {
+		return false
+	}
+	if _, isField := rObj.(*types.Var); !isField {
+		return false
+	}
+	rBase := pass.TypesInfo.Types[rs.X].Type
+	aBase := pass.TypesInfo.Types[as.X].Type
+	return rBase != nil && aBase != nil && types.Identical(rBase, aBase)
+}
+
+// constructorOrigins scans a function body for assignments of the form
+//
+//	v, err := pkg.New(cfgExpr)   (or v = ..., single-value forms)
+//
+// and maps v's object to a fingerprint of the constructor's configuration
+// argument (its source text). A variable assigned more than once with
+// different fingerprints becomes untrusted.
+func constructorOrigins(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]string {
+	origins := map[types.Object]string{}
+	poisoned := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fp, ok := constructorFingerprint(pass, call)
+		if !ok {
+			// Reassignment from a non-constructor poisons the variable.
+			for _, lhs := range assign.Lhs {
+				if obj := lhsObject(pass, lhs); obj != nil {
+					poisoned[obj] = true
+				}
+			}
+			return true
+		}
+		obj := lhsObject(pass, assign.Lhs[0])
+		if obj == nil {
+			return true
+		}
+		if prev, dup := origins[obj]; dup && prev != fp {
+			poisoned[obj] = true
+		}
+		origins[obj] = fp
+		return true
+	})
+	for obj := range poisoned {
+		delete(origins, obj)
+	}
+	return origins
+}
+
+// constructorFingerprint returns a config fingerprint for a call that looks
+// like a sketch constructor: a function named New or New<T> taking at least
+// one argument, fingerprinted by its first argument's source text.
+func constructorFingerprint(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if name != "New" && !(len(name) > 3 && name[:3] == "New") {
+		return "", false
+	}
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	return analysis.ExprString(pass.Fset, call.Args[0]), true
+}
+
+// lhsObject resolves an assignment target identifier to its object.
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// sameOrigin reports whether both operands carry equal constructor
+// fingerprints, or one operand's fingerprint is the other's Config() call.
+func sameOrigin(pass *analysis.Pass, recv, arg ast.Expr, origins map[types.Object]string) bool {
+	rfp, rok := operandFingerprint(pass, recv, origins)
+	afp, aok := operandFingerprint(pass, arg, origins)
+	if rok && aok && rfp == afp {
+		return true
+	}
+	// Derived construction: acc built from other.Config().
+	rtxt := analysis.ExprString(pass.Fset, recv)
+	atxt := analysis.ExprString(pass.Fset, arg)
+	if rok && rfp == atxt+".Config()" {
+		return true
+	}
+	if aok && afp == rtxt+".Config()" {
+		return true
+	}
+	return false
+}
+
+// operandFingerprint resolves an operand expression to its constructor
+// fingerprint, when the operand is a plain variable assigned in this
+// function.
+func operandFingerprint(pass *analysis.Pass, e ast.Expr, origins map[types.Object]string) (string, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return "", false
+	}
+	fp, ok := origins[obj]
+	return fp, ok
+}

@@ -1,0 +1,12 @@
+package seedcompat_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/seedcompat"
+)
+
+func TestSeedCompat(t *testing.T) {
+	analysistest.Run(t, seedcompat.Analyzer, "seedcompat")
+}

@@ -1,0 +1,86 @@
+// Package seedcompat is golden-test input: sketch-shaped types whose
+// Merge/Subtract calls exercise every proof rule and failure mode of the
+// analyzer.
+package seedcompat
+
+// Config stands in for dcs.Config.
+type Config struct{ Seed uint64 }
+
+// Sketch stands in for a mergeable sketch.
+type Sketch struct{ cfg Config }
+
+// New builds a sketch.
+func New(cfg Config) (*Sketch, error) { return &Sketch{cfg: cfg}, nil }
+
+// NewTracker is a second constructor shape.
+func NewTracker(cfg Config) (*Sketch, error) { return &Sketch{cfg: cfg}, nil }
+
+// Config returns the sketch config.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// Merge combines two sketches; requires equal configs.
+func (s *Sketch) Merge(o *Sketch) error { return nil }
+
+// Subtract removes o from s; requires equal configs.
+func (s *Sketch) Subtract(o *Sketch) error { return nil }
+
+// Rename has a non-self-typed Merge and must not be checked.
+type Rename struct{}
+
+// Merge here takes an unrelated argument type.
+func (r *Rename) Merge(s string) error { return nil }
+
+// Holder wraps a sketch, for the homologous-field rule.
+type Holder struct{ inner *Sketch }
+
+func sharedConstruction() {
+	cfg := Config{Seed: 1}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	_ = a.Merge(b) // proven: same constructor fingerprint
+}
+
+func mixedConstructors() {
+	cfg := Config{Seed: 1}
+	a, _ := New(cfg)
+	b, _ := NewTracker(cfg)
+	_ = a.Subtract(b) // proven: same config expression
+}
+
+func differentConfigs() {
+	a, _ := New(Config{Seed: 1})
+	b, _ := New(Config{Seed: 2})
+	_ = a.Merge(b) // want `cannot prove a and b share one sketch Config/seed`
+}
+
+func unknownParams(x, y *Sketch) {
+	_ = x.Merge(y) // want `cannot prove x and y share one sketch Config/seed`
+}
+
+func unknownSubtract(x, y *Sketch) {
+	_ = x.Subtract(y) // want `cannot prove x and y share one sketch Config/seed`
+}
+
+func annotated(x, y *Sketch) {
+	_ = x.Merge(y) //lint:seedok compatibility checked by the caller's protocol
+}
+
+func homologous(h1, h2 *Holder) {
+	_ = h1.inner.Merge(h2.inner) // proven: same field of one wrapper type
+}
+
+func derivedConfig(edge *Sketch) {
+	acc, _ := New(edge.Config())
+	_ = acc.Merge(edge) // proven: acc built from edge's own config
+}
+
+func reassigned(cfg, other Config) {
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	b, _ = New(other)
+	_ = a.Merge(b) // want `cannot prove a and b share one sketch Config/seed`
+}
+
+func notASketchMerge(r *Rename) {
+	_ = r.Merge("x") // not a self-typed combine method: ignored
+}

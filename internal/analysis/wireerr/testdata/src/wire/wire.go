@@ -1,0 +1,26 @@
+// Package wire is golden-test scaffolding standing in for the real
+// internal/wire package (the analyzer recognizes it by package name/path).
+package wire
+
+import "io"
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// DecodeUpdates decodes a payload.
+func DecodeUpdates(payload []byte) ([]int, error) {
+	return nil, nil
+}
+
+// AppendUpdates has no error result and is never reported.
+func AppendUpdates(buf []byte) []byte { return buf }

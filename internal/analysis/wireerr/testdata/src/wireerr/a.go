@@ -1,0 +1,76 @@
+// Package wireerr is golden-test input covering discarded and handled
+// errors on the wire path.
+package wireerr
+
+import (
+	"bufio"
+	"io"
+
+	"wire"
+)
+
+func ignoredCall(w io.Writer, p []byte) {
+	wire.WriteFrame(w, p) // want `error from wire.WriteFrame ignored on the wire path`
+}
+
+func blankAssign(w io.Writer, p []byte) {
+	_ = wire.WriteFrame(w, p) // want `error from wire.WriteFrame discarded with _ =`
+}
+
+func handled(w io.Writer, p []byte) error {
+	return wire.WriteFrame(w, p)
+}
+
+func multiBlank(p []byte) {
+	_, _ = wire.DecodeUpdates(p) // want `error from wire.DecodeUpdates discarded with _ =`
+}
+
+func multiKeptValue(p []byte) []int {
+	out, _ := wire.DecodeUpdates(p) // want `error from wire.DecodeUpdates discarded with _ =`
+	return out
+}
+
+func multiHandled(p []byte) ([]int, error) {
+	return wire.DecodeUpdates(p)
+}
+
+func flushIgnored(bw *bufio.Writer) {
+	bw.Flush() // want `error from bw.Flush ignored on the wire path`
+}
+
+func flushHandled(bw *bufio.Writer) error {
+	return bw.Flush()
+}
+
+func rawWrite(w io.Writer, p []byte) {
+	w.Write(p) // want `error from w.Write ignored on the wire path`
+}
+
+func rawWriteBlank(w io.Writer, p []byte) {
+	_, _ = w.Write(p) // want `error from w.Write discarded with _ =`
+}
+
+func rawWriteHandled(w io.Writer, p []byte) (int, error) {
+	return w.Write(p)
+}
+
+func ioHelpers(w io.Writer, r io.Reader, p []byte) {
+	io.WriteString(w, "x") // want `error from io.WriteString ignored on the wire path`
+	io.ReadFull(r, p)      // want `error from io.ReadFull ignored on the wire path`
+}
+
+func deferred(w io.Writer, p []byte) {
+	defer wire.WriteFrame(w, p) // want `error from wire.WriteFrame ignored in deferred call`
+}
+
+func inGoroutine(w io.Writer, p []byte) {
+	go wire.WriteFrame(w, p) // want `error from wire.WriteFrame ignored in go statement`
+}
+
+func noErrorResult(p []byte) []byte {
+	return wire.AppendUpdates(p)
+}
+
+func suppressed(w io.Writer, p []byte) {
+	_ = wire.WriteFrame(w, p) //lint:wireok best-effort error reply during teardown
+}

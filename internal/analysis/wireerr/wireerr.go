@@ -1,0 +1,186 @@
+// Package wireerr implements the sketchlint analyzer that forbids discarding
+// errors on the wire path. The daemon's correctness depends on every framed
+// write and decode being checked: a swallowed WriteFrame error desynchronizes
+// the protocol stream (the peer waits for a reply that never fully left the
+// buffer), and a swallowed decode error silently drops flow updates,
+// corrupting the sketch-to-stream correspondence the paper's guarantees rest
+// on.
+//
+// Stricter than errcheck, wireerr flags both outright-ignored results
+// (expression statements) and "_ =" swallowing for:
+//
+//   - any error-returning function or method declared in an internal/wire
+//     package (WriteFrame, ReadFrame, Decode*, ...);
+//   - Flush on a *bufio.Writer (the final step of every framed write);
+//   - Write/ReadFull-style io transfers: methods named Write and functions
+//     io.WriteString/io.ReadFull/io.Copy.
+//
+// There is deliberately no escape directive in routine code; the only
+// accepted suppression is "//lint:wireok" for e.g. best-effort error replies
+// on a connection that is already being torn down.
+package wireerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the wireerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wireerr",
+	Doc:       "report discarded errors from wire encode/decode and io writes on the wire path",
+	Directive: "wireok",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "ignored")
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			case *ast.GoStmt:
+				checkDiscard(pass, n.Call, "ignored in go statement")
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, "ignored in deferred call")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankAssign flags `_ = wireCall(...)` and multi-value forms that put
+// the error result in a blank identifier.
+func checkBlankAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	errIdx := errorResultIndex(pass, call)
+	if errIdx < 0 || !wirePathCall(pass, call) {
+		return
+	}
+	// Single-value call assigned entirely to _, or the error position
+	// specifically blanked.
+	if len(assign.Lhs) == 1 && isBlank(assign.Lhs[0]) {
+		report(pass, call, "discarded with _ =")
+		return
+	}
+	if errIdx < len(assign.Lhs) && isBlank(assign.Lhs[errIdx]) {
+		report(pass, call, "discarded with _ =")
+	}
+}
+
+// checkDiscard flags a call statement whose error result is dropped.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if errorResultIndex(pass, call) < 0 || !wirePathCall(pass, call) {
+		return
+	}
+	report(pass, call, how)
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	pass.Reportf(call.Pos(), "error from %s %s on the wire path; handle or return it",
+		calleeName(pass, call), how)
+}
+
+// errorResultIndex returns the index of the trailing error result of call's
+// signature, or -1.
+func errorResultIndex(pass *analysis.Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type()) {
+			return t.Len() - 1
+		}
+	default:
+		if t != nil && isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error"
+}
+
+// wirePathCall reports whether call targets a wire-path function: anything
+// declared in a package named/pathed "wire", bufio Flush, or an io write.
+func wirePathCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	callee := calleeObject(pass, call)
+	if callee == nil {
+		return false
+	}
+	if pkg := callee.Pkg(); pkg != nil {
+		if pkg.Name() == "wire" || strings.HasSuffix(pkg.Path(), "/wire") {
+			return true
+		}
+		if pkg.Path() == "io" {
+			switch callee.Name() {
+			case "WriteString", "ReadFull", "Copy", "CopyN":
+				return true
+			}
+		}
+	}
+	// Method calls: Flush on *bufio.Writer, or any Write method on an
+	// io.Writer-shaped receiver.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection := pass.TypesInfo.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+			recv := selection.Recv()
+			switch callee.Name() {
+			case "Flush":
+				return isBufioWriter(recv)
+			case "Write":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isBufioWriter(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "bufio" && obj.Name() == "Writer"
+}
+
+// calleeObject resolves the called function's object, or nil.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	return analysis.ExprString(pass.Fset, call.Fun)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

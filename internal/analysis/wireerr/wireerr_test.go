@@ -1,0 +1,12 @@
+package wireerr_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/wireerr"
+)
+
+func TestWireErr(t *testing.T) {
+	analysistest.Run(t, wireerr.Analyzer, "wireerr")
+}

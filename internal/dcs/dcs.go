@@ -221,6 +221,9 @@ func (s *Sketch) UpdateKey(key uint64, delta int64) {
 		b := s.bucketHash[j].Bucket(key, s.cfg.Buckets)
 		s.layout.Update(s.bucketSig(level, j, b), key, delta, fp)
 	}
+	if debugAssertions && delta < 0 {
+		s.assertKeyBuckets(key, "delete")
+	}
 }
 
 // sampleTarget is the estimator's stopping threshold (see
@@ -380,6 +383,9 @@ func (s *Sketch) Merge(other *Sketch) error {
 		s.counters[i] += c
 	}
 	s.updates += other.updates
+	if debugAssertions {
+		s.assertAllBuckets("Merge")
+	}
 	return nil
 }
 
@@ -399,6 +405,9 @@ func (s *Sketch) Subtract(other *Sketch) error {
 		s.updates = 0
 	} else {
 		s.updates -= other.updates
+	}
+	if debugAssertions {
+		s.assertAllBuckets("Subtract")
 	}
 	return nil
 }

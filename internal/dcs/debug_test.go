@@ -1,0 +1,63 @@
+//go:build dcsdebug
+
+package dcs
+
+import (
+	"testing"
+
+	"dcsketch/internal/hashing"
+)
+
+// mustPanic runs fn and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected a dcsdebug panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+func TestDebugWellFormedStreamPasses(t *testing.T) {
+	cfg := Config{Seed: 7}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	rng := hashing.NewSplitMix64(8)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Next()
+		a.UpdateKey(keys[i], 1)
+		b.UpdateKey(keys[i], 1)
+	}
+	// Deletes never exceeding inserts keep every invariant intact.
+	for _, k := range keys[:200] {
+		a.UpdateKey(k, -1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Subtract(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDebugDeleteBelowZeroPanics(t *testing.T) {
+	s := mustNew(t, Config{Seed: 9})
+	s.UpdateKey(42, 1)
+	s.UpdateKey(42, -1)
+	mustPanic(t, "second delete of a once-inserted pair", func() {
+		s.UpdateKey(42, -1)
+	})
+}
+
+func TestDebugBadSubtractPanics(t *testing.T) {
+	cfg := Config{Seed: 10}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	a.UpdateKey(1, 1)
+	b.UpdateKey(2, 1) // not a substream of a
+	mustPanic(t, "subtracting a non-substream sketch", func() {
+		_ = a.Subtract(b)
+	})
+}

@@ -13,6 +13,7 @@ package monitor
 
 import (
 	"fmt"
+	"sync"
 
 	"dcsketch/internal/dcs"
 	"dcsketch/internal/tdcs"
@@ -97,23 +98,35 @@ type Alert struct {
 	AtUpdate uint64
 }
 
-// Monitor is a single DDoS MONITOR instance. Not safe for concurrent use.
+// Monitor is a single DDoS MONITOR instance. All methods are safe for
+// concurrent use: the tracking sketch is single-writer by contract
+// (internal/dcs), so the monitor serializes every access through one mutex —
+// the mutex lives with the state it protects, and the sketchlint lockcheck
+// analyzer enforces the pairing.
 type Monitor struct {
-	cfg    Config
-	sketch *tdcs.Sketch
+	cfg Config
 
+	// mu guards all mutable monitor state below.
+	mu sync.Mutex
+
+	// sketch is the tracking synopsis. guarded by mu
+	sketch *tdcs.Sketch
 	// baseline holds per-destination EWMA profiles of estimated
 	// frequency, built only from top-k observations (the only
-	// destinations a small-space monitor ever resolves).
+	// destinations a small-space monitor ever resolves). guarded by mu
 	baseline map[uint32]float64
 	// alerting marks destinations currently above threshold, giving the
 	// alert stream hysteresis: one alert per excursion, re-armed when
-	// the frequency falls back to half the trigger level.
+	// the frequency falls back to half the trigger level. guarded by mu
 	alerting map[uint32]bool
+	// alerts accumulates every raised alert. guarded by mu
+	alerts []Alert
+	// n counts consumed updates. guarded by mu
+	n uint64
 
-	alerts  []Alert
+	// onAlert is immutable after New; it is invoked with mu held and must
+	// not call back into the monitor.
 	onAlert func(Alert)
-	n       uint64
 }
 
 // New builds a monitor. onAlert, if non-nil, is invoked synchronously for
@@ -141,6 +154,8 @@ func (m *Monitor) Config() Config { return m.cfg }
 
 // Update consumes one flow update; it implements the stream.Sink shape.
 func (m *Monitor) Update(src, dst uint32, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.sketch.Update(src, dst, delta)
 	m.n++
 	if m.n%uint64(m.cfg.CheckInterval) == 0 {
@@ -149,6 +164,8 @@ func (m *Monitor) Update(src, dst uint32, delta int64) {
 }
 
 // check runs one tracking query and updates profiles and alerts.
+//
+//lint:locked mu
 func (m *Monitor) check() {
 	for _, e := range m.sketch.TopK(m.cfg.K) {
 		base := m.baseline[e.Dest]
@@ -179,22 +196,61 @@ func (m *Monitor) check() {
 
 // Alerts returns a copy of all alerts raised so far.
 func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]Alert, len(m.alerts))
 	copy(out, m.alerts)
 	return out
 }
 
 // Alerting reports whether dest is currently in an alert excursion.
-func (m *Monitor) Alerting(dest uint32) bool { return m.alerting[dest] }
+func (m *Monitor) Alerting(dest uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alerting[dest]
+}
 
 // TopK exposes the current tracking answer.
-func (m *Monitor) TopK(k int) []dcs.Estimate { return m.sketch.TopK(k) }
+func (m *Monitor) TopK(k int) []dcs.Estimate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sketch.TopK(k)
+}
 
 // Updates returns the number of consumed updates.
-func (m *Monitor) Updates() uint64 { return m.n }
+func (m *Monitor) Updates() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
 
-// Sketch exposes the underlying tracking sketch, e.g. for a Collector.
-func (m *Monitor) Sketch() *tdcs.Sketch { return m.sketch }
+// MergeSketch folds an externally built sketch (e.g. one shipped over the
+// wire from an edge exporter) into the monitor's tracking state. Both
+// sketches must share one Config, seed included; incompatibility surfaces as
+// tdcs's ErrIncompatible.
+func (m *Monitor) MergeSketch(edge *tdcs.Sketch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sketch.Merge(edge) //lint:seedok wire contract: exporter must use the collector's seed; Merge rejects mismatches at runtime
+}
+
+// MergeInto folds the monitor's sketch into dst while holding the monitor
+// lock, so collectors observe a quiescent edge sketch. dst must share the
+// monitor's sketch Config, seed included.
+func (m *Monitor) MergeInto(dst *tdcs.Sketch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return dst.Merge(m.sketch) //lint:seedok collector contract: NewCollector requires the edge monitors' config; Merge rejects mismatches at runtime
+}
+
+// Sketch exposes the underlying tracking sketch, e.g. for serialization at
+// an edge exporter. The caller must ensure no concurrent Update runs while
+// it uses the returned sketch (prefer MergeInto for collector folds).
+func (m *Monitor) Sketch() *tdcs.Sketch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sketch
+}
 
 // Collector merges the sketches of several edge monitors into a global view
 // of the network (Fig. 1: streams from many network elements feed one DDoS
@@ -213,11 +269,13 @@ func NewCollector(cfg dcs.Config) (*Collector, error) {
 	return &Collector{sketch: sk}, nil
 }
 
-// Gather resets the collector and merges the given monitors' sketches.
+// Gather resets the collector and merges the given monitors' sketches. Each
+// monitor is folded under its own lock, so Gather is safe to run while the
+// edges keep consuming updates (the combined view is per-edge consistent).
 func (c *Collector) Gather(monitors ...*Monitor) error {
 	c.sketch.Reset()
 	for i, m := range monitors {
-		if err := c.sketch.Merge(m.Sketch()); err != nil {
+		if err := m.MergeInto(c.sketch); err != nil {
 			return fmt.Errorf("monitor: merge sketch %d: %w", i, err)
 		}
 	}

@@ -230,7 +230,7 @@ func (n *Network) CollectorTopK(k int) ([]dcs.Estimate, error) {
 		return nil, fmt.Errorf("netsim: collector: %w", err)
 	}
 	for _, r := range routers {
-		if err := col.Merge(n.monitors[r]); err != nil {
+		if err := col.Merge(n.monitors[r]); err != nil { //lint:seedok col is built from a router monitor's Config, and NewNetwork gives every router the same config
 			return nil, fmt.Errorf("netsim: merge router %d: %w", r, err)
 		}
 	}

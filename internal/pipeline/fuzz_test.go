@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/tdcs"
+)
+
+// FuzzShardRouting checks the pipeline's core algebraic claim: routing a
+// stream across shard sketches by pair hash and folding the shards answers
+// exactly like one sketch that consumed the whole stream. The sketch is a
+// linear transform, so any divergence means the router split a pair across
+// shards, a fold lost updates, or a worker applied them out of order.
+func FuzzShardRouting(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 0, 0, 2, 0, 0, 2, 0, 1, 3, 1, 0})
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(7), []byte{0xff, 0xff, 1, 0xff, 0xff, 1})
+	f.Fuzz(func(t *testing.T, shards uint8, data []byte) {
+		workers := int(shards)%8 + 1
+		cfg := dcs.Config{Seed: 99, Buckets: 16, Tables: 2, Levels: 16}
+		p, err := New(cfg, workers, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		single, err := tdcs.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each 3-byte record is one update: two bytes select a pair key
+		// from a small space (forcing bucket collisions and
+		// singleton/collision transitions) and one byte the ±1 delta.
+		for len(data) >= 3 {
+			key := uint64(binary.LittleEndian.Uint16(data))
+			delta := int64(1)
+			if data[2]&1 == 1 {
+				delta = -1
+			}
+			p.UpdateKey(key, delta)
+			single.UpdateKey(key, delta)
+			data = data[3:]
+		}
+		p.Close() // drain every shard queue before folding
+
+		if got, want := p.Updates(), single.Updates(); got != want {
+			t.Fatalf("pipeline consumed %d updates, single sketch %d", got, want)
+		}
+		got, err := p.Threshold(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := single.Threshold(1)
+		if len(got) != len(want) {
+			t.Fatalf("Threshold(1): pipeline %v, single %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Threshold(1)[%d]: pipeline %+v, single %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

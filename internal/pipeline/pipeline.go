@@ -43,16 +43,35 @@ type foldRequest struct {
 	done chan error
 }
 
-// worker owns one shard.
+// worker owns one shard. The sketch is private to the loop goroutine (the
+// documented single-writer discipline); stats are the only cross-goroutine
+// worker state and live behind statMu so Stats can read them live.
 type worker struct {
 	updates chan update
 	folds   chan foldRequest
 	sketch  *tdcs.Sketch
 	done    chan struct{}
+
+	statMu sync.Mutex
+	// applied counts updates absorbed into the shard sketch, published at
+	// each quiescent point (fold or exit). guarded by statMu
+	applied uint64
+	// served counts fold requests this worker answered. guarded by statMu
+	served uint64
 }
 
 func (w *worker) loop() {
 	defer close(w.done)
+	applied := uint64(0)
+	publish := func(foldServed bool) {
+		w.statMu.Lock()
+		w.applied = applied
+		if foldServed {
+			w.served++
+		}
+		w.statMu.Unlock()
+	}
+	defer publish(false)
 	for {
 		select {
 		case u, ok := <-w.updates:
@@ -63,6 +82,7 @@ func (w *worker) loop() {
 				return
 			}
 			w.sketch.UpdateKey(u.key, u.delta)
+			applied++
 		case req := <-w.folds:
 			// Prefer pending updates: drain the queue before
 			// folding so queries observe everything submitted
@@ -76,11 +96,13 @@ func (w *worker) loop() {
 						break
 					}
 					w.sketch.UpdateKey(u.key, u.delta)
+					applied++
 				default:
 					drained = true
 				}
 			}
-			req.done <- req.acc.Merge(w.sketch)
+			publish(true)
+			req.done <- req.acc.Merge(w.sketch) //lint:seedok fold builds acc from p.cfg, the same config every shard sketch is built from
 		}
 	}
 }
@@ -171,7 +193,7 @@ func (p *Pipeline) fold() (*tdcs.Sketch, error) {
 		case <-w.done:
 			// Worker already stopped (Close): its sketch is
 			// quiescent, merge directly.
-			if err := acc.Merge(w.sketch); err != nil {
+			if err := acc.Merge(w.sketch); err != nil { //lint:seedok acc is built from p.cfg, the same config every shard sketch is built from
 				return nil, fmt.Errorf("pipeline: fold stopped shard %d: %w", i, err)
 			}
 		}
@@ -207,6 +229,25 @@ func (p *Pipeline) Threshold(tau int64) ([]dcs.Estimate, error) {
 
 // Updates returns the number of updates submitted so far.
 func (p *Pipeline) Updates() uint64 { return p.n.Load() }
+
+// ShardStats reports one shard's counters. Applied lags submissions by the
+// queue depth: workers publish it at quiescent points (a served fold or
+// worker exit), so after a fold or Close it is exact.
+type ShardStats struct {
+	Applied uint64 // updates absorbed into the shard sketch
+	Served  uint64 // fold requests answered
+}
+
+// Stats returns a per-shard snapshot of worker counters.
+func (p *Pipeline) Stats() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i, w := range p.shards {
+		w.statMu.Lock()
+		out[i] = ShardStats{Applied: w.applied, Served: w.served}
+		w.statMu.Unlock()
+	}
+	return out
+}
 
 // Shards returns the worker count.
 func (p *Pipeline) Shards() int { return len(p.shards) }

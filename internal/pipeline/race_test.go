@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+)
+
+// TestStatsUnderConcurrency hammers the pipeline from many producer
+// goroutines while folds, stat reads, and a Close race along; -race checks
+// the channel handoff of shard sketches and the statMu-guarded worker
+// counters.
+func TestStatsUnderConcurrency(t *testing.T) {
+	p, err := New(dcs.Config{Seed: 77, Buckets: 32}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, perProducer = 6, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := hashing.NewSplitMix64(uint64(g) + 1)
+			for i := 0; i < perProducer; i++ {
+				p.UpdateKey(rng.Next(), 1)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := p.TopK(3); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = p.Stats()
+				_ = p.Updates()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	p.Close()
+	if got := p.Updates(); got != producers*perProducer {
+		t.Fatalf("submitted %d updates, want %d", got, producers*perProducer)
+	}
+	var applied uint64
+	for _, st := range p.Stats() {
+		applied += st.Applied
+	}
+	if applied != producers*perProducer {
+		t.Fatalf("shards applied %d updates after Close, want %d", applied, producers*perProducer)
+	}
+}

@@ -45,16 +45,24 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	mu  sync.Mutex
+	// mu serializes monitor access with the counter snapshots so Stats
+	// is consistent with the detection state.
+	mu sync.Mutex
+	// mon is the shared detection state. guarded by mu
 	mon *monitor.Monitor
 
+	// connMu guards the connection-lifecycle state below.
+	connMu sync.Mutex
+	// listener is the bound listener, nil until Listen. guarded by connMu
 	listener net.Listener
-	conns    map[net.Conn]struct{}
-	connMu   sync.Mutex
+	// conns tracks live connections so Shutdown can close them. guarded by connMu
+	conns map[net.Conn]struct{}
+
 	wg       sync.WaitGroup
 	shutdown chan struct{}
 	once     sync.Once
 
+	// Traffic counters. guarded by mu
 	updatesIn, batchesIn, queriesIn, sketchesIn, protocolErrs uint64
 }
 
@@ -85,8 +93,23 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s.listener = ln
-	s.wg.Add(1)
+	// Registering under connMu orders this against Shutdown: either the
+	// accept loop is accounted in wg before Shutdown closes connections
+	// (so Wait covers it), or shutdown already began and Listen refuses.
+	s.connMu.Lock()
+	down := false
+	select {
+	case <-s.shutdown:
+		down = true
+	default:
+		s.listener = ln
+		s.wg.Add(1)
+	}
+	s.connMu.Unlock()
+	if down {
+		_ = ln.Close()
+		return nil, errors.New("server: already shut down")
+	}
 	go s.acceptLoop(ln)
 	return ln.Addr(), nil
 }
@@ -218,7 +241,7 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
 		}
 		s.mu.Lock()
-		err = s.mon.Sketch().Merge(edge)
+		err = s.mon.MergeSketch(edge)
 		if err == nil {
 			s.sketchesIn++
 		} else {
@@ -279,10 +302,10 @@ func (s *Server) Stats() Stats {
 func (s *Server) Shutdown() {
 	s.once.Do(func() {
 		close(s.shutdown)
+		s.connMu.Lock()
 		if s.listener != nil {
 			_ = s.listener.Close()
 		}
-		s.connMu.Lock()
 		for conn := range s.conns {
 			_ = conn.Close()
 		}

@@ -1,0 +1,12 @@
+//go:build !dcsdebug
+
+package tdcs
+
+// debugAssertions is false in ordinary builds, compiling the assertion call
+// sites out entirely; build with -tags dcsdebug to swap in the checking
+// implementations (debug_on.go).
+const debugAssertions = false
+
+func (t *Sketch) assertKeyTracking(level int, key uint64, op string) {}
+
+func (t *Sketch) assertTracking(op string) {}

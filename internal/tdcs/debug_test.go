@@ -1,0 +1,68 @@
+//go:build dcsdebug
+
+package tdcs
+
+import (
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+)
+
+// TestDebugTrackingVerified drives updates, deletes, a serialization round
+// trip, and a merge with the per-operation tracking assertions armed; any
+// divergence between tracking state and counters panics.
+func TestDebugTrackingVerified(t *testing.T) {
+	cfg := dcs.Config{Seed: 21, Buckets: 32, Tables: 3}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewSplitMix64(22)
+	keys := make([]uint64, 400)
+	for i := range keys {
+		keys[i] = rng.Next()
+		a.UpdateKey(keys[i], 1)
+		if i%2 == 0 {
+			b.UpdateKey(keys[i], 1)
+		}
+	}
+	for _, k := range keys[:150] {
+		a.UpdateKey(k, -1)
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBinary(blob); err != nil { // Rebuild asserts
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil { // Rebuild asserts
+		t.Fatal(err)
+	}
+}
+
+// TestDebugCatchesCorruptedTracking corrupts the singleton bookkeeping
+// behind the counters' back and checks the full verification notices.
+func TestDebugCatchesCorruptedTracking(t *testing.T) {
+	s, err := New(dcs.Config{Seed: 23, Buckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		s.UpdateKey(i*2654435761, 1)
+	}
+	// Invent a tracked singleton that no counter supports.
+	phantom := uint64(0xdead)
+	s.singles[s.base.LevelOf(phantom)][phantom] = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assertTracking accepted corrupted tracking state")
+		}
+	}()
+	s.assertTracking("test")
+}

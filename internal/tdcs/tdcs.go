@@ -135,6 +135,9 @@ func (t *Sketch) UpdateKey(key uint64, delta int64) {
 			t.incrSingleton(level, afterKey)
 		}
 	}
+	if debugAssertions {
+		t.assertKeyTracking(level, key, "UpdateKey")
+	}
 }
 
 // incrSingleton records that key gained a singleton occurrence in one
@@ -283,6 +286,9 @@ func (t *Sketch) Rebuild() {
 				}
 			}
 		}
+	}
+	if debugAssertions {
+		t.assertTracking("Rebuild")
 	}
 }
 

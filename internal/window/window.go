@@ -70,7 +70,7 @@ func (t *Tracker) Update(src, dst uint32, delta int64) {
 func (t *Tracker) Rotate() error {
 	t.head = (t.head + 1) % t.epochs
 	oldest := t.ring[t.head]
-	if err := t.sum.Subtract(oldest); err != nil {
+	if err := t.sum.Subtract(oldest); err != nil { //lint:seedok New builds sum and every ring epoch from the one cfg argument
 		return fmt.Errorf("window: retire epoch: %w", err)
 	}
 	oldest.Reset()
