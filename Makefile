@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint race debugtest check
+.PHONY: build test lint race debugtest check bench
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,8 @@ debugtest:
 # assertions, and a fuzz smoke pass. Mirrors ./ci.sh check.
 check:
 	./ci.sh check
+
+# Perf gate: run the gated benchmarks, record medians to BENCH_2.json, and
+# fail on >10% ns/op regression against BENCH_baseline.json.
+bench:
+	./ci.sh bench

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
 	"dcsketch/internal/tdcs"
 	"dcsketch/internal/trace"
 )
@@ -44,6 +45,22 @@ import (
 type Estimate struct {
 	Dest  uint32
 	Count int64
+}
+
+// FlowUpdate is one record of a batched submission: a signed net frequency
+// change for the (Src, Dst) pair. Delta +1 records a potentially-malicious
+// connection (Insert); -1 removes one (Delete).
+type FlowUpdate struct {
+	Src, Dst uint32
+	Delta    int64
+}
+
+// appendKeyDeltas re-keys a public batch into the internal packed form.
+func appendKeyDeltas(dst []dcs.KeyDelta, batch []FlowUpdate) []dcs.KeyDelta {
+	for _, u := range batch {
+		dst = append(dst, dcs.KeyDelta{Key: hashing.PairKey(u.Src, u.Dst), Delta: u.Delta})
+	}
+	return dst
 }
 
 // Option configures a sketch.
@@ -92,6 +109,9 @@ func buildConfig(opts []Option) dcs.Config {
 // Sketch is the basic Distinct-Count Sketch (paper §3-§4).
 type Sketch struct {
 	inner *dcs.Sketch
+	// scratch is the re-keying buffer of UpdateBatch, reused across calls
+	// under the sketch's single-goroutine contract.
+	scratch []dcs.KeyDelta
 }
 
 // NewSketch builds an empty basic sketch.
@@ -113,6 +133,19 @@ func (s *Sketch) Delete(src, dst uint32) { s.inner.Update(src, dst, -1) }
 
 // Update applies a signed net frequency change for the (src, dst) pair.
 func (s *Sketch) Update(src, dst uint32, delta int64) { s.inner.Update(src, dst, delta) }
+
+// UpdateBatch applies a batch of flow updates through the sketch's batched
+// kernel — the fast path when updates arrive in groups (decoded packet
+// bursts, replayed traces): the per-call overhead is paid once per batch
+// rather than once per record. Equivalent to calling Update for each record
+// in order.
+func (s *Sketch) UpdateBatch(batch []FlowUpdate) {
+	if len(batch) == 0 {
+		return
+	}
+	s.scratch = appendKeyDeltas(s.scratch[:0], batch)
+	s.inner.UpdateBatch(s.scratch)
+}
 
 // TopK returns the approximate k destinations with the largest
 // distinct-source frequencies, in descending order.
@@ -161,6 +194,9 @@ func UnmarshalSketch(data []byte) (*Sketch, error) {
 // semantics as Sketch, with O(k log k) continuous top-k queries.
 type Tracker struct {
 	inner *tdcs.Sketch
+	// scratch is the re-keying buffer of UpdateBatch, reused across calls
+	// under the sketch's single-goroutine contract.
+	scratch []dcs.KeyDelta
 }
 
 // NewTracker builds an empty tracking sketch.
@@ -180,6 +216,17 @@ func (t *Tracker) Delete(src, dst uint32) { t.inner.Update(src, dst, -1) }
 
 // Update applies a signed net frequency change for the (src, dst) pair.
 func (t *Tracker) Update(src, dst uint32, delta int64) { t.inner.Update(src, dst, delta) }
+
+// UpdateBatch applies a batch of flow updates through the tracker's batched
+// kernel, maintaining the incremental tracking state for every record.
+// Equivalent to calling Update for each record in order.
+func (t *Tracker) UpdateBatch(batch []FlowUpdate) {
+	if len(batch) == 0 {
+		return
+	}
+	t.scratch = appendKeyDeltas(t.scratch[:0], batch)
+	t.inner.UpdateBatch(t.scratch)
+}
 
 // TopK returns the approximate top-k destinations in O(k log k).
 func (t *Tracker) TopK(k int) []Estimate { return convertEstimates(t.inner.TopK(k)) }

@@ -1,0 +1,125 @@
+package dcsketch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// flowStream builds n public flow updates with inserts and matched deletes.
+func flowStream(rng *rand.Rand, n int) []FlowUpdate {
+	type pair struct{ src, dst uint32 }
+	stream := make([]FlowUpdate, 0, n)
+	live := make([]pair, 0, n)
+	for len(stream) < n {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			stream = append(stream, FlowUpdate{Src: live[i].src, Dst: live[i].dst, Delta: -1})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		p := pair{src: rng.Uint32(), dst: 0x0a000000 + uint32(rng.Intn(50))}
+		stream = append(stream, FlowUpdate{Src: p.src, Dst: p.dst, Delta: 1})
+		live = append(live, p)
+	}
+	return stream
+}
+
+// TestPublicBatchEquivalence checks every public batch entry point against
+// its scalar twin on one stream: Sketch, Tracker, WindowedTracker (with a
+// mid-stream rotation) and Monitor must answer identically either way.
+func TestPublicBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	stream := flowStream(rng, 6000)
+	opts := []Option{WithSeed(9)}
+
+	sk, _ := NewSketch(opts...)
+	skBatch, _ := NewSketch(opts...)
+	tr, _ := NewTracker(opts...)
+	trBatch, _ := NewTracker(opts...)
+	wt, _ := NewWindowedTracker(3, opts...)
+	wtBatch, _ := NewWindowedTracker(3, opts...)
+	mon, err := NewMonitor(MonitorConfig{SketchOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monBatch, err := NewMonitor(MonitorConfig{SketchOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := len(stream) / 2
+	for _, part := range [][]FlowUpdate{stream[:half], stream[half:]} {
+		for _, u := range part {
+			sk.Update(u.Src, u.Dst, u.Delta)
+			tr.Update(u.Src, u.Dst, u.Delta)
+			wt.Update(u.Src, u.Dst, u.Delta)
+			mon.Update(u.Src, u.Dst, u.Delta)
+		}
+		skBatch.UpdateBatch(part)
+		trBatch.UpdateBatch(part)
+		wtBatch.UpdateBatch(part)
+		monBatch.UpdateBatch(part)
+
+		// Rotate mid-stream so the window path covers epoch retirement
+		// on both sides.
+		if err := wt.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := wtBatch.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := skBatch.TopK(10), sk.TopK(10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sketch TopK: batch %v != scalar %v", got, want)
+	}
+	if got, want := trBatch.TopK(10), tr.TopK(10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tracker TopK: batch %v != scalar %v", got, want)
+	}
+	if got, want := wtBatch.TopK(10), wt.TopK(10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WindowedTracker TopK: batch %v != scalar %v", got, want)
+	}
+	if got, want := monBatch.TopK(10), mon.TopK(10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Monitor TopK: batch %v != scalar %v", got, want)
+	}
+	if got, want := monBatch.Updates(), mon.Updates(); got != want {
+		t.Fatalf("Monitor updates: batch %d != scalar %d", got, want)
+	}
+	if got, want := trBatch.Updates(), tr.Updates(); got != want {
+		t.Fatalf("Tracker updates: batch %d != scalar %d", got, want)
+	}
+}
+
+// TestMonitorBatchAlerts checks that the batched monitor path still fires
+// alerts: a flood crossing the check interval inside one batch must be
+// detected exactly once.
+func TestMonitorBatchAlerts(t *testing.T) {
+	var alerts []Alert
+	mon, err := NewMonitor(MonitorConfig{
+		SketchOptions: []Option{WithSeed(3)},
+		CheckInterval: 1024,
+		MinFrequency:  64,
+		OnAlert:       func(a Alert) { alerts = append(alerts, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := uint32(0xc0a80001)
+	batch := make([]FlowUpdate, 0, 4096)
+	for i := uint32(0); i < 4096; i++ {
+		batch = append(batch, FlowUpdate{Src: 0x0b000000 + i, Dst: victim, Delta: 1})
+	}
+	// One batch crosses the interval several times; the check coalesces to
+	// one evaluation, which must raise exactly one alert for the victim.
+	mon.UpdateBatch(batch)
+
+	if len(alerts) != 1 || alerts[0].Dest != victim {
+		t.Fatalf("alerts = %+v, want exactly one for %x", alerts, victim)
+	}
+	if !mon.Alerting(victim) {
+		t.Fatal("victim not in alerting state after batch")
+	}
+}

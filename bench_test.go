@@ -335,8 +335,9 @@ func BenchmarkWindowRotate(b *testing.B) {
 	}
 }
 
-// BenchmarkPipelineIngest measures the sharded concurrent ingestion path
-// (channel hop + worker update) against direct single-sketch updates
+// BenchmarkPipelineIngest measures the sharded concurrent ingestion fast
+// path — per-producer staging buffers shipped to shard workers one channel
+// hop per batch — against direct single-sketch updates
 // (BenchmarkUpdateTracking).
 func BenchmarkPipelineIngest(b *testing.B) {
 	p, err := pipeline.New(dcs.Config{Seed: 37}, 2, 4096)
@@ -345,11 +346,13 @@ func BenchmarkPipelineIngest(b *testing.B) {
 	}
 	defer p.Close()
 	ups := benchWorkload(b, 100_000, 640, 1.0).Updates()
+	bt := p.NewBatcher()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := ups[i%len(ups)]
-		p.Update(u.Src, u.Dst, int64(u.Delta))
+		bt.Update(u.Src, u.Dst, int64(u.Delta))
 	}
+	bt.Flush()
 }
 
 // BenchmarkSerializeSketch measures the RLE wire encoding.

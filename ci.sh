@@ -4,6 +4,10 @@
 #   ./ci.sh tier1   build + unit tests (the always-green floor)
 #   ./ci.sh check   tier1 plus vet, sketchlint, -race tests, dcsdebug
 #                   assertion tests, and a fuzz smoke pass
+#   ./ci.sh bench   run the Table-2 update/query benchmarks plus the
+#                   pipeline ingest benchmark with -benchmem, record
+#                   medians to BENCH_2.json, and fail if any ns/op
+#                   regresses >10% against BENCH_baseline.json
 #
 # `check` is the full gate documented in ROADMAP.md; run it before merging.
 set -eu
@@ -34,11 +38,25 @@ check() {
 	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
 }
 
+bench() {
+	# The five gated benchmarks: the Table-2 per-update/query costs and
+	# the sharded ingest path. 5 repeats give benchcheck a stable median.
+	out="$(mktemp)"
+	trap 'rm -f "$out"' EXIT
+	go test -run '^$' \
+		-bench '^(BenchmarkUpdateBasic|BenchmarkUpdateTracking|BenchmarkQueryBasic|BenchmarkQueryTracking|BenchmarkPipelineIngest)$' \
+		-benchmem -count 5 . | tee "$out"
+	go run ./cmd/benchcheck parse -o BENCH_2.json "$out"
+	go run ./cmd/benchcheck compare \
+		-baseline BENCH_baseline.json -current BENCH_2.json -max-regress 0.10
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 check) check ;;
+bench) bench ;;
 *)
-	echo "usage: $0 [tier1|check]" >&2
+	echo "usage: $0 [tier1|check|bench]" >&2
 	exit 2
 	;;
 esac

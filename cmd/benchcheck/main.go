@@ -1,0 +1,300 @@
+// Command benchcheck turns raw `go test -bench` output into a stable JSON
+// record and gates performance regressions against a committed baseline —
+// a minimal benchstat stand-in using only the standard library.
+//
+// Two subcommands:
+//
+//	benchcheck parse [-o out.json] [bench.out]
+//	    Parse benchmark output (stdin when no file is given), reduce
+//	    repeated runs of each benchmark (-count N) to per-metric medians,
+//	    and write the JSON record.
+//
+//	benchcheck compare -baseline a.json -current b.json [-max-regress 0.10]
+//	    Compare two records: exit non-zero when any benchmark present in
+//	    the baseline is missing from the current record or has regressed
+//	    by more than the allowed fraction in ns/op.
+//
+// Medians (not means) absorb the occasional descheduled run on shared CI
+// hardware; the committed baseline makes the gate reproducible without
+// rerunning the seed revision.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics holds one benchmark's median results across repeated runs.
+type Metrics struct {
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Record is the JSON document benchcheck reads and writes.
+type Record struct {
+	// Context mirrors the `go test` preamble (goos, goarch, cpu, pkg).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks maps benchmark name (CPU suffix stripped) to medians.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchcheck parse|compare [flags]")
+	}
+	switch args[0] {
+	case "parse":
+		return runParse(args[1:], stdin, stdout)
+	case "compare":
+		return runCompare(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want parse or compare)", args[0])
+	}
+}
+
+func runParse(args []string, stdin io.Reader, stdout io.Writer) error {
+	out := ""
+	var inputs []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("parse: -o needs a file")
+			}
+			out = args[i]
+		default:
+			inputs = append(inputs, args[i])
+		}
+	}
+	var r io.Reader = stdin
+	if len(inputs) == 1 {
+		f, err := os.Open(inputs[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	} else if len(inputs) > 1 {
+		return fmt.Errorf("parse: at most one input file")
+	}
+
+	rec, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("parse: no benchmark lines found")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkUpdateBasic-4   1756963   686.1 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// Parse reads `go test -bench` output and reduces repeated runs to medians.
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{Context: map[string]string{}, Benchmarks: map[string]Metrics{}}
+	type samples struct{ ns, bytes, allocs []float64 }
+	all := map[string]*samples{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rec.Context[key] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[2]
+		s := all[name]
+		if s == nil {
+			s = &samples{}
+			all[name] = s
+		}
+		fields := strings.Fields(rest)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: bad value %q: %v", name, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "B/op":
+				s.bytes = append(s.bytes, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for name, s := range all {
+		if len(s.ns) == 0 {
+			continue
+		}
+		rec.Benchmarks[name] = Metrics{
+			Runs:        len(s.ns),
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+		}
+	}
+	return rec, nil
+}
+
+// median returns the middle sample (mean of the middle two for even
+// lengths); zero for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func runCompare(args []string, stdout io.Writer) error {
+	var basePath, curPath string
+	maxRegress := 0.10
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-baseline":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("compare: -baseline needs a file")
+			}
+			basePath = args[i]
+		case "-current":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("compare: -current needs a file")
+			}
+			curPath = args[i]
+		case "-max-regress":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("compare: -max-regress needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("compare: bad -max-regress %q", args[i])
+			}
+			maxRegress = v
+		default:
+			return fmt.Errorf("compare: unknown flag %q", args[i])
+		}
+	}
+	if basePath == "" || curPath == "" {
+		return fmt.Errorf("compare: -baseline and -current are required")
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+
+	report, failures := Compare(base, cur, maxRegress)
+	fmt.Fprint(stdout, report)
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", failures, maxRegress*100)
+	}
+	return nil
+}
+
+func load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rec, nil
+}
+
+// Compare renders a benchstat-style delta table and counts failures: a
+// benchmark fails when it is missing from cur or its ns/op exceeds the
+// baseline by more than maxRegress.
+func Compare(base, cur *Record, maxRegress float64) (string, int) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	failures := 0
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, name := range names {
+		bm := base.Benchmarks[name]
+		cm, ok := cur.Benchmarks[name]
+		if !ok {
+			failures++
+			fmt.Fprintf(&b, "%-28s %14.1f %14s %9s  FAIL (missing)\n", name, bm.NsPerOp, "-", "-")
+			continue
+		}
+		delta := 0.0
+		if bm.NsPerOp > 0 {
+			delta = (cm.NsPerOp - bm.NsPerOp) / bm.NsPerOp
+		}
+		status := ""
+		if delta > maxRegress {
+			failures++
+			status = "  FAIL"
+		}
+		fmt.Fprintf(&b, "%-28s %14.1f %14.1f %+8.1f%%%s\n", name, bm.NsPerOp, cm.NsPerOp, delta*100, status)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(&b, "%-28s %14s %14.1f %9s  (new)\n", name, "-", cur.Benchmarks[name].NsPerOp, "-")
+		}
+	}
+	return b.String(), failures
+}

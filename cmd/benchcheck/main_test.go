@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dcsketch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkUpdateBasic    	 1756963	       686.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkUpdateBasic    	 1760701	       680.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkUpdateBasic    	 1644099	       758.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkQueryTracking-4	 1604190	       744.4 ns/op	     448 B/op	       4 allocs/op
+PASS
+ok  	dcsketch	49.186s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Context["goos"] != "linux" || rec.Context["cpu"] == "" {
+		t.Fatalf("context not captured: %+v", rec.Context)
+	}
+
+	ub, ok := rec.Benchmarks["BenchmarkUpdateBasic"]
+	if !ok {
+		t.Fatalf("BenchmarkUpdateBasic missing: %+v", rec.Benchmarks)
+	}
+	if ub.Runs != 3 {
+		t.Fatalf("runs = %d, want 3", ub.Runs)
+	}
+	if ub.NsPerOp != 686.1 { // median of {680.5, 686.1, 758.9}
+		t.Fatalf("ns/op = %v, want median 686.1", ub.NsPerOp)
+	}
+
+	// The -4 CPU suffix is stripped so records from different GOMAXPROCS
+	// machines stay comparable.
+	qt, ok := rec.Benchmarks["BenchmarkQueryTracking"]
+	if !ok {
+		t.Fatalf("CPU suffix not stripped: %+v", rec.Benchmarks)
+	}
+	if qt.BytesPerOp != 448 || qt.AllocsPerOp != 4 {
+		t.Fatalf("benchmem metrics not captured: %+v", qt)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	rec, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 0 {
+		t.Fatalf("phantom benchmarks parsed: %+v", rec.Benchmarks)
+	}
+}
+
+func mkRecord(pairs map[string]float64) *Record {
+	rec := &Record{Benchmarks: map[string]Metrics{}}
+	for name, ns := range pairs {
+		rec.Benchmarks[name] = Metrics{Runs: 1, NsPerOp: ns}
+	}
+	return rec
+}
+
+func TestCompareWithinBudget(t *testing.T) {
+	base := mkRecord(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
+	cur := mkRecord(map[string]float64{"BenchmarkA": 105, "BenchmarkB": 150})
+	report, failures := Compare(base, cur, 0.10)
+	if failures != 0 {
+		t.Fatalf("failures = %d, report:\n%s", failures, report)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := mkRecord(map[string]float64{"BenchmarkA": 100})
+	cur := mkRecord(map[string]float64{"BenchmarkA": 111})
+	report, failures := Compare(base, cur, 0.10)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1; report:\n%s", failures, report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report lacks FAIL marker:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := mkRecord(map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 50})
+	cur := mkRecord(map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 10})
+	report, failures := Compare(base, cur, 0.10)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (missing benchmark); report:\n%s", failures, report)
+	}
+	if !strings.Contains(report, "missing") || !strings.Contains(report, "(new)") {
+		t.Fatalf("report lacks missing/new markers:\n%s", report)
+	}
+}
+
+func TestRunParseAndCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	curPath := dir + "/cur.json"
+
+	var out strings.Builder
+	if err := run([]string{"parse", "-o", basePath}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse", "-o", curPath}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Identical records: gate passes.
+	if err := run([]string{"compare", "-baseline", basePath, "-current", curPath}, nil, &out); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+	// Tighten the budget to a negative margin is invalid input.
+	if err := run([]string{"compare", "-baseline", basePath, "-current", curPath, "-max-regress", "x"}, nil, &out); err == nil {
+		t.Fatal("bad -max-regress accepted")
+	}
+}

@@ -2,8 +2,10 @@ package dcsketch
 
 import (
 	"fmt"
+	"sync"
 
 	"dcsketch/internal/cusum"
+	"dcsketch/internal/dcs"
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/stream"
 	"dcsketch/internal/superspreader"
@@ -140,6 +142,30 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 // Update consumes one flow update directly (+1 half-open created, -1
 // legitimized/torn down).
 func (m *Monitor) Update(src, dst uint32, delta int64) { m.inner.Update(src, dst, delta) }
+
+// rekeyPool recycles the re-keying buffers of Monitor.UpdateBatch; the
+// monitor is safe for concurrent producers, so the scratch cannot live on
+// the struct.
+var rekeyPool = sync.Pool{
+	New: func() any {
+		b := make([]dcs.KeyDelta, 0, 256)
+		return &b
+	},
+}
+
+// UpdateBatch consumes a batch of flow updates under one lock acquisition
+// through the sketch's batched kernel — the fast path when updates arrive in
+// groups. Equivalent to calling Update for each record in order; the
+// periodic check fires at most once per batch.
+func (m *Monitor) UpdateBatch(batch []FlowUpdate) {
+	if len(batch) == 0 {
+		return
+	}
+	bp := rekeyPool.Get().(*[]dcs.KeyDelta)
+	*bp = appendKeyDeltas((*bp)[:0], batch)
+	m.inner.UpdateBatch(*bp)
+	rekeyPool.Put(bp)
+}
 
 // Packet is a raw TCP packet observation for ProcessPacket.
 type Packet struct {

@@ -32,18 +32,28 @@ func run() error {
 		return err
 	}
 
+	// Updates are submitted in batches — the fast path when they arrive in
+	// groups (decoded packet bursts, replayed traces). A batch is applied
+	// in order, so an Insert (+1) and its matching Delete (-1) may share
+	// one batch. Scalar sk.Insert/sk.Delete remain available for
+	// packet-at-a-time ingestion.
+	batch := make([]dcsketch.FlowUpdate, 0, 1024)
+
 	// 500 legitimate clients connect to the web server... and complete
-	// their handshakes, so each Insert is matched by a Delete.
+	// their handshakes, so each +1 is matched by a -1.
 	for i := uint32(0); i < 500; i++ {
 		client := 0x0a000000 + i
-		sk.Insert(client, webServer) // SYN: half-open connection created
-		sk.Delete(client, webServer) // ACK: connection legitimized
+		batch = append(batch,
+			dcsketch.FlowUpdate{Src: client, Dst: webServer, Delta: 1},  // SYN: half-open created
+			dcsketch.FlowUpdate{Src: client, Dst: webServer, Delta: -1}, // ACK: legitimized
+		)
 	}
 
 	// 300 spoofed zombies flood the victim and never complete.
 	for i := uint32(0); i < 300; i++ {
-		sk.Insert(0xc0000000+i, victim)
+		batch = append(batch, dcsketch.FlowUpdate{Src: 0xc0000000 + i, Dst: victim, Delta: 1})
 	}
+	sk.UpdateBatch(batch)
 
 	fmt.Println("top destinations by distinct half-open sources:")
 	for rank, e := range sk.TopK(5) {

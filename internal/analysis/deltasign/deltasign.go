@@ -20,6 +20,13 @@
 //   - constant expressions evaluating to +1 or -1 are allowed;
 //   - everything else (int, uint64, int32 counts, ...) is reported, with
 //     "//lint:deltaok <reason>" as the reviewed escape hatch.
+//
+// The batched ingestion path opens a second laundering channel: updates are
+// staged as records (dcs.KeyDelta, dcsketch.FlowUpdate, wire.Update) whose
+// Delta field is submitted later via UpdateBatch, so a conversion at the
+// composite literal bypasses the call-site check entirely. deltasign
+// therefore applies the same conversion discipline to every composite
+// literal of a struct with an int64 field named Delta, keyed or positional.
 package deltasign
 
 import (
@@ -41,11 +48,12 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				checkLit(pass, n)
 			}
-			checkCall(pass, call)
 			return true
 		})
 	}
@@ -71,14 +79,60 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	if basic, ok := last.(*types.Basic); !ok || basic.Kind() != types.Int64 {
 		return
 	}
-	arg := ast.Unparen(call.Args[len(call.Args)-1])
-	conv, ok := arg.(*ast.CallExpr)
+	reportSuspectConversion(pass, call.Args[len(call.Args)-1])
+}
+
+// checkLit inspects composite literals of batch-record structs — any struct
+// with an int64 field named Delta (dcs.KeyDelta, dcsketch.FlowUpdate,
+// wire.Update). Staging a batch record is an update submission whose call
+// site the analyzer never sees, so the Delta element obeys the same
+// conversion discipline as a scalar delta argument.
+func checkLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	deltaIdx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Delta" {
+			continue
+		}
+		if basic, ok := f.Type().Underlying().(*types.Basic); ok && basic.Kind() == types.Int64 {
+			deltaIdx = i
+		}
+		break
+	}
+	if deltaIdx < 0 {
+		return
+	}
+	for i, elt := range lit.Elts {
+		switch e := elt.(type) {
+		case *ast.KeyValueExpr:
+			if id, ok := e.Key.(*ast.Ident); ok && id.Name == "Delta" {
+				reportSuspectConversion(pass, e.Value)
+			}
+		default:
+			if i == deltaIdx {
+				reportSuspectConversion(pass, elt)
+			}
+		}
+	}
+}
+
+// reportSuspectConversion flags arg when it is an integer→int64 conversion
+// whose operand does not already carry the ±1 discipline. Non-conversion
+// expressions (literals, variables, arithmetic) pass: they either carry the
+// discipline already or cannot be judged locally.
+func reportSuspectConversion(pass *analysis.Pass, arg ast.Expr) {
+	conv, ok := ast.Unparen(arg).(*ast.CallExpr)
 	if !ok || len(conv.Args) != 1 {
 		return
 	}
-	// Only conversions are suspect; ordinary int64 expressions (literals,
-	// variables, arithmetic) either carry the discipline already or cannot
-	// be distinguished locally.
 	tv, ok := pass.TypesInfo.Types[conv.Fun]
 	if !ok || !tv.IsType() {
 		return

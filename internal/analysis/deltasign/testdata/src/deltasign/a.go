@@ -61,3 +61,58 @@ func suppressed(s *Sketch, count int) {
 func otherShape(o *Other) {
 	o.Update("x") // ignored: delta tail is not int64
 }
+
+// KeyDelta stands in for a staged batch record: the Delta field is submitted
+// later through UpdateBatch, so its composite literals obey the same
+// discipline as a scalar delta argument.
+type KeyDelta struct {
+	Key   uint64
+	Delta int64
+}
+
+// FlowUpdate stands in for the public batch record shape.
+type FlowUpdate struct {
+	Src, Dst uint32
+	Delta    int64
+}
+
+// Labeled has a Delta field that is not an int64 and is ignored.
+type Labeled struct {
+	Delta string
+}
+
+// UpdateBatch stands in for a batch submission API.
+func (s *Sketch) UpdateBatch(batch []KeyDelta) {}
+
+func stagedUnits(s *Sketch, d int8, delta int64) {
+	s.UpdateBatch([]KeyDelta{
+		{Key: 9, Delta: 1},
+		{Key: 9, Delta: -1},
+		{Key: 9, Delta: int64(d)},     // allowed: int8 carries the ±1 discipline
+		{Key: 9, Delta: int64(delta)}, // allowed: identity conversion
+	})
+}
+
+func stagedLaunderKeyed(s *Sketch, count int) {
+	s.UpdateBatch([]KeyDelta{
+		{Key: 9, Delta: int64(count)}, // want `raw int→int64 delta conversion bypasses`
+	})
+}
+
+func stagedLaunderPositional(n uint32) KeyDelta {
+	return KeyDelta{7, int64(n)} // want `raw uint32→int64 delta conversion bypasses`
+}
+
+func stagedLaunderFlow(n int32) FlowUpdate {
+	return FlowUpdate{Src: 1, Dst: 2, Delta: int64(n)} // want `raw int32→int64 delta conversion bypasses`
+}
+
+func stagedSuppressed(s *Sketch, count int) {
+	s.UpdateBatch([]KeyDelta{
+		{Key: 9, Delta: int64(count)}, //lint:deltaok replaying a pre-aggregated trace
+	})
+}
+
+func stagedOtherShape() Labeled {
+	return Labeled{Delta: "x"} // ignored: Delta is not an int64
+}

@@ -1,0 +1,141 @@
+package dcs
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomStream builds n updates with inserts and matched deletes (a delete
+// only ever removes a pair previously inserted and still live), the shape
+// the half-open state machine produces and the dcsdebug assertions expect.
+func randomStream(rng *rand.Rand, n int) []KeyDelta {
+	stream := make([]KeyDelta, 0, n)
+	live := make([]uint64, 0, n)
+	for len(stream) < n {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			stream = append(stream, KeyDelta{Key: live[i], Delta: -1})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		key := rng.Uint64()
+		stream = append(stream, KeyDelta{Key: key, Delta: 1})
+		live = append(live, key)
+	}
+	return stream
+}
+
+// TestUpdateBatchEquivalence checks the batched kernel against the scalar
+// path: any chunking of a stream (including deletes) must produce
+// byte-identical sketch state.
+func TestUpdateBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := randomStream(rng, 5000)
+
+	for _, cfg := range []Config{{Seed: 11}, {Seed: 11, DisableFingerprint: true}} {
+		scalar := mustNew(t, cfg)
+		batched := mustNew(t, cfg)
+
+		for _, u := range stream {
+			scalar.UpdateKey(u.Key, u.Delta)
+		}
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(700) // covers 1-element and multi-hundred chunks
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			batched.UpdateBatch(stream[off : off+n])
+			off += n
+		}
+
+		if !slices.Equal(scalar.counters, batched.counters) {
+			t.Fatalf("cfg %+v: batched counters diverge from scalar", cfg)
+		}
+		if !slices.Equal(scalar.occupied, batched.occupied) {
+			t.Fatalf("cfg %+v: batched occupancy diverges from scalar", cfg)
+		}
+		if scalar.Updates() != batched.Updates() {
+			t.Fatalf("cfg %+v: updates %d != %d", cfg, scalar.Updates(), batched.Updates())
+		}
+	}
+}
+
+// TestOccupancyIncrementalMatchesRecount checks that the occupancy index the
+// kernel maintains per update equals a from-scratch recount, across inserts,
+// deletes, merge, subtract and reset.
+func TestOccupancyIncrementalMatchesRecount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := Config{Seed: 3}
+	s := mustNew(t, cfg)
+	other := mustNew(t, cfg)
+
+	checkOccupancy := func(stage string, sk *Sketch) {
+		t.Helper()
+		got := slices.Clone(sk.occupied)
+		sk.recountOccupancy()
+		if !slices.Equal(got, sk.occupied) {
+			t.Fatalf("%s: incremental occupancy %v != recount %v", stage, got, sk.occupied)
+		}
+	}
+
+	s.UpdateBatch(randomStream(rng, 3000))
+	checkOccupancy("after stream", s)
+
+	other.UpdateBatch(randomStream(rng, 1000))
+	if err := s.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	checkOccupancy("after merge", s)
+
+	if err := s.Subtract(other); err != nil {
+		t.Fatal(err)
+	}
+	checkOccupancy("after subtract", s)
+
+	s.Reset()
+	checkOccupancy("after reset", s)
+	for _, occ := range s.occupied {
+		if occ != 0 {
+			t.Fatalf("after reset: occupancy %v not zero", s.occupied)
+		}
+	}
+}
+
+// TestOccupiedBuckets checks the exported per-level occupancy accessor: the
+// totals over all levels must equal the number of non-zero-total buckets.
+func TestOccupiedBuckets(t *testing.T) {
+	cfg := Config{Seed: 5}
+	s := mustNew(t, cfg)
+	rng := rand.New(rand.NewSource(17))
+	s.UpdateBatch(randomStream(rng, 2000))
+
+	total := 0
+	for lvl := 0; lvl < s.Config().Levels; lvl++ {
+		n := s.OccupiedBuckets(lvl)
+		if n < 0 {
+			t.Fatalf("level %d: negative occupancy %d", lvl, n)
+		}
+		total += n
+	}
+	nonZero := 0
+	for i := 0; i < len(s.counters); i += s.width {
+		if s.counters[i] != 0 {
+			nonZero++
+		}
+	}
+	if total != nonZero {
+		t.Fatalf("occupancy total %d != %d non-zero-total buckets", total, nonZero)
+	}
+}
+
+// TestUpdateBatchEmptyAndZeroDelta checks the degenerate batch shapes.
+func TestUpdateBatchEmptyAndZeroDelta(t *testing.T) {
+	s := mustNew(t, Config{Seed: 1})
+	s.UpdateBatch(nil)
+	s.UpdateBatch([]KeyDelta{})
+	if got := s.Updates(); got != 0 {
+		t.Fatalf("empty batches counted %d updates", got)
+	}
+}

@@ -23,6 +23,7 @@ package dcs
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"dcsketch/internal/hashing"
@@ -139,12 +140,27 @@ type SampledPair struct {
 	Count int64
 }
 
+// KeyDelta is one flow update addressed by its pre-packed 64-bit pair key,
+// the unit of the batched ingestion path (UpdateBatch). Delta carries the
+// same ±1 discipline as the scalar Update/UpdateKey arguments.
+type KeyDelta struct {
+	Key   uint64
+	Delta int64
+}
+
 // Sketch is a basic Distinct-Count Sketch. It is not safe for concurrent
 // mutation; wrap it in a mutex or use one sketch per goroutine and Merge.
 type Sketch struct {
 	cfg    Config
 	layout sig.Layout
 	width  int
+
+	// tableStride and levelStride are the precomputed distances (in
+	// counters) between consecutive second-level tables and consecutive
+	// first-level buckets in the flattened counter array, hoisted out of
+	// the update kernel.
+	tableStride int
+	levelStride int
 
 	levelHash  *hashing.Tab64
 	fpHash     *hashing.Tab64
@@ -154,8 +170,25 @@ type Sketch struct {
 	// of the paper (Fig. 2).
 	counters []int64
 
+	// occupied[l] counts the second-level buckets at first-level bucket l
+	// whose total counter is non-zero. A level with occupied[l] == 0 can
+	// hold no decodable singleton (only a positive total decodes), so the
+	// sampling loop skips it without scanning its r·s signatures. The
+	// count is maintained incrementally by the update kernel and recounted
+	// wholesale after the bulk linear operations (Merge, Subtract,
+	// deserialization).
+	occupied []int32
+
 	// updates counts processed stream updates (inserts + deletes).
 	updates uint64
+
+	// Query scratch owned by the sketch and reused across queries, keeping
+	// the sampling path allocation-light. Their use makes queries mutating
+	// operations; the sketch's existing single-goroutine contract already
+	// covers that.
+	sampleSeen  map[uint64]struct{}
+	samplePairs []SampledPair
+	destFreq    map[uint32]int64
 }
 
 // New builds an empty sketch. Zero-valued Config fields take the package
@@ -169,13 +202,16 @@ func New(cfg Config) (*Sketch, error) {
 	width := layout.Width()
 	seeds := hashing.NewSplitMix64(cfg.Seed)
 	s := &Sketch{
-		cfg:        cfg,
-		layout:     layout,
-		width:      width,
-		levelHash:  hashing.NewTab64(seeds.Next()),
-		fpHash:     hashing.NewTab64(seeds.Next()),
-		bucketHash: make([]*hashing.Tab64, cfg.Tables),
-		counters:   make([]int64, cfg.Levels*cfg.Tables*cfg.Buckets*width),
+		cfg:         cfg,
+		layout:      layout,
+		width:       width,
+		tableStride: cfg.Buckets * width,
+		levelStride: cfg.Tables * cfg.Buckets * width,
+		levelHash:   hashing.NewTab64(seeds.Next()),
+		fpHash:      hashing.NewTab64(seeds.Next()),
+		bucketHash:  make([]*hashing.Tab64, cfg.Tables),
+		counters:    make([]int64, cfg.Levels*cfg.Tables*cfg.Buckets*width),
+		occupied:    make([]int32, cfg.Levels),
 	}
 	for j := range s.bucketHash {
 		s.bucketHash[j] = hashing.NewTab64(seeds.Next())
@@ -211,19 +247,118 @@ func (s *Sketch) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	s.updateKernel(key, delta)
+	if debugAssertions && delta < 0 {
+		s.assertKeyBuckets(key, "delete")
+	}
+}
+
+// UpdateBatch applies a batch of flow updates, the bulk form of UpdateKey.
+// Zero deltas are skipped. The batch slice is read-only to the sketch and
+// may be reused by the caller afterwards.
+func (s *Sketch) UpdateBatch(batch []KeyDelta) {
+	for _, u := range batch {
+		if u.Delta == 0 {
+			continue
+		}
+		s.updateKernel(u.Key, u.Delta)
+		if debugAssertions && u.Delta < 0 {
+			s.assertKeyBuckets(u.Key, "delete")
+		}
+	}
+}
+
+// Locate computes key's first-level bucket and fills buckets[j] with key's
+// second-level bucket in table j. buckets must have length Tables. It exists
+// so the tracking sketch computes each key's hash locations exactly once per
+// update and shares them between its before/after singleton diffs and the
+// counter write (UpdateLocated).
+func (s *Sketch) Locate(key uint64, buckets []int) (level int) {
+	level = s.levelHash.Level(key, s.cfg.Levels)
+	for j, h := range s.bucketHash {
+		buckets[j] = h.Bucket(key, s.cfg.Buckets)
+	}
+	return level
+}
+
+// UpdateLocated is UpdateKey for a caller that has already resolved key's
+// hash locations via Locate. level and buckets must be exactly Locate's
+// output for key; anything else corrupts the sketch.
+func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int) {
+	if delta == 0 {
+		return
+	}
+	if len(buckets) != len(s.bucketHash) {
+		panic("dcs: UpdateLocated bucket slice length does not match Tables")
+	}
+	s.updates++
+	var fp int64
+	if s.layout.Fingerprint {
+		fp = s.fpHash.Fingerprint(key)
+	}
+	base := level * s.levelStride
+	occ := int32(0)
+	for j, b := range buckets {
+		occ += s.addSig(base+j*s.tableStride+b*s.width, key, delta, fp)
+	}
+	s.occupied[level] += occ
+	if debugAssertions && delta < 0 {
+		s.assertKeyBuckets(key, "delete")
+	}
+}
+
+// updateKernel is the inlined scalar update fast path shared by UpdateKey
+// and UpdateBatch: one level hash, one optional fingerprint hash, and per
+// table a bucket hash plus one flat index computation into the counter
+// array — no per-table subslicing.
+func (s *Sketch) updateKernel(key uint64, delta int64) {
 	s.updates++
 	level := s.levelHash.Level(key, s.cfg.Levels)
 	var fp int64
 	if s.layout.Fingerprint {
 		fp = s.fpHash.Fingerprint(key)
 	}
-	for j := 0; j < s.cfg.Tables; j++ {
-		b := s.bucketHash[j].Bucket(key, s.cfg.Buckets)
-		s.layout.Update(s.bucketSig(level, j, b), key, delta, fp)
+	base := level * s.levelStride
+	occ := int32(0)
+	for j, h := range s.bucketHash {
+		b := h.Bucket(key, s.cfg.Buckets)
+		occ += s.addSig(base+j*s.tableStride+b*s.width, key, delta, fp)
 	}
-	if debugAssertions && delta < 0 {
-		s.assertKeyBuckets(key, "delete")
+	s.occupied[level] += occ
+}
+
+// addSig adds delta for key to the count signature at flat counter index i
+// and returns the occupancy change of the bucket (+1 when the total became
+// non-zero, -1 when it returned to zero). The 65 mandatory counters are
+// addressed through a fixed-size array pointer so the compiler drops the
+// per-element bounds checks, and the bit-location adds mask delta by each
+// key bit instead of branching — on random keys the branchy form costs ~32
+// mispredictions per table, the dominant term of the seed update profile.
+func (s *Sketch) addSig(i int, key uint64, delta, fp int64) int32 {
+	c := (*[1 + sig.KeyBits]int64)(s.counters[i:])
+	old := c[0]
+	tot := old + delta
+	c[0] = tot
+	occ := int32(0)
+	if old == 0 {
+		if tot != 0 {
+			occ = 1
+		}
+	} else if tot == 0 {
+		occ = -1
 	}
+	k := key
+	for bit := 1; bit+3 <= sig.KeyBits; bit += 4 {
+		c[bit] += delta & -int64(k&1)
+		c[bit+1] += delta & -int64((k>>1)&1)
+		c[bit+2] += delta & -int64((k>>2)&1)
+		c[bit+3] += delta & -int64((k>>3)&1)
+		k >>= 4
+	}
+	if s.layout.Fingerprint {
+		s.counters[i+1+sig.KeyBits] += delta * fp
+	}
+	return occ
 }
 
 // sampleTarget is the estimator's stopping threshold (see
@@ -237,6 +372,12 @@ func (s *Sketch) sampleTarget() int { return s.cfg.SampleTarget }
 // buckets, collisions, and false singletons.
 func (s *Sketch) DecodeBucket(level, table, bucket int) (key uint64, count int64, ok bool) {
 	sg := s.bucketSig(level, table, bucket)
+	// Fast path: only a positive total can decode as a singleton, so the
+	// overwhelmingly common empty bucket is rejected after one counter
+	// read instead of the full 65-counter scan sig.Decode performs.
+	if sg[0] == 0 {
+		return 0, 0, false
+	}
 	key, count, state := s.layout.Decode(sg)
 	if state != sig.Singleton {
 		return 0, 0, false
@@ -293,11 +434,24 @@ func (s *Sketch) levelSingletons(level int, seen map[uint64]struct{}, dst []Samp
 // included. Every returned pair mapped to a level >= the returned one, an
 // event of probability 2^-level per distinct pair, so frequencies observed in
 // the sample scale by 2^level.
+//
+// Levels whose occupancy index is zero hold no positive-total bucket and are
+// skipped without scanning (they cannot contribute singletons, and an empty
+// level can never trip the stopping rule). The returned slice is owned by
+// the sketch and is only valid until the next query or update; callers that
+// retain the sample must copy it.
 func (s *Sketch) DistinctSample() (pairs []SampledPair, level int) {
 	target := s.sampleTarget()
-	seen := make(map[uint64]struct{}, target*2)
+	if s.sampleSeen == nil {
+		s.sampleSeen = make(map[uint64]struct{}, target*2)
+	}
+	seen := s.sampleSeen
+	pairs = s.samplePairs[:0]
 	level = 0
 	for b := s.cfg.Levels - 1; b >= 0; b-- {
+		if s.occupied[b] == 0 {
+			continue
+		}
 		clear(seen)
 		pairs = s.levelSingletons(b, seen, pairs)
 		if len(pairs) >= target {
@@ -305,6 +459,7 @@ func (s *Sketch) DistinctSample() (pairs []SampledPair, level int) {
 			break
 		}
 	}
+	s.samplePairs = pairs
 	return pairs, level
 }
 
@@ -322,7 +477,7 @@ func (s *Sketch) TopK(k int) []Estimate {
 		return nil
 	}
 	pairs, level := s.DistinctSample()
-	ests := destFrequencies(pairs, 1<<uint(level))
+	ests := s.destEstimates(pairs, 1<<uint(level))
 	if k < len(ests) {
 		ests = ests[:k]
 	}
@@ -333,7 +488,7 @@ func (s *Sketch) TopK(k int) []Estimate {
 // frequency is at least tau, in descending frequency order (§2, footnote 3).
 func (s *Sketch) Threshold(tau int64) []Estimate {
 	pairs, level := s.DistinctSample()
-	ests := destFrequencies(pairs, 1<<uint(level))
+	ests := s.destEstimates(pairs, 1<<uint(level))
 	cut := sort.Search(len(ests), func(i int) bool { return ests[i].F < tau })
 	return ests[:cut]
 }
@@ -345,11 +500,17 @@ func (s *Sketch) EstimateDistinctPairs() int64 {
 	return int64(len(pairs)) << uint(level)
 }
 
-// destFrequencies aggregates a distinct sample into per-destination sample
+// destEstimates aggregates a distinct sample into per-destination sample
 // frequencies f^s_v, scales them by scale, and returns them sorted by
-// descending frequency then ascending destination.
-func destFrequencies(pairs []SampledPair, scale int64) []Estimate {
-	freq := make(map[uint32]int64, len(pairs))
+// descending frequency then ascending destination. The aggregation map is
+// sketch-owned scratch; the returned slice is freshly allocated (callers
+// retain query answers).
+func (s *Sketch) destEstimates(pairs []SampledPair, scale int64) []Estimate {
+	if s.destFreq == nil {
+		s.destFreq = make(map[uint32]int64, len(pairs))
+	}
+	freq := s.destFreq
+	clear(freq)
 	for _, p := range pairs {
 		freq[hashing.PairDest(p.Key)]++
 	}
@@ -357,11 +518,20 @@ func destFrequencies(pairs []SampledPair, scale int64) []Estimate {
 	for dest, f := range freq {
 		ests = append(ests, Estimate{Dest: dest, F: f * scale})
 	}
-	sort.Slice(ests, func(i, j int) bool {
-		if ests[i].F != ests[j].F {
-			return ests[i].F > ests[j].F
+	slices.SortFunc(ests, func(a, b Estimate) int {
+		switch {
+		case a.F != b.F:
+			if a.F > b.F {
+				return -1
+			}
+			return 1
+		case a.Dest != b.Dest:
+			if a.Dest < b.Dest {
+				return -1
+			}
+			return 1
 		}
-		return ests[i].Dest < ests[j].Dest
+		return 0
 	})
 	return ests
 }
@@ -383,6 +553,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 		s.counters[i] += c
 	}
 	s.updates += other.updates
+	s.recountOccupancy()
 	if debugAssertions {
 		s.assertAllBuckets("Merge")
 	}
@@ -406,6 +577,7 @@ func (s *Sketch) Subtract(other *Sketch) error {
 	} else {
 		s.updates -= other.updates
 	}
+	s.recountOccupancy()
 	if debugAssertions {
 		s.assertAllBuckets("Subtract")
 	}
@@ -418,8 +590,31 @@ func (s *Sketch) Reset() {
 	for i := range s.counters {
 		s.counters[i] = 0
 	}
+	for i := range s.occupied {
+		s.occupied[i] = 0
+	}
 	s.updates = 0
 }
+
+// recountOccupancy rebuilds the per-level occupancy index from the counter
+// array; used after bulk linear operations that rewrite counters wholesale.
+func (s *Sketch) recountOccupancy() {
+	i := 0
+	for l := range s.occupied {
+		n := int32(0)
+		for tb := 0; tb < s.cfg.Tables*s.cfg.Buckets; tb++ {
+			if s.counters[i] != 0 {
+				n++
+			}
+			i += s.width
+		}
+		s.occupied[l] = n
+	}
+}
+
+// OccupiedBuckets returns the occupancy index entry for one first-level
+// bucket: the number of its second-level buckets with a non-zero total.
+func (s *Sketch) OccupiedBuckets(level int) int { return int(s.occupied[level]) }
 
 // NonEmptyLevels returns the number of first-level buckets that currently
 // hold at least one non-zero counter (the paper's "~23 non-empty levels at

@@ -169,5 +169,6 @@ func UnmarshalBinary(data []byte) (*Sketch, error) {
 	if len(data) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
 	}
+	s.recountOccupancy()
 	return s, nil
 }

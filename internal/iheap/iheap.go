@@ -10,8 +10,6 @@
 // the incrementally maintained state.
 package iheap
 
-import "container/heap"
-
 // Entry is one (destination, priority) pair held by a Heap.
 type Entry struct {
 	Key      uint32
@@ -24,6 +22,9 @@ type Heap struct {
 	// pos maps a key to its index in entries, enabling O(log n)
 	// adjust-key operations.
 	pos map[uint32]int
+	// cand is the scratch candidate queue of AppendTopK, reused across
+	// queries so a top-k traversal does not allocate.
+	cand []int32
 }
 
 // New returns an empty heap with capacity preallocated for hint entries.
@@ -104,26 +105,75 @@ func (h *Heap) TopK(k int) []Entry {
 	if k <= 0 || len(h.entries) == 0 {
 		return nil
 	}
+	return h.AppendTopK(nil, k)
+}
+
+// AppendTopK appends up to k entries with the largest priorities to dst in
+// descending priority order (ties by smaller key) without modifying the
+// heap, and returns the extended slice. The candidate queue it traverses
+// with is heap-owned scratch, so a query whose dst has capacity performs no
+// allocation.
+func (h *Heap) AppendTopK(dst []Entry, k int) []Entry {
+	if k <= 0 || len(h.entries) == 0 {
+		return dst
+	}
 	if k > len(h.entries) {
 		k = len(h.entries)
 	}
-	out := make([]Entry, 0, k)
-	cand := &candidateQueue{indices: make([]int, 0, k+1), h: h}
-	heap.Push(cand, 0)
-	for len(out) < k && cand.Len() > 0 {
-		i, ok := heap.Pop(cand).(int)
-		if !ok {
-			break
-		}
-		out = append(out, h.entries[i])
+	// cand is a manual min-index max-priority heap over entry indices,
+	// avoiding container/heap's interface boxing on the hot query path.
+	cand := h.cand[:0]
+	cand = append(cand, 0)
+	for taken := 0; taken < k && len(cand) > 0; taken++ {
+		i := int(cand[0])
+		last := len(cand) - 1
+		cand[0] = cand[last]
+		cand = cand[:last]
+		h.candSiftDown(cand)
+		dst = append(dst, h.entries[i])
 		if l := 2*i + 1; l < len(h.entries) {
-			heap.Push(cand, l)
+			cand = h.candPush(cand, int32(l))
 		}
 		if r := 2*i + 2; r < len(h.entries) {
-			heap.Push(cand, r)
+			cand = h.candPush(cand, int32(r))
 		}
 	}
-	return out
+	h.cand = cand
+	return dst
+}
+
+// candPush pushes entry index i onto the candidate heap and restores order.
+func (h *Heap) candPush(cand []int32, i int32) []int32 {
+	cand = append(cand, i)
+	c := len(cand) - 1
+	for c > 0 {
+		parent := (c - 1) / 2
+		if !h.less(h.entries[cand[c]], h.entries[cand[parent]]) {
+			break
+		}
+		cand[c], cand[parent] = cand[parent], cand[c]
+		c = parent
+	}
+	return cand
+}
+
+// candSiftDown restores candidate-heap order from the root after a pop.
+func (h *Heap) candSiftDown(cand []int32) {
+	i := 0
+	for {
+		best := i
+		if l := 2*i + 1; l < len(cand) && h.less(h.entries[cand[l]], h.entries[cand[best]]) {
+			best = l
+		}
+		if r := 2*i + 2; r < len(cand) && h.less(h.entries[cand[r]], h.entries[cand[best]]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		cand[i], cand[best] = cand[best], cand[i]
+		i = best
+	}
 }
 
 // Snapshot returns a copy of all entries in unspecified order.
@@ -189,36 +239,4 @@ func (h *Heap) swap(i, j int) {
 	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
 	h.pos[h.entries[i].Key] = i
 	h.pos[h.entries[j].Key] = j
-}
-
-// candidateQueue is the auxiliary priority queue over heap-array indices used
-// by the non-destructive TopK traversal. It implements container/heap.
-type candidateQueue struct {
-	indices []int
-	h       *Heap
-}
-
-func (c *candidateQueue) Len() int { return len(c.indices) }
-
-func (c *candidateQueue) Less(i, j int) bool {
-	return c.h.less(c.h.entries[c.indices[i]], c.h.entries[c.indices[j]])
-}
-
-func (c *candidateQueue) Swap(i, j int) {
-	c.indices[i], c.indices[j] = c.indices[j], c.indices[i]
-}
-
-func (c *candidateQueue) Push(x any) {
-	i, ok := x.(int)
-	if !ok {
-		return
-	}
-	c.indices = append(c.indices, i)
-}
-
-func (c *candidateQueue) Pop() any {
-	last := len(c.indices) - 1
-	v := c.indices[last]
-	c.indices = c.indices[:last]
-	return v
 }

@@ -163,6 +163,25 @@ func (m *Monitor) Update(src, dst uint32, delta int64) {
 	}
 }
 
+// UpdateBatch consumes a batch of pre-keyed flow updates under one lock
+// acquisition, applying them through the sketch's batched kernel. The
+// periodic check fires once if the batch crosses one or more CheckInterval
+// boundaries — checks are rate-limiting, not per-update bookkeeping, so
+// coalescing the crossings of one batch preserves the intended cadence.
+func (m *Monitor) UpdateBatch(batch []dcs.KeyDelta) {
+	if len(batch) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sketch.UpdateBatch(batch)
+	before := m.n
+	m.n += uint64(len(batch))
+	if m.n/uint64(m.cfg.CheckInterval) > before/uint64(m.cfg.CheckInterval) {
+		m.check()
+	}
+}
+
 // check runs one tracking query and updates profiles and alerts.
 //
 //lint:locked mu

@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/tdcs"
+)
+
+// TestBatcherMatchesSingleSketch checks that a stream submitted through the
+// batched fast path — mixed with scalar submissions for other pairs — folds
+// to exactly the answer of a single sketch fed the same stream.
+func TestBatcherMatchesSingleSketch(t *testing.T) {
+	cfg := dcs.Config{Buckets: 128, Seed: 41}
+	p, err := New(cfg, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	single, err := tdcs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := p.NewBatcher()
+	rng := hashing.NewSplitMix64(43)
+	var live []uint64
+	for i := 0; i < 20000; i++ {
+		if len(live) > 0 && rng.Next()%4 == 0 {
+			idx := int(rng.Next() % uint64(len(live)))
+			key := live[idx]
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+			b.UpdateKey(key, -1)
+			single.UpdateKey(key, -1)
+		} else {
+			key := hashing.Mix64(rng.Next() % 6000)
+			live = append(live, key)
+			b.UpdateKey(key, 1)
+			single.UpdateKey(key, 1)
+		}
+		// A disjoint key range goes through the scalar path, exercising
+		// envelope interleaving on the shard queues.
+		if i%97 == 0 {
+			key := hashing.Mix64(1<<40 + uint64(i))
+			p.UpdateKey(key, 1)
+			single.UpdateKey(key, 1)
+		}
+	}
+	b.Flush()
+	p.Close()
+
+	got, err := p.Threshold(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Threshold(1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Threshold: pipeline %d entries, single %d entries, unequal", len(got), len(want))
+	}
+	if gotN, wantN := p.Updates(), single.Updates(); gotN != wantN {
+		t.Fatalf("updates %d != %d", gotN, wantN)
+	}
+}
+
+// TestBatcherFlushVisibility checks the visibility contract: staged updates
+// are invisible to a fold until shipped, and all of them are visible after
+// Flush.
+func TestBatcherFlushVisibility(t *testing.T) {
+	p, err := New(dcs.Config{Seed: 47}, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	b := p.NewBatcher()
+	// Stage fewer updates than a batch: nothing may reach the shards.
+	for src := uint32(0); src < 100; src++ {
+		b.Update(src, 0x0a000001, 1)
+	}
+	ests, err := p.Threshold(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 0 {
+		t.Fatalf("staged updates visible before Flush: %v", ests)
+	}
+
+	b.Flush()
+	ests, err = p.Threshold(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Dest != 0x0a000001 {
+		t.Fatalf("flushed updates not visible: %v", ests)
+	}
+
+	// Flush with nothing staged is a no-op.
+	b.Flush()
+	if got := p.Updates(); got != 100 {
+		t.Fatalf("updates = %d, want 100", got)
+	}
+}
+
+// TestBatchersFlushesRacingFolds runs several Batcher producers (with
+// mid-stream flushes) against concurrent fold queries, then checks the final
+// answer against a single reference sketch. Folds racing the producers must
+// neither lose nor duplicate updates.
+func TestBatchersFlushesRacingFolds(t *testing.T) {
+	cfg := dcs.Config{Buckets: 128, Seed: 53}
+	p, err := New(cfg, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const producers = 4
+	const perProducer = 8000
+	var wg sync.WaitGroup
+
+	// Each producer owns a disjoint key range, so per-pair ordering is
+	// guaranteed regardless of cross-producer interleaving.
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			b := p.NewBatcher()
+			rng := hashing.NewSplitMix64(uint64(100 + pr))
+			var live []uint64
+			for i := 0; i < perProducer; i++ {
+				if len(live) > 0 && rng.Next()%4 == 0 {
+					idx := int(rng.Next() % uint64(len(live)))
+					key := live[idx]
+					live[idx] = live[len(live)-1]
+					live = live[:len(live)-1]
+					b.UpdateKey(key, -1)
+				} else {
+					key := hashing.Mix64(uint64(pr)<<32 | rng.Next()%3000)
+					live = append(live, key)
+					b.UpdateKey(key, 1)
+				}
+				if i%1000 == 999 {
+					b.Flush() // mid-stream flushes race the folds below
+				}
+			}
+			b.Flush()
+		}(pr)
+	}
+
+	// Queries run while producers are mid-stream; answers just need to be
+	// well-formed (the final equivalence is checked after the join).
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := p.TopK(5); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Reference: same streams, single sketch, any order (the final counter
+	// state is order-independent — the sketch is linear).
+	single, err := tdcs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pr := 0; pr < producers; pr++ {
+		rng := hashing.NewSplitMix64(uint64(100 + pr))
+		var live []uint64
+		for i := 0; i < perProducer; i++ {
+			if len(live) > 0 && rng.Next()%4 == 0 {
+				idx := int(rng.Next() % uint64(len(live)))
+				key := live[idx]
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				single.UpdateKey(key, -1)
+			} else {
+				key := hashing.Mix64(uint64(pr)<<32 | rng.Next()%3000)
+				live = append(live, key)
+				single.UpdateKey(key, 1)
+			}
+		}
+	}
+
+	// Stop the querier, join everything, then compare.
+	close(done)
+	wg.Wait()
+	p.Close()
+
+	got, err := p.Threshold(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Threshold(1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Threshold after racing folds: pipeline %d entries != single %d entries", len(got), len(want))
+	}
+	if gotN, wantN := p.Updates(), single.Updates(); gotN != wantN {
+		t.Fatalf("updates %d != %d", gotN, wantN)
+	}
+}

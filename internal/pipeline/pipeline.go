@@ -1,23 +1,33 @@
-// Package pipeline provides multi-core ingestion for the tracking sketch: a
-// sharded pool of workers, each owning a private Tracking Distinct-Count
-// Sketch, with flow updates routed by pair hash so every (src,dst) pair's
-// inserts and deletes land on the same worker in order. Because sketches
-// with one seed merge exactly, a query drains the shards and combines them
-// into one answer — the single-node analogue of the paper's multi-monitor
-// collector (Fig. 1), used when one core cannot keep up with the link rate.
+// Package pipeline provides multi-core ingestion for the sketch: a sharded
+// pool of workers, each owning a private basic Distinct-Count Sketch, with
+// flow updates routed by pair hash so every (src,dst) pair's inserts and
+// deletes land on the same worker in order. Because sketches with one seed
+// merge exactly, a query drains the shards, combines them into one counter
+// array and rebuilds the tracking state once — the single-node analogue of
+// the paper's multi-monitor collector (Fig. 1), used when one core cannot
+// keep up with the link rate. (Shards deliberately do not maintain the §5
+// tracking structures per update: every fold rebuilds them from the merged
+// counters anyway, so per-shard incremental tracking would be pure overhead
+// on the ingest path.)
 //
-// Concurrency contract: Update may be called from any number of producer
-// goroutines (it blocks for backpressure when a shard queue is full). TopK
-// and Threshold may run concurrently with producers; each returns a
-// consistent-per-shard snapshot (shards are folded in sequence, so the
-// combined view is not a single atomic cut of the stream — the usual and
+// Two ingestion paths exist. Update/UpdateKey submit one update per shard
+// channel send — simple, and any number of producer goroutines may call
+// them. Batcher is the fast path: each producer stages updates in private
+// per-shard buffers and pays one channel hop per ~DefaultBatchSize updates
+// instead of one per packet; see NewBatcher for its ordering and visibility
+// contract.
+//
+// Concurrency contract: Update/UpdateKey may be called from any number of
+// producer goroutines (they block for backpressure when a shard queue is
+// full). TopK and Threshold may run concurrently with producers; each
+// returns a consistent-per-shard snapshot (shards are folded in sequence, so
+// the combined view is not a single atomic cut of the stream — the usual and
 // acceptable semantics for monitoring). Close stops the workers and waits
 // for them to exit; no update may be submitted after Close.
 package pipeline
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -26,20 +36,36 @@ import (
 	"dcsketch/internal/tdcs"
 )
 
-// DefaultQueueDepth is the per-shard update queue length. Deeper queues
-// smooth bursts at the cost of latency for the fold in TopK.
+// DefaultQueueDepth is the per-shard update queue length, counted in channel
+// messages (a scalar update or a whole staged batch each occupy one slot).
+// Deeper queues smooth bursts at the cost of latency for the fold in TopK.
 const DefaultQueueDepth = 1024
 
-// update is one queued flow update.
-type update struct {
-	key   uint64
-	delta int64
+// DefaultBatchSize is the number of updates a Batcher stages per shard
+// before paying the channel hop to the worker.
+const DefaultBatchSize = 256
+
+// envelope is one shard-queue message: either a single scalar update (batch
+// nil) or a pool-owned staged batch.
+type envelope struct {
+	one   dcs.KeyDelta
+	batch *[]dcs.KeyDelta
+}
+
+// batchPool recycles staging buffers between producers and workers so the
+// batched ingest path allocates only while a buffer is in flight for the
+// first time.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]dcs.KeyDelta, 0, DefaultBatchSize)
+		return &b
+	},
 }
 
 // foldRequest asks a worker to merge its sketch into acc at a quiescent
 // point of its own loop.
 type foldRequest struct {
-	acc  *tdcs.Sketch
+	acc  *dcs.Sketch
 	done chan error
 }
 
@@ -47,9 +73,9 @@ type foldRequest struct {
 // documented single-writer discipline); stats are the only cross-goroutine
 // worker state and live behind statMu so Stats can read them live.
 type worker struct {
-	updates chan update
+	updates chan envelope
 	folds   chan foldRequest
-	sketch  *tdcs.Sketch
+	sketch  *dcs.Sketch
 	done    chan struct{}
 
 	statMu sync.Mutex
@@ -58,6 +84,20 @@ type worker struct {
 	applied uint64
 	// served counts fold requests this worker answered. guarded by statMu
 	served uint64
+}
+
+// apply absorbs one queue message into the shard sketch and returns the
+// number of updates it carried. Batch buffers are returned to the pool.
+func (w *worker) apply(e envelope) uint64 {
+	if e.batch == nil {
+		w.sketch.UpdateKey(e.one.Key, e.one.Delta)
+		return 1
+	}
+	n := uint64(len(*e.batch))
+	w.sketch.UpdateBatch(*e.batch)
+	*e.batch = (*e.batch)[:0]
+	batchPool.Put(e.batch)
+	return n
 }
 
 func (w *worker) loop() {
@@ -74,15 +114,14 @@ func (w *worker) loop() {
 	defer publish(false)
 	for {
 		select {
-		case u, ok := <-w.updates:
+		case e, ok := <-w.updates:
 			if !ok {
 				// Queue closed and fully drained: exit. Fold
 				// requests racing with shutdown are redirected
 				// by the coordinator once done closes.
 				return
 			}
-			w.sketch.UpdateKey(u.key, u.delta)
-			applied++
+			applied += w.apply(e)
 		case req := <-w.folds:
 			// Prefer pending updates: drain the queue before
 			// folding so queries observe everything submitted
@@ -90,13 +129,12 @@ func (w *worker) loop() {
 			drained := false
 			for !drained {
 				select {
-				case u, ok := <-w.updates:
+				case e, ok := <-w.updates:
 					if !ok {
 						drained = true
 						break
 					}
-					w.sketch.UpdateKey(u.key, u.delta)
-					applied++
+					applied += w.apply(e)
 				default:
 					drained = true
 				}
@@ -127,7 +165,7 @@ func New(cfg dcs.Config, workers, queueDepth int) (*Pipeline, error) {
 	}
 	// Validate the config once and reuse the defaulted form so all
 	// shards (and query accumulators) share one seed and are mergeable.
-	probe, err := tdcs.New(cfg)
+	probe, err := dcs.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -139,17 +177,17 @@ func New(cfg dcs.Config, workers, queueDepth int) (*Pipeline, error) {
 		router: hashing.NewTab64(cfg.Seed ^ 0x9e3779b97f4a7c15),
 	}
 	for i := range p.shards {
-		var sk *tdcs.Sketch
+		var sk *dcs.Sketch
 		if i == 0 {
 			sk = probe // reuse the validation sketch
 		} else {
-			sk, err = tdcs.New(cfg)
+			sk, err = dcs.New(cfg)
 			if err != nil {
 				return nil, err
 			}
 		}
 		w := &worker{
-			updates: make(chan update, queueDepth),
+			updates: make(chan envelope, queueDepth),
 			folds:   make(chan foldRequest),
 			sketch:  sk,
 			done:    make(chan struct{}),
@@ -173,13 +211,99 @@ func (p *Pipeline) UpdateKey(key uint64, delta int64) {
 		return
 	}
 	shard := p.router.Bucket(key, len(p.shards))
-	p.shards[shard].updates <- update{key: key, delta: delta}
+	p.shards[shard].updates <- envelope{one: dcs.KeyDelta{Key: key, Delta: delta}}
 	p.n.Add(1)
 }
 
-// fold merges every shard's sketch into a fresh accumulator.
+// Batcher is the batched ingestion fast path: it stages updates in private
+// per-shard buffers and ships each buffer to its shard worker as one channel
+// message when it fills (DefaultBatchSize updates) or on Flush.
+//
+// Ordering: all updates staged through one Batcher are applied in staging
+// order per pair (the router sends a pair to exactly one shard, and buffers
+// are shipped and applied in order). Updates submitted through different
+// Batchers, or interleaved with scalar Update calls for the same pair, have
+// no order guarantee relative to each other beyond the shard queue's FIFO —
+// give each producer goroutine its own Batcher and one submission path per
+// pair, the same per-producer discipline the scalar path already requires.
+//
+// Visibility: staged updates are invisible to TopK/Threshold until shipped.
+// Call Flush before querying (or rely on a full buffer shipping itself). The
+// fold still drains every shard queue, so everything shipped before a query
+// is observed by it.
+//
+// A Batcher is not safe for concurrent use; create one per producer
+// goroutine. It must be Flushed before Pipeline.Close.
+type Batcher struct {
+	p    *Pipeline
+	size int
+	bufs []*[]dcs.KeyDelta
+}
+
+// NewBatcher returns an empty Batcher for this pipeline.
+func (p *Pipeline) NewBatcher() *Batcher {
+	return &Batcher{
+		p:    p,
+		size: DefaultBatchSize,
+		bufs: make([]*[]dcs.KeyDelta, len(p.shards)),
+	}
+}
+
+// Update stages one flow update.
+func (b *Batcher) Update(src, dst uint32, delta int64) {
+	b.UpdateKey(hashing.PairKey(src, dst), delta)
+}
+
+// UpdateKey is Update on a packed pair key. It blocks only when a filled
+// shard buffer must be shipped and that shard's queue is full.
+func (b *Batcher) UpdateKey(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	shard := b.p.router.Bucket(key, len(b.p.shards))
+	buf := b.bufs[shard]
+	if buf == nil {
+		buf = batchPool.Get().(*[]dcs.KeyDelta)
+		b.bufs[shard] = buf
+	}
+	*buf = append(*buf, dcs.KeyDelta{Key: key, Delta: delta})
+	if len(*buf) >= b.size {
+		b.bufs[shard] = nil
+		b.p.ship(shard, buf)
+	}
+}
+
+// Flush ships every non-empty staged buffer to its shard. It must be called
+// before the producer queries (to make staged updates visible) and before
+// Pipeline.Close (staged updates would otherwise be lost).
+func (b *Batcher) Flush() {
+	for shard, buf := range b.bufs {
+		if buf == nil {
+			continue
+		}
+		b.bufs[shard] = nil
+		if len(*buf) == 0 {
+			batchPool.Put(buf)
+			continue
+		}
+		b.p.ship(shard, buf)
+	}
+}
+
+// ship hands a staged buffer to a shard worker. The length is read before
+// the send: ownership transfers on send, and the worker may recycle the
+// buffer into the pool (and a third goroutine may start filling it) the
+// moment it receives.
+func (p *Pipeline) ship(shard int, buf *[]dcs.KeyDelta) {
+	n := uint64(len(*buf))
+	p.shards[shard].updates <- envelope{batch: buf}
+	p.n.Add(n)
+}
+
+// fold merges every shard's counters into a fresh accumulator and promotes
+// it to a tracking sketch with a single Rebuild.
 func (p *Pipeline) fold() (*tdcs.Sketch, error) {
-	acc, err := tdcs.New(p.cfg)
+	acc, err := dcs.New(p.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +322,7 @@ func (p *Pipeline) fold() (*tdcs.Sketch, error) {
 			}
 		}
 	}
-	return acc, nil
+	return tdcs.FromBase(acc), nil
 }
 
 // TopK folds the shards and returns the combined top-k destinations.
@@ -211,23 +335,18 @@ func (p *Pipeline) TopK(k int) ([]dcs.Estimate, error) {
 }
 
 // Threshold folds the shards and returns all destinations with estimated
-// frequency >= tau.
+// frequency >= tau, in descending frequency order (ties by ascending
+// address) — the order tdcs.Threshold already guarantees.
 func (p *Pipeline) Threshold(tau int64) ([]dcs.Estimate, error) {
 	acc, err := p.fold()
 	if err != nil {
 		return nil, err
 	}
-	ests := acc.Threshold(tau)
-	sort.Slice(ests, func(i, j int) bool {
-		if ests[i].F != ests[j].F {
-			return ests[i].F > ests[j].F
-		}
-		return ests[i].Dest < ests[j].Dest
-	})
-	return ests, nil
+	return acc.Threshold(tau), nil
 }
 
-// Updates returns the number of updates submitted so far.
+// Updates returns the number of updates submitted so far. Updates staged in
+// a Batcher are counted when shipped, not when staged.
 func (p *Pipeline) Updates() uint64 { return p.n.Load() }
 
 // ShardStats reports one shard's counters. Applied lags submissions by the
@@ -253,7 +372,8 @@ func (p *Pipeline) Stats() []ShardStats {
 func (p *Pipeline) Shards() int { return len(p.shards) }
 
 // Close stops all workers after their queues drain and waits for them to
-// exit. Idempotent; queries remain answerable after Close.
+// exit. Idempotent; queries remain answerable after Close. Producers using a
+// Batcher must Flush it first.
 func (p *Pipeline) Close() {
 	p.closing.Do(func() {
 		for _, w := range p.shards {

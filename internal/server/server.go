@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/tdcs"
 	"dcsketch/internal/wire"
@@ -209,12 +210,20 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 			s.noteProtocolError()
 			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
 		}
-		s.mu.Lock()
+		// Re-key the wire batch once and hand it to the monitor's batched
+		// path: one monitor lock acquisition and one sketch kernel pass
+		// per frame instead of one per update record.
+		batch := make([]dcs.KeyDelta, 0, len(updates))
 		for _, u := range updates {
-			s.mon.Update(u.Src, u.Dst, u.Delta)
+			if u.Delta == 0 {
+				continue
+			}
+			batch = append(batch, dcs.KeyDelta{Key: hashing.PairKey(u.Src, u.Dst), Delta: u.Delta})
 		}
+		s.mu.Lock()
+		s.mon.UpdateBatch(batch)
 		s.batchesIn++
-		s.updatesIn += uint64(len(updates))
+		s.updatesIn += uint64(len(batch))
 		s.mu.Unlock()
 		return wire.WriteFrame(w, wire.MsgAck, nil)
 

@@ -1,0 +1,104 @@
+package tdcs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dcsketch/internal/dcs"
+)
+
+// batchStream builds n updates with inserts and matched deletes, as the
+// half-open state machine produces.
+func batchStream(rng *rand.Rand, n int) []dcs.KeyDelta {
+	stream := make([]dcs.KeyDelta, 0, n)
+	live := make([]uint64, 0, n)
+	for len(stream) < n {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			stream = append(stream, dcs.KeyDelta{Key: live[i], Delta: -1})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		key := rng.Uint64()
+		stream = append(stream, dcs.KeyDelta{Key: key, Delta: 1})
+		live = append(live, key)
+	}
+	return stream
+}
+
+// TestUpdateBatchEquivalence checks the tracking batch path against the
+// scalar path: after every chunk the incremental tracking state must answer
+// queries identically, not just at the end of the stream.
+func TestUpdateBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	stream := batchStream(rng, 4000)
+
+	cfg := dcs.Config{Seed: 19}
+	scalar, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for off := 0; off < len(stream); {
+		n := 1 + rng.Intn(500)
+		if off+n > len(stream) {
+			n = len(stream) - off
+		}
+		chunk := stream[off : off+n]
+		for _, u := range chunk {
+			scalar.UpdateKey(u.Key, u.Delta)
+		}
+		batched.UpdateBatch(chunk)
+		off += n
+
+		if got, want := batched.TopK(10), scalar.TopK(10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("at offset %d: batched TopK %v != scalar %v", off, got, want)
+		}
+		if got, want := batched.EstimateDistinctPairs(), scalar.EstimateDistinctPairs(); got != want {
+			t.Fatalf("at offset %d: batched distinct %d != scalar %d", off, got, want)
+		}
+	}
+
+	if got, want := batched.Threshold(2), scalar.Threshold(2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("final Threshold: batched %v != scalar %v", got, want)
+	}
+	if got, want := batched.Updates(), scalar.Updates(); got != want {
+		t.Fatalf("updates %d != %d", got, want)
+	}
+}
+
+// TestFromBaseMatchesIncremental checks the fold-promotion path: adopting a
+// basic sketch via FromBase must answer exactly like a tracking sketch that
+// consumed the same stream update by update.
+func TestFromBaseMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	stream := batchStream(rng, 3000)
+
+	cfg := dcs.Config{Seed: 31}
+	incr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := dcs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		incr.UpdateKey(u.Key, u.Delta)
+	}
+	base.UpdateBatch(stream)
+
+	adopted := FromBase(base)
+	if got, want := adopted.TopK(10), incr.TopK(10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromBase TopK %v != incremental %v", got, want)
+	}
+	if got, want := adopted.Threshold(2), incr.Threshold(2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromBase Threshold %v != incremental %v", got, want)
+	}
+}

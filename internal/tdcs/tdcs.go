@@ -46,9 +46,16 @@ type Sketch struct {
 	heaps []*iheap.Heap
 
 	// scratch buffers reused across updates to keep the hot path
-	// allocation-free.
+	// allocation-free. bucketIdx caches the key's second-level bucket per
+	// table so the hash locations are computed once per update and shared
+	// between the before/after diffs and the counter write.
 	beforeKeys []uint64
 	beforeOK   []bool
+	bucketIdx  []int
+
+	// topScratch holds the heap entries of the last TopK answer, reused
+	// across queries.
+	topScratch []iheap.Entry
 }
 
 // New builds an empty tracking sketch. The Config semantics are identical to
@@ -61,6 +68,17 @@ func New(cfg dcs.Config) (*Sketch, error) {
 	return fromBase(base), nil
 }
 
+// FromBase adopts an existing basic sketch and builds the tracking state
+// from its counters. The returned sketch owns base; the caller must not
+// mutate it directly afterwards. This is how a fold over basic shard
+// sketches is promoted to a queryable tracking sketch with one Rebuild
+// instead of one per merge.
+func FromBase(base *dcs.Sketch) *Sketch {
+	t := fromBase(base)
+	t.Rebuild()
+	return t
+}
+
 func fromBase(base *dcs.Sketch) *Sketch {
 	cfg := base.Config()
 	t := &Sketch{
@@ -69,6 +87,7 @@ func fromBase(base *dcs.Sketch) *Sketch {
 		heaps:      make([]*iheap.Heap, cfg.Levels),
 		beforeKeys: make([]uint64, cfg.Tables),
 		beforeOK:   make([]bool, cfg.Tables),
+		bucketIdx:  make([]int, cfg.Tables),
 	}
 	for i := range t.singles {
 		t.singles[i] = make(map[uint64]uint8)
@@ -111,19 +130,35 @@ func (t *Sketch) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	cfg := t.base.Config()
-	level := t.base.LevelOf(key)
+	t.update1(key, delta)
+}
 
-	// Decode the affected buckets before and after the counter update and
-	// diff the verified-singleton occupancy. Only the r buckets key maps
-	// to can change, and any occupant of those buckets lives at the same
-	// first-level level (DecodeBucket enforces it).
-	for j := 0; j < cfg.Tables; j++ {
-		t.beforeKeys[j], _, t.beforeOK[j] = t.base.DecodeBucket(level, j, t.base.BucketOf(j, key))
+// UpdateBatch applies a batch of flow updates (the bulk form of UpdateKey),
+// maintaining the tracking state per element. Zero deltas are skipped; the
+// batch slice may be reused by the caller afterwards.
+func (t *Sketch) UpdateBatch(batch []dcs.KeyDelta) {
+	for _, u := range batch {
+		if u.Delta == 0 {
+			continue
+		}
+		t.update1(u.Key, u.Delta)
 	}
-	t.base.UpdateKey(key, delta)
-	for j := 0; j < cfg.Tables; j++ {
-		afterKey, _, afterOK := t.base.DecodeBucket(level, j, t.base.BucketOf(j, key))
+}
+
+// update1 is the per-key tracking update (procedure UpdateTracking, Fig. 6):
+// decode the affected buckets before and after the counter update and diff
+// the verified-singleton occupancy. Only the r buckets key maps to can
+// change, and any occupant of those buckets lives at the same first-level
+// level (DecodeBucket enforces it). Hash locations are resolved once via
+// Locate and shared with the counter write.
+func (t *Sketch) update1(key uint64, delta int64) {
+	level := t.base.Locate(key, t.bucketIdx)
+	for j, b := range t.bucketIdx {
+		t.beforeKeys[j], _, t.beforeOK[j] = t.base.DecodeBucket(level, j, b)
+	}
+	t.base.UpdateLocated(key, delta, level, t.bucketIdx)
+	for j, b := range t.bucketIdx {
+		afterKey, _, afterOK := t.base.DecodeBucket(level, j, b)
 		beforeKey, beforeOK := t.beforeKeys[j], t.beforeOK[j]
 		if beforeOK == afterOK && beforeKey == afterKey {
 			continue
@@ -203,9 +238,9 @@ func (t *Sketch) TopK(k int) []dcs.Estimate {
 	}
 	b := t.sampleLevel()
 	scale := int64(1) << uint(b)
-	top := t.heaps[b].TopK(k)
-	out := make([]dcs.Estimate, len(top))
-	for i, e := range top {
+	t.topScratch = t.heaps[b].AppendTopK(t.topScratch[:0], k)
+	out := make([]dcs.Estimate, len(t.topScratch))
+	for i, e := range t.topScratch {
 		out[i] = dcs.Estimate{Dest: e.Key, F: e.Priority * scale}
 	}
 	return out

@@ -64,6 +64,16 @@ func (t *Tracker) Update(src, dst uint32, delta int64) {
 	t.sum.Update(src, dst, delta)
 }
 
+// UpdateBatch records a batch of pre-keyed flow updates in the current
+// epoch through the sketches' batched kernel. The batch lands in both the
+// epoch sketch and the running sum atomically with respect to Rotate (the
+// tracker is single-goroutine by contract), so window queries never observe
+// half a batch.
+func (t *Tracker) UpdateBatch(batch []dcs.KeyDelta) {
+	t.ring[t.head].UpdateBatch(batch)
+	t.sum.UpdateBatch(batch)
+}
+
 // Rotate seals the current epoch and retires the oldest one: its counters
 // are subtracted from the window sum and its sketch is recycled as the new
 // current epoch. Call it on a timer (e.g. every minute) or every N updates.

@@ -1,6 +1,7 @@
 package dcsketch
 
 import (
+	"dcsketch/internal/dcs"
 	"dcsketch/internal/window"
 )
 
@@ -11,6 +12,9 @@ import (
 // monitor, or with lost completions) should age out of the ranking.
 type WindowedTracker struct {
 	inner *window.Tracker
+	// scratch is the re-keying buffer of UpdateBatch, reused across calls
+	// under the tracker's single-goroutine contract.
+	scratch []dcs.KeyDelta
 }
 
 // NewWindowedTracker builds a tracker over `epochs` live epochs (>= 1).
@@ -31,6 +35,17 @@ func (w *WindowedTracker) Delete(src, dst uint32) { w.inner.Update(src, dst, -1)
 
 // Update applies a signed net frequency change in the current epoch.
 func (w *WindowedTracker) Update(src, dst uint32, delta int64) { w.inner.Update(src, dst, delta) }
+
+// UpdateBatch applies a batch of flow updates to the current epoch through
+// the batched kernel. Equivalent to calling Update for each record in order;
+// the whole batch lands in one epoch.
+func (w *WindowedTracker) UpdateBatch(batch []FlowUpdate) {
+	if len(batch) == 0 {
+		return
+	}
+	w.scratch = appendKeyDeltas(w.scratch[:0], batch)
+	w.inner.UpdateBatch(w.scratch)
+}
 
 // Rotate seals the current epoch and retires the oldest one.
 func (w *WindowedTracker) Rotate() error { return w.inner.Rotate() }
