@@ -11,6 +11,12 @@ test:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sketchlint ./...
+	$(GO) run ./cmd/escapecheck \
+		-require 'dcsketch/internal/dcs:(*Sketch).updateKernel' \
+		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
+		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
+		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
+		-require 'dcsketch/internal/iheap:(*Heap).Adjust'
 
 race:
 	$(GO) test -race ./...
@@ -24,6 +30,7 @@ check:
 	./ci.sh check
 
 # Perf gate: run the gated benchmarks, record medians to BENCH_2.json, and
-# fail on >10% ns/op regression against BENCH_baseline.json.
+# fail on >10% ns/op regression or any allocs/op growth against
+# BENCH_baseline.json.
 bench:
 	./ci.sh bench

@@ -2,12 +2,13 @@
 # CI entry points for the dcsketch repo.
 #
 #   ./ci.sh tier1   build + unit tests (the always-green floor)
-#   ./ci.sh check   tier1 plus vet, sketchlint, -race tests, dcsdebug
-#                   assertion tests, and a fuzz smoke pass
+#   ./ci.sh check   tier1 plus vet, sketchlint, the escapecheck
+#                   allocation gate, -race tests, dcsdebug assertion
+#                   tests, and a fuzz smoke pass
 #   ./ci.sh bench   run the Table-2 update/query benchmarks plus the
 #                   pipeline ingest benchmark with -benchmem, record
-#                   medians to BENCH_2.json, and fail if any ns/op
-#                   regresses >10% against BENCH_baseline.json
+#                   medians to BENCH_2.json, and fail if any ns/op or
+#                   allocs/op regresses against BENCH_baseline.json
 #
 # `check` is the full gate documented in ROADMAP.md; run it before merging.
 set -eu
@@ -24,8 +25,20 @@ check() {
 	go vet ./...
 	# sketchlint enforces the sketch invariants the type system cannot:
 	# same-seed merges, '// guarded by' mutex discipline, handled wire
-	# errors, and the ±1 delta discipline. See DESIGN.md.
+	# errors, the ±1 delta discipline, and the hot-path contracts
+	# (//lint:allocfree call graphs, //lint:scratch escape hygiene,
+	# sync.Pool Get/Put balance). See DESIGN.md. The run must be
+	# self-clean: zero unsuppressed diagnostics over the whole module.
 	go run ./cmd/sketchlint ./...
+	# escapecheck ground-truths //lint:allocfree against the compiler's
+	# escape analysis, and -require pins the annotations on the update
+	# kernels so deleting one fails here instead of shrinking the proof.
+	go run ./cmd/escapecheck \
+		-require 'dcsketch/internal/dcs:(*Sketch).updateKernel' \
+		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
+		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
+		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
+		-require 'dcsketch/internal/iheap:(*Heap).Adjust'
 	go test -race ./...
 	# Runtime invariant assertions (counter non-negativity, tracking/
 	# counter consistency) compiled in via the dcsdebug build tag.
@@ -36,6 +49,7 @@ check() {
 	go test -fuzz='^FuzzShardRouting$' -fuzztime=10s ./internal/pipeline
 	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
+	go test -fuzz='^FuzzDirectiveParse$' -fuzztime=10s ./internal/analysis
 }
 
 bench() {

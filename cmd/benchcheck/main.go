@@ -11,8 +11,10 @@
 //
 //	benchcheck compare -baseline a.json -current b.json [-max-regress 0.10]
 //	    Compare two records: exit non-zero when any benchmark present in
-//	    the baseline is missing from the current record or has regressed
-//	    by more than the allowed fraction in ns/op.
+//	    the baseline is missing from the current record, has regressed by
+//	    more than the allowed fraction in ns/op, or allocates more per op
+//	    than the baseline tolerates (a 0 allocs/op baseline admits no
+//	    allocation at all).
 //
 // Medians (not means) absorb the occasional descheduled run on shared CI
 // hardware; the committed baseline makes the gate reproducible without
@@ -260,8 +262,11 @@ func load(path string) (*Record, error) {
 }
 
 // Compare renders a benchstat-style delta table and counts failures: a
-// benchmark fails when it is missing from cur or its ns/op exceeds the
-// baseline by more than maxRegress.
+// benchmark fails when it is missing from cur, its ns/op exceeds the
+// baseline by more than maxRegress, or its allocs/op grows past the same
+// tolerance. Allocation counts are deterministic (unlike wall time), so a
+// zero-alloc baseline fails on ANY current allocation — that is exactly the
+// contract the //lint:allocfree annotations promise, measured at run time.
 func Compare(base, cur *Record, maxRegress float64) (string, int) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -271,13 +276,15 @@ func Compare(base, cur *Record, maxRegress float64) (string, int) {
 
 	var b strings.Builder
 	failures := 0
-	fmt.Fprintf(&b, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s %12s %12s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs")
 	for _, name := range names {
 		bm := base.Benchmarks[name]
 		cm, ok := cur.Benchmarks[name]
 		if !ok {
 			failures++
-			fmt.Fprintf(&b, "%-28s %14.1f %14s %9s  FAIL (missing)\n", name, bm.NsPerOp, "-", "-")
+			fmt.Fprintf(&b, "%-28s %14.1f %14s %9s %12s %12s  FAIL (missing)\n",
+				name, bm.NsPerOp, "-", "-", "-", "-")
 			continue
 		}
 		delta := 0.0
@@ -289,12 +296,28 @@ func Compare(base, cur *Record, maxRegress float64) (string, int) {
 			failures++
 			status = "  FAIL"
 		}
-		fmt.Fprintf(&b, "%-28s %14.1f %14.1f %+8.1f%%%s\n", name, bm.NsPerOp, cm.NsPerOp, delta*100, status)
+		if allocsRegressed(bm.AllocsPerOp, cm.AllocsPerOp, maxRegress) {
+			failures++
+			status += "  FAIL (allocs/op)"
+		}
+		fmt.Fprintf(&b, "%-28s %14.1f %14.1f %+8.1f%% %12.1f %12.1f%s\n",
+			name, bm.NsPerOp, cm.NsPerOp, delta*100, bm.AllocsPerOp, cm.AllocsPerOp, status)
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Fprintf(&b, "%-28s %14s %14.1f %9s  (new)\n", name, "-", cur.Benchmarks[name].NsPerOp, "-")
+			fmt.Fprintf(&b, "%-28s %14s %14.1f %9s %12s %12.1f  (new)\n",
+				name, "-", cur.Benchmarks[name].NsPerOp, "-", "-", cur.Benchmarks[name].AllocsPerOp)
 		}
 	}
 	return b.String(), failures
+}
+
+// allocsRegressed reports whether cur allocations exceed the baseline by
+// more than the allowed fraction. A zero baseline tolerates nothing: going
+// from 0 to any allocs/op is always a regression.
+func allocsRegressed(base, cur, maxRegress float64) bool {
+	if base == 0 {
+		return cur > 0
+	}
+	return cur > base*(1+maxRegress)
 }

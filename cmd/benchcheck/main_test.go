@@ -99,6 +99,55 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	}
 }
 
+func TestCompareAllocsRegression(t *testing.T) {
+	base := &Record{Benchmarks: map[string]Metrics{
+		"BenchmarkZeroAlloc": {Runs: 1, NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkFewAllocs": {Runs: 1, NsPerOp: 100, AllocsPerOp: 10},
+	}}
+
+	// Within budget: zero stays zero, 10 → 11 is exactly +10%.
+	cur := &Record{Benchmarks: map[string]Metrics{
+		"BenchmarkZeroAlloc": {Runs: 1, NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkFewAllocs": {Runs: 1, NsPerOp: 100, AllocsPerOp: 11},
+	}}
+	if report, failures := Compare(base, cur, 0.10); failures != 0 {
+		t.Fatalf("failures = %d, want 0; report:\n%s", failures, report)
+	}
+
+	// A zero-alloc baseline admits no allocation at all, regardless of the
+	// ns/op tolerance; the nonzero baseline fails past the fraction.
+	cur = &Record{Benchmarks: map[string]Metrics{
+		"BenchmarkZeroAlloc": {Runs: 1, NsPerOp: 100, AllocsPerOp: 1},
+		"BenchmarkFewAllocs": {Runs: 1, NsPerOp: 100, AllocsPerOp: 12},
+	}}
+	report, failures := Compare(base, cur, 0.10)
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2; report:\n%s", failures, report)
+	}
+	if strings.Count(report, "FAIL (allocs/op)") != 2 {
+		t.Fatalf("report lacks allocs/op FAIL markers:\n%s", report)
+	}
+}
+
+func TestAllocsRegressed(t *testing.T) {
+	tests := []struct {
+		base, cur, max float64
+		want           bool
+	}{
+		{0, 0, 0.10, false},
+		{0, 0.5, 0.10, true}, // zero baseline tolerates nothing
+		{10, 11, 0.10, false},
+		{10, 11.5, 0.10, true},
+		{4, 4, 0, false},
+		{4, 5, 0, true},
+	}
+	for _, tt := range tests {
+		if got := allocsRegressed(tt.base, tt.cur, tt.max); got != tt.want {
+			t.Errorf("allocsRegressed(%v, %v, %v) = %v, want %v", tt.base, tt.cur, tt.max, got, tt.want)
+		}
+	}
+}
+
 func TestRunParseAndCompareEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	basePath := dir + "/base.json"

@@ -1,24 +1,32 @@
 // Command sketchlint is the project's static-analysis driver: a
-// multichecker running the four dcsketch invariant analyzers over the whole
+// multichecker running the seven dcsketch invariant analyzers over the whole
 // module.
 //
-//	seedcompat  sketch Merge/Subtract/Fold operands must share one Config/seed
-//	lockcheck   '// guarded by <mu>' fields need the named mutex held
-//	wireerr     no discarded errors on the wire path
-//	deltasign   no raw integer→int64 delta conversions into Update APIs
+//	seedcompat   sketch Merge/Subtract/Fold operands must share one Config/seed
+//	lockcheck    '// guarded by <mu>' fields need the named mutex held
+//	wireerr      no discarded errors on the wire path
+//	deltasign    no raw integer→int64 delta conversions into Update APIs
+//	allocfree    //lint:allocfree functions stay allocation-free over their call graph
+//	scratchsafe  //lint:scratch buffers must not escape their owner
+//	poolcheck    sync.Pool Get/Put balance and length-reset discipline
 //
 // Usage:
 //
 //	sketchlint ./...
 //	sketchlint -analyzers seedcompat,wireerr ./...
+//	sketchlint -json ./...
 //
 // Diagnostics print as file:line:col: analyzer: message, and the exit status
-// is 1 when any diagnostic is reported (the CI `check` target treats that as
-// failure). Escape hatches (//lint:seedok, //lint:lockok, //lint:wireok,
-// //lint:deltaok and //lint:locked) are documented in DESIGN.md.
+// is 1 when any unsuppressed diagnostic is reported (the CI `check` target
+// treats that as failure). With -json, every diagnostic — suppressed ones
+// included, flagged "suppressed": true — is emitted as one JSON object per
+// line, keeping the module's suppression inventory machine-auditable. The
+// //lint: escape hatches and markers are documented in DESIGN.md and the
+// internal/analysis package doc.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +35,11 @@ import (
 	"strings"
 
 	"dcsketch/internal/analysis"
+	"dcsketch/internal/analysis/allocfree"
 	"dcsketch/internal/analysis/deltasign"
 	"dcsketch/internal/analysis/lockcheck"
+	"dcsketch/internal/analysis/poolcheck"
+	"dcsketch/internal/analysis/scratchsafe"
 	"dcsketch/internal/analysis/seedcompat"
 	"dcsketch/internal/analysis/wireerr"
 )
@@ -39,6 +50,9 @@ var analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	wireerr.Analyzer,
 	deltasign.Analyzer,
+	allocfree.Analyzer,
+	scratchsafe.Analyzer,
+	poolcheck.Analyzer,
 }
 
 func main() {
@@ -50,13 +64,22 @@ func main() {
 	os.Exit(code)
 }
 
+// jsonDiagnostic is the -json wire shape: one object per line per diagnostic.
+type jsonDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	Position   string `json:"position"` // file:line:col
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // run executes the multichecker and returns the process exit code: 0 clean,
-// 1 when diagnostics were reported.
+// 1 when unsuppressed diagnostics were reported.
 func run(args []string, w io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sketchlint", flag.ContinueOnError)
 	var (
-		names = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-		list  = fs.Bool("list", false, "list available analyzers and exit")
+		names    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		list     = fs.Bool("list", false, "list available analyzers and exit")
+		jsonMode = fs.Bool("json", false, "emit one JSON object per diagnostic (suppressed ones included) instead of text")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -64,7 +87,7 @@ func run(args []string, w io.Writer) (int, error) {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(w, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(w, "%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0, nil
 	}
@@ -91,26 +114,48 @@ func run(args []string, w io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	mod := analysis.NewModule(pkgs)
 
-	var diags []analysis.Diagnostic
+	enc := json.NewEncoder(w)
+	actionable := 0
 	for _, pkg := range pkgs {
 		for _, a := range suite {
-			ds, err := analysis.Run(a, pkg)
+			ds, err := analysis.Run(a, pkg, mod)
 			if err != nil {
 				return 2, err
 			}
 			for _, d := range ds {
 				pos := pkg.Fset.Position(d.Pos)
-				fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+				if *jsonMode {
+					if err := enc.Encode(jsonLine(pos.String(), d)); err != nil {
+						return 2, err
+					}
+				} else if !d.Suppressed {
+					fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+				}
+				if !d.Suppressed {
+					actionable++
+				}
 			}
-			diags = append(diags, ds...)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(w, "sketchlint: %d problem(s) in %d package(s) analyzed\n", len(diags), len(pkgs))
+	if actionable > 0 {
+		if !*jsonMode {
+			fmt.Fprintf(w, "sketchlint: %d problem(s) in %d package(s) analyzed\n", actionable, len(pkgs))
+		}
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// jsonLine shapes one diagnostic for the -json stream.
+func jsonLine(position string, d analysis.Diagnostic) jsonDiagnostic {
+	return jsonDiagnostic{
+		Analyzer:   d.Analyzer,
+		Position:   position,
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+	}
 }
 
 // selectAnalyzers resolves the -analyzers flag to a subset of the suite.

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"dcsketch/internal/analysis"
+)
+
+func TestListIncludesAllAnalyzers(t *testing.T) {
+	var sb strings.Builder
+	code, err := run([]string{"-list"}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v; want 0, nil", code, err)
+	}
+	out := sb.String()
+	for _, a := range analyzers {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out)
+		}
+	}
+	if got, want := strings.Count(out, "\n"), len(analyzers); got != want {
+		t.Errorf("-list printed %d lines, want %d", got, want)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(analyzers) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, %v; want %d, nil", len(all), err, len(analyzers))
+	}
+	subset, err := selectAnalyzers("allocfree, poolcheck")
+	if err != nil {
+		t.Fatalf("selectAnalyzers(allocfree, poolcheck): %v", err)
+	}
+	if len(subset) != 2 || subset[0].Name != "allocfree" || subset[1].Name != "poolcheck" {
+		t.Errorf("selectAnalyzers(allocfree, poolcheck) = %v", subset)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Error("selectAnalyzers(nosuch): expected error")
+	} else if !strings.Contains(err.Error(), "scratchsafe") {
+		t.Errorf("unknown-analyzer error should list the suite, got: %v", err)
+	}
+}
+
+func TestUnsupportedPattern(t *testing.T) {
+	var sb strings.Builder
+	code, err := run([]string{"./internal/..."}, &sb)
+	if code != 2 || err == nil {
+		t.Fatalf("run(./internal/...) = %d, %v; want 2 and an error", code, err)
+	}
+}
+
+func TestJSONLine(t *testing.T) {
+	d := analysis.Diagnostic{
+		Pos:        token.NoPos,
+		Analyzer:   "allocfree",
+		Message:    `append may grow and allocate in //lint:allocfree function "kernel"`,
+		Suppressed: true,
+	}
+	data, err := json.Marshal(jsonLine("dcs.go:42:7", d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round jsonDiagnostic
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	want := jsonDiagnostic{
+		Analyzer:   "allocfree",
+		Position:   "dcs.go:42:7",
+		Message:    d.Message,
+		Suppressed: true,
+	}
+	if round != want {
+		t.Errorf("jsonLine round-trip = %+v, want %+v", round, want)
+	}
+	if !strings.Contains(string(data), `"suppressed":true`) {
+		t.Errorf("JSON missing suppressed flag: %s", data)
+	}
+}

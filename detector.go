@@ -162,8 +162,11 @@ func (m *Monitor) UpdateBatch(batch []FlowUpdate) {
 		return
 	}
 	bp := rekeyPool.Get().(*[]dcs.KeyDelta)
-	*bp = appendKeyDeltas((*bp)[:0], batch)
-	m.inner.UpdateBatch(*bp)
+	rekeyed := appendKeyDeltas((*bp)[:0], batch)
+	m.inner.UpdateBatch(rekeyed)
+	// Pool the (possibly regrown) backing array at length zero so the next
+	// Get starts empty instead of replaying stale key-deltas.
+	*bp = rekeyed[:0]
 	rekeyPool.Put(bp)
 }
 

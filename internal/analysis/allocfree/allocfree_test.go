@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/allocfree"
+	"dcsketch/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "allocfree")
+}

@@ -1,0 +1,189 @@
+// Package allocfree is the golden package for the allocfree analyzer.
+package allocfree
+
+import (
+	"math/bits"
+	"strconv"
+
+	"allocfreedep"
+)
+
+type pair struct {
+	a, b uint64
+}
+
+type ifc interface {
+	M()
+}
+
+// --- true positives: every flagged construct inside an annotated body ---
+
+//lint:allocfree
+func kernel(xs []uint64, m map[uint64]int, s string) {
+	xs = append(xs, 1)  // want `append may grow and allocate`
+	_ = make([]int, 4)  // want `make allocates`
+	_ = new(int)        // want `new allocates`
+	_ = []int{1}        // want `slice literal allocates`
+	_ = map[int]int{}   // want `map literal allocates`
+	_ = &pair{}         // want `address-of composite literal allocates`
+	m[1] = 2            // want `map write may allocate \(bucket growth\)`
+	m[2]++              // want `map write may allocate \(bucket growth\)`
+	_ = s + "x"         // want `string concatenation allocates`
+	s += "y"            // want `string concatenation allocates`
+	go spin()           // want `go statement allocates a goroutine`
+	f := func() { spin() } // want `closure literal captures its environment and allocates`
+	_ = f
+	_ = strconv.Itoa(3) // want `call into strconv.Itoa cannot be proven allocation-free \(outside the module and not allowlisted\)`
+}
+
+//lint:allocfree
+func conversions(bs []byte, s string, x int, px *int) {
+	_ = string(bs) // want `string conversion allocates`
+	_ = []byte(s)  // want `conversion from string allocates`
+	_ = any(x)     // want `conversion to interface type boxes the operand`
+	_ = any(px)    // pointers store into the interface word without boxing
+	_ = uint64(x)  // numeric conversions are free
+}
+
+//lint:allocfree
+func indirectCalls(fp func(), e ifc, v any) {
+	fp()        // want `dynamic call cannot be proven allocation-free`
+	e.M()       // want `interface method call M cannot be proven allocation-free`
+	sink(42)    // want `argument boxes a non-pointer value into an interface parameter`
+	sink(v)     // interface-to-interface: no boxing
+	sink(nil)   // nil stores into the interface word
+	_ = varArgs(1, 2)     // want `variadic call allocates its argument slice`
+	_ = varArgs(nil...)   // spread call passes the slice through
+}
+
+// --- transitive verification through the module call graph ---
+
+//lint:allocfree
+func callsDirty(xs []int) {
+	dirtyHelper(xs) // want `calls allocfree\.dirtyHelper, which is not allocation-free: append may grow and allocate at .*a\.go.*`
+}
+
+//lint:allocfree
+func crossPkg(xs []int) {
+	_ = allocfreedep.Clean(7)
+	_ = allocfreedep.Dirty(xs) // want `calls allocfreedep\.Dirty, which is not allocation-free: append may grow and allocate at .*dep\.go.*`
+}
+
+//lint:allocfree
+func callsAsm() {
+	asmStub() // want `calls allocfree\.asmStub, which is not allocation-free: no Go body to verify`
+}
+
+// --- true negatives ---
+
+// cleanKernel mirrors the shape of the real update kernels: indexing,
+// arithmetic, field writes, map reads, builtin delete. No diagnostics.
+//
+//lint:allocfree
+func cleanKernel(xs []uint64, m map[uint64]int, p *pair) uint64 {
+	var acc uint64
+	for i := range xs {
+		acc += xs[i] >> 1
+	}
+	p.a = acc
+	xs[0] = acc
+	_ = [2]uint64{acc, acc} // arrays live on the stack
+	q := pair{a: acc}       // value composite literals live on the stack
+	_ = q
+	_, ok := m[1]
+	if ok {
+		delete(m, 1)
+	}
+	_ = bits.OnesCount64(acc) // math/bits is allowlisted
+	return min(acc, 10)
+}
+
+// callsClean follows a non-annotated but transitively clean helper chain,
+// including a recursion cycle, without diagnostics.
+//
+//lint:allocfree
+func callsClean(x uint64, n int) uint64 {
+	if even(n) {
+		return cleanHelper(x)
+	}
+	return addSig(x)
+}
+
+// --- suppression ---
+
+// suppressed asserts //lint:allocok removes the diagnostic (no want here).
+//
+//lint:allocfree
+func suppressed(xs []int) []int {
+	xs = append(xs, 1) //lint:allocok scratch grows to a high-water mark
+	return xs
+}
+
+// staleSuppressed carries a suppression on a line where nothing is reported;
+// the analyzer must stay silent rather than suppress something else.
+//
+//lint:allocfree
+func staleSuppressed(x int) int {
+	x++ //lint:allocok nothing on this line allocates
+	return x
+}
+
+// callsAmortized follows a helper whose allocation is suppressed in the
+// helper's own file: the callee counts as clean.
+//
+//lint:allocfree
+func callsAmortized(xs []int) {
+	amortizedHelper(xs)
+}
+
+// --- helpers (non-annotated) ---
+
+func spin() {}
+
+func sink(v any) {
+	_ = v
+}
+
+func varArgs(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+func dirtyHelper(xs []int) []int {
+	return append(xs, 1)
+}
+
+func amortizedHelper(xs []int) []int {
+	return append(xs, 1) //lint:allocok amortized growth toward capacity
+}
+
+func cleanHelper(x uint64) uint64 {
+	return allocfreedep.Clean(x)
+}
+
+// addSig is an annotated leaf: annotated callees pass without rescanning.
+//
+//lint:allocfree
+func addSig(x uint64) uint64 {
+	return x + 1
+}
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// asmStub has no Go body (as an assembly-backed routine would).
+func asmStub()

@@ -1,0 +1,14 @@
+// Package allocfreedep exercises cross-package transitive verification:
+// the allocfree analyzer must follow module-internal calls out of the
+// annotated package through the Module index.
+package allocfreedep
+
+// Clean is allocation-free but not annotated; callers must still pass.
+func Clean(x uint64) uint64 {
+	return x*2 + 1
+}
+
+// Dirty allocates; annotated callers must be reported at their call site.
+func Dirty(xs []int) []int {
+	return append(xs, 1)
+}

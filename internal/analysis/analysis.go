@@ -4,18 +4,50 @@
 // environment is offline, so x/tools cannot be a dependency).
 //
 // An Analyzer inspects one type-checked package at a time through a Pass and
-// reports Diagnostics. The project analyzers live in subpackages
-// (seedcompat, lockcheck, wireerr, deltasign) and are driven over the whole
-// module by cmd/sketchlint; each is unit-tested against golden packages with
-// the analysistest subpackage.
+// reports Diagnostics. The project analyzers live in subpackages (seedcompat,
+// lockcheck, wireerr, deltasign, allocfree, scratchsafe, poolcheck) and are
+// driven over the whole module by cmd/sketchlint; each is unit-tested against
+// golden packages with the analysistest subpackage. Analyzers that reason
+// across package boundaries (allocfree's call-graph proofs) additionally
+// receive a Module index over every loaded package.
 //
-// Two source annotations are recognized framework-wide:
+// # The //lint: annotation vocabulary
 //
-//   - "//lint:<name> <reason>" on the same line as a reported construct
-//     suppresses the named analyzer's diagnostic (e.g. //lint:seedok).
-//   - "//lint:locked <mu>" in a function's doc comment declares that the
-//     function is only called with the receiver's mutex field <mu> held
-//     (consumed by lockcheck).
+// All source annotations share one syntax, "//lint:<name> [args...]"
+// (see ParseDirective), consumed under three grammars:
+//
+// Same-line suppressions acknowledge a reviewed, intentionally unproven
+// construct; the arguments are the free-form reason (always give one):
+//
+//	//lint:seedok    <reason>   suppress a seedcompat diagnostic
+//	//lint:lockok    <reason>   suppress a lockcheck diagnostic
+//	//lint:wireok    <reason>   suppress a wireerr diagnostic
+//	//lint:deltaok   <reason>   suppress a deltasign diagnostic
+//	//lint:allocok   <reason>   suppress an allocfree diagnostic
+//	//lint:scratchok <reason>   suppress a scratchsafe diagnostic
+//	//lint:poolok    <reason>   suppress a poolcheck diagnostic
+//
+// Doc-comment argument directives pass one machine-read argument:
+//
+//	//lint:locked <mu>   the function is only called with the receiver's
+//	                     mutex field <mu> held (consumed by lockcheck)
+//
+// Doc-comment markers annotate the declaration itself:
+//
+//	//lint:allocfree          the function (and, transitively, every
+//	                          module-internal function it calls) must
+//	                          contain no allocation-inducing construct
+//	                          (proven by allocfree and ground-truthed by
+//	                          cmd/escapecheck)
+//	//lint:poolown <reason>   the function intentionally retains a
+//	                          sync.Pool buffer past its return — ownership
+//	                          is handed off (consumed by poolcheck)
+//
+// Struct fields carry one marker:
+//
+//	//lint:scratch   the field is owner-private reusable scratch; values
+//	                 derived from it must not escape the owning method
+//	                 (consumed by scratchsafe)
 package analysis
 
 import (
@@ -50,6 +82,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module indexes every package of the load, for analyzers that follow
+	// calls across package boundaries (allocfree). Nil when the driver
+	// analyzes packages in isolation.
+	Module *Module
+
 	// Report receives each diagnostic; the driver and test harness install
 	// their own sinks.
 	Report func(Diagnostic)
@@ -60,15 +97,23 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding whose source line carries the analyzer's
+	// "//lint:<directive>" escape hatch. Suppressed diagnostics do not fail
+	// the build; drivers may still surface them (sketchlint -json does) so
+	// the suppression inventory stays auditable.
+	Suppressed bool
 }
 
-// Reportf reports a formatted diagnostic at pos, unless the source line
-// carries a "//lint:<analyzer-name>" suppression directive.
+// Reportf reports a formatted diagnostic at pos. A "//lint:<directive>"
+// suppression on the source line marks the diagnostic Suppressed rather than
+// dropping it; sinks that only want actionable findings filter on the flag.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.Suppressed(pos) {
-		return
-	}
-	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	p.Report(Diagnostic{
+		Pos:        pos,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.Suppressed(pos),
+	})
 }
 
 // Suppressed reports whether the line holding pos carries the analyzer's
@@ -85,14 +130,21 @@ func (p *Pass) Suppressed(pos token.Pos) bool {
 // "//lint:<name>" comment (an escape hatch acknowledging a reviewed,
 // intentionally unproven construct).
 func (p *Pass) LineDirective(pos token.Pos, name string) bool {
-	file := p.FileFor(pos)
+	return FileLineDirective(p.Fset, p.FileFor(pos), pos, name)
+}
+
+// FileLineDirective reports whether the source line containing pos carries a
+// "//lint:<name>" comment in file. It is the file-scoped form of
+// Pass.LineDirective, for analyzers inspecting packages other than the one
+// their Pass presents (allocfree's transitive call-graph scan).
+func FileLineDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name string) bool {
 	if file == nil {
 		return false
 	}
-	line := p.Fset.Position(pos).Line
+	line := fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if p.Fset.Position(c.Pos()).Line != line {
+			if fset.Position(c.Pos()).Line != line {
 				continue
 			}
 			if directiveName(c.Text) == name {
@@ -105,45 +157,16 @@ func (p *Pass) LineDirective(pos token.Pos, name string) bool {
 
 // FileFor returns the *ast.File whose source range contains pos.
 func (p *Pass) FileFor(pos token.Pos) *ast.File {
-	for _, f := range p.Files {
+	return fileFor(p.Files, pos)
+}
+
+func fileFor(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
 		if f.FileStart <= pos && pos < f.FileEnd {
 			return f
 		}
 	}
 	return nil
-}
-
-// directiveName extracts <name> from a "//lint:<name> ..." comment, or "".
-func directiveName(text string) string {
-	const prefix = "//lint:"
-	if !strings.HasPrefix(text, prefix) {
-		return ""
-	}
-	rest := strings.TrimPrefix(text, prefix)
-	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
-	}
-	return rest
-}
-
-// DocDirectiveArg scans a doc comment for "//lint:<name> <arg>" and returns
-// the first argument of the first match (e.g. the mutex name in
-// "//lint:locked mu"). ok is false when the directive is absent.
-func DocDirectiveArg(doc *ast.CommentGroup, name string) (arg string, ok bool) {
-	if doc == nil {
-		return "", false
-	}
-	for _, c := range doc.List {
-		if directiveName(c.Text) != name {
-			continue
-		}
-		fields := strings.Fields(strings.TrimPrefix(c.Text, "//lint:"+name))
-		if len(fields) == 0 {
-			return "", true
-		}
-		return fields[0], true
-	}
-	return "", false
 }
 
 // ExprString renders an expression as compact source text, used to compare

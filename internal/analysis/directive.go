@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+)
+
+// Directive is one parsed "//lint:" source annotation. The framework
+// recognizes a single surface syntax,
+//
+//	//lint:<name> [arg ...]
+//
+// consumed under three grammars that differ in where the comment attaches
+// and how the arguments are read:
+//
+//   - same-line suppression: "//lint:<name> <reason...>" on the line of a
+//     reported construct acknowledges the named analyzer's diagnostic; the
+//     arguments are free-form prose (LineDirective / Pass.Suppressed).
+//   - doc argument directive: "//lint:<name> <arg>" in a declaration's doc
+//     comment passes one machine-read argument to an analyzer, e.g. the
+//     mutex name in "//lint:locked mu" (DocDirectiveArg).
+//   - doc marker: "//lint:<name>" in a declaration's doc comment flags the
+//     declaration itself, e.g. "//lint:allocfree" on a hot-path kernel or
+//     "//lint:poolown <reason>" on a function that hands a pooled buffer
+//     off instead of returning it (DocDirective).
+type Directive struct {
+	// Name is the directive name, the token between "lint:" and the first
+	// whitespace.
+	Name string
+	// Args are the whitespace-separated tokens after the name. For
+	// suppressions they are prose; for argument directives the first entry
+	// is the machine-read argument.
+	Args []string
+}
+
+// ParseDirective parses a raw comment text ("//..." as returned by
+// ast.Comment.Text) as a "//lint:" directive. ok is false when the comment
+// is not a lint directive or carries an empty name.
+func ParseDirective(text string) (d Directive, ok bool) {
+	const prefix = "//lint:"
+	rest, found := strings.CutPrefix(text, prefix)
+	if !found {
+		return Directive{}, false
+	}
+	name := rest
+	if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		rest = ""
+	}
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Args: strings.Fields(rest)}, true
+}
+
+// String renders the directive back to its canonical comment form.
+func (d Directive) String() string {
+	if len(d.Args) == 0 {
+		return "//lint:" + d.Name
+	}
+	return "//lint:" + d.Name + " " + strings.Join(d.Args, " ")
+}
+
+// directiveName extracts <name> from a "//lint:<name> ..." comment, or "".
+func directiveName(text string) string {
+	d, ok := ParseDirective(text)
+	if !ok {
+		return ""
+	}
+	return d.Name
+}
+
+// DocDirective scans a doc comment for a "//lint:<name>" marker and returns
+// its arguments. ok is false when the directive is absent. It is the
+// function-annotation grammar: "//lint:allocfree" marks a function whose
+// body must be proven allocation-free, "//lint:poolown <reason>" marks a
+// function that legitimately retains a pooled buffer past its return.
+func DocDirective(doc *ast.CommentGroup, name string) (args []string, ok bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		d, dok := ParseDirective(c.Text)
+		if dok && d.Name == name {
+			return d.Args, true
+		}
+	}
+	return nil, false
+}
+
+// DocDirectiveArg scans a doc comment for "//lint:<name> <arg>" and returns
+// the first argument of the first match (e.g. the mutex name in
+// "//lint:locked mu"). ok is false when the directive is absent.
+func DocDirectiveArg(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	args, ok := DocDirective(doc, name)
+	if !ok {
+		return "", false
+	}
+	if len(args) == 0 {
+		return "", true
+	}
+	return args[0], true
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func TestParseDirective(t *testing.T) {
+	tests := []struct {
+		text string
+		ok   bool
+		name string
+		args []string
+	}{
+		{"//lint:allocfree", true, "allocfree", nil},
+		{"//lint:locked mu", true, "locked", []string{"mu"}},
+		{"//lint:seedok same config on both operands", true, "seedok",
+			[]string{"same", "config", "on", "both", "operands"}},
+		{"//lint:poolown\tstaged buffer handed to b.bufs", true, "poolown",
+			[]string{"staged", "buffer", "handed", "to", "b.bufs"}},
+		{"//lint: allocfree", false, "", nil}, // empty name
+		{"//lint:", false, "", nil},
+		{"// lint:allocfree", false, "", nil},
+		{"//nolint:allocfree", false, "", nil},
+		{"/*lint:allocfree*/", false, "", nil},
+		{"// plain comment", false, "", nil},
+	}
+	for _, tt := range tests {
+		d, ok := ParseDirective(tt.text)
+		if ok != tt.ok {
+			t.Errorf("ParseDirective(%q) ok = %v, want %v", tt.text, ok, tt.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Name != tt.name {
+			t.Errorf("ParseDirective(%q).Name = %q, want %q", tt.text, d.Name, tt.name)
+		}
+		if len(d.Args) != len(tt.args) {
+			t.Errorf("ParseDirective(%q).Args = %v, want %v", tt.text, d.Args, tt.args)
+			continue
+		}
+		for i := range d.Args {
+			if d.Args[i] != tt.args[i] {
+				t.Errorf("ParseDirective(%q).Args = %v, want %v", tt.text, d.Args, tt.args)
+				break
+			}
+		}
+	}
+}
+
+func TestDocDirective(t *testing.T) {
+	doc := &ast.CommentGroup{List: []*ast.Comment{
+		{Text: "// updateKernel is the hot path."},
+		{Text: "//lint:allocfree"},
+		{Text: "//lint:locked mu"},
+	}}
+	if _, ok := DocDirective(doc, "allocfree"); !ok {
+		t.Errorf("DocDirective(allocfree) not found")
+	}
+	if _, ok := DocDirective(doc, "poolown"); ok {
+		t.Errorf("DocDirective(poolown) unexpectedly found")
+	}
+	if arg, ok := DocDirectiveArg(doc, "locked"); !ok || arg != "mu" {
+		t.Errorf("DocDirectiveArg(locked) = %q, %v; want mu, true", arg, ok)
+	}
+	if _, ok := DocDirective(nil, "allocfree"); ok {
+		t.Errorf("DocDirective(nil) unexpectedly found")
+	}
+}
+
+// FuzzDirectiveParse exercises the directive parser over arbitrary comment
+// text: it must never panic, accepted directives must satisfy the grammar's
+// invariants, and the canonical re-rendering must parse back to the same
+// directive (the round-trip that keeps the three consuming grammars —
+// same-line suppression, doc argument, doc marker — in agreement).
+func FuzzDirectiveParse(f *testing.F) {
+	f.Add("//lint:allocfree")
+	f.Add("//lint:locked mu")
+	f.Add("//lint:seedok both operands share p.cfg")
+	f.Add("//lint:poolown buffer staged in b.bufs until Flush")
+	f.Add("//lint:")
+	f.Add("//lint: name")
+	f.Add("//lint:a\tb  c ")
+	f.Add("// want \"regexp\"")
+	f.Add("//lint:x\x00y z")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := ParseDirective(text)
+		if !ok {
+			return
+		}
+		if d.Name == "" {
+			t.Fatalf("ParseDirective(%q): accepted empty name", text)
+		}
+		if strings.ContainsFunc(d.Name, unicode.IsSpace) {
+			t.Fatalf("ParseDirective(%q): name %q contains whitespace", text, d.Name)
+		}
+		if !strings.HasPrefix(text, "//lint:"+d.Name) {
+			t.Fatalf("ParseDirective(%q): name %q is not a prefix of the input", text, d.Name)
+		}
+		for _, a := range d.Args {
+			if a == "" || strings.ContainsFunc(a, unicode.IsSpace) {
+				t.Fatalf("ParseDirective(%q): malformed arg %q", text, a)
+			}
+		}
+		// Canonical round-trip: rendering and re-parsing is identity.
+		d2, ok2 := ParseDirective(d.String())
+		if !ok2 || d2.Name != d.Name || len(d2.Args) != len(d.Args) {
+			t.Fatalf("round-trip of %q: got %+v, %v; want %+v", text, d2, ok2, d)
+		}
+		for i := range d.Args {
+			if d2.Args[i] != d.Args[i] {
+				t.Fatalf("round-trip of %q: args %v != %v", text, d2.Args, d.Args)
+			}
+		}
+	})
+}

@@ -173,8 +173,11 @@ func (ld *loader) load(path string) error {
 	return nil
 }
 
-// Run applies one analyzer to one package and returns its diagnostics.
-func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// Run applies one analyzer to one package and returns its diagnostics
+// (including suppressed ones, flagged as such). mod may be nil for analyzers
+// that do not reason across package boundaries; drivers that run the full
+// suite should pass NewModule over the whole load.
+func Run(a *Analyzer, pkg *Package, mod *Module) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -182,6 +185,7 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Module:    mod,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {

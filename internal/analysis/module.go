@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Module indexes every package of one load so analyzers can reason across
+// package boundaries: given the types.Object of a called function, FuncDecl
+// returns its declaration together with the package and file it lives in.
+// This is the shared substrate of allocfree's intra-module call-graph proof.
+type Module struct {
+	packages []*Package
+	funcs    map[types.Object]*FuncInfo
+}
+
+// FuncInfo locates one function or method declaration inside the module.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	File *ast.File
+}
+
+// NewModule indexes the given packages (typically the full LoadModule or
+// LoadTree result). All packages must share one token.FileSet, which the
+// loader guarantees.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{packages: pkgs, funcs: map[types.Object]*FuncInfo{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Name == nil {
+					continue
+				}
+				obj := pkg.TypesInfo.Defs[fn.Name]
+				if obj == nil {
+					continue
+				}
+				m.funcs[obj] = &FuncInfo{Decl: fn, Pkg: pkg, File: file}
+			}
+		}
+	}
+	return m
+}
+
+// FuncDecl returns the declaration of the named function object, or nil when
+// the object is not declared in any indexed package (standard library,
+// assembly stubs, interface methods).
+func (m *Module) FuncDecl(obj types.Object) *FuncInfo {
+	if m == nil || obj == nil {
+		return nil
+	}
+	return m.funcs[obj]
+}
+
+// Packages returns the indexed packages in load order.
+func (m *Module) Packages() []*Package {
+	if m == nil {
+		return nil
+	}
+	return m.packages
+}

@@ -1,0 +1,217 @@
+// Package poolcheck implements the sketchlint analyzer enforcing the
+// sync.Pool discipline the allocation-free ingestion path depends on. The
+// pipeline Batcher and the detector's rekey buffer both ride pools; a leaked
+// Get regrows the pool's steady state until every batch allocates again, and
+// a buffer Put back full resurfaces stale key-deltas on the next Get.
+//
+// Within each function, for every pool p (identified syntactically by the
+// receiver expression of a (*sync.Pool).Get call):
+//
+//   - every p.Get() must be matched by a p.Put(...) in the same function,
+//     unless the function's doc comment carries "//lint:poolown <reason>"
+//     declaring a deliberate ownership handoff (the Batcher staging path,
+//     which Puts from Flush);
+//   - no return statement may sit between the Get and the first Put — that
+//     path leaks the buffer (deferred Puts cover every path and are exempt);
+//   - a Put whose argument is a slice (or pointer to slice) must be preceded
+//     by a length reset — an assignment of a zero-length reslice (x[:0]) to
+//     the buffer — so the next Get starts empty instead of replaying stale
+//     contents.
+//
+// Escape hatch: "//lint:poolok <reason>" on the offending line, for Puts of
+// buffers that are provably empty by construction (the Flush drain loop).
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the poolcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "poolcheck",
+	Doc:       "enforce sync.Pool Get/Put balance, leak-free return paths, and length-reset before Put",
+	Directive: "poolok",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// poolCall is one Get or Put call site.
+type poolCall struct {
+	call     *ast.CallExpr
+	pool     string // receiver expression, rendered
+	deferred bool
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var gets, puts []poolCall
+	var returns []*ast.ReturnStmt
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.CallExpr:
+			name, pool := poolMethod(pass, n)
+			switch name {
+			case "Get":
+				gets = append(gets, poolCall{call: n, pool: pool})
+			case "Put":
+				puts = append(puts, poolCall{call: n, pool: pool, deferred: deferred[n]})
+			}
+		}
+		return true
+	})
+	if len(gets) == 0 && len(puts) == 0 {
+		return
+	}
+
+	_, handoff := analysis.DocDirective(fn.Doc, "poolown")
+	for _, get := range gets {
+		if handoff {
+			continue
+		}
+		first := token.NoPos
+		covered := false
+		for _, put := range puts {
+			if put.pool != get.pool {
+				continue
+			}
+			if put.deferred {
+				covered = true
+			}
+			if first == token.NoPos || put.call.Pos() < first {
+				first = put.call.Pos()
+			}
+		}
+		if first == token.NoPos {
+			pass.Reportf(get.call.Pos(),
+				"%s.Get has no matching %s.Put in this function (declare the handoff with //lint:poolown <reason> if ownership leaves here)",
+				get.pool, get.pool)
+			continue
+		}
+		if covered {
+			continue // a deferred Put runs on every path
+		}
+		for _, ret := range returns {
+			if ret.Pos() > get.call.End() && ret.End() < first {
+				pass.Reportf(ret.Pos(),
+					"return between %s.Get and %s.Put leaks the pooled buffer on this path",
+					get.pool, get.pool)
+			}
+		}
+	}
+
+	for _, put := range puts {
+		if len(put.call.Args) != 1 {
+			continue
+		}
+		arg := put.call.Args[0]
+		target, isSlice := sliceTarget(pass, arg)
+		if !isSlice {
+			continue
+		}
+		if !resetBefore(pass, fn.Body, target, put) {
+			pass.Reportf(put.call.Pos(),
+				"%s.Put of buffer %s without a length reset (%s = %s[:0] or equivalent) — the next Get replays stale contents",
+				put.pool, target, target, target)
+		}
+	}
+}
+
+// poolMethod classifies a call as (*sync.Pool).Get or Put and renders the
+// pool's receiver expression; name is "" otherwise.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr) (name, pool string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	if full := fn.FullName(); full != "(*sync.Pool).Get" && full != "(*sync.Pool).Put" {
+		return "", ""
+	}
+	return fn.Name(), analysis.ExprString(pass.Fset, ast.Unparen(sel.X))
+}
+
+// sliceTarget renders the buffer expression a Put argument designates when it
+// is a slice or a pointer to one: Put(buf) resets "buf", Put(bp) with
+// bp *[]T resets "*bp".
+func sliceTarget(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	expr := analysis.ExprString(pass.Fset, ast.Unparen(arg))
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return expr, true
+	case *types.Pointer:
+		if _, elemSlice := t.Elem().Underlying().(*types.Slice); elemSlice {
+			return "*" + expr, true
+		}
+	}
+	return "", false
+}
+
+// resetBefore reports whether an assignment of a zero-length reslice to
+// target occurs before the Put (anywhere in the function for deferred Puts,
+// which run last regardless of where they appear).
+func resetBefore(pass *analysis.Pass, body ast.Node, target string, put poolCall) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if !put.deferred && as.Pos() > put.call.Pos() {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if analysis.ExprString(pass.Fset, ast.Unparen(lhs)) != target {
+				continue
+			}
+			if isEmptyReslice(as.Rhs[i]) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isEmptyReslice matches x[:0] (a zero-length reslice of any buffer).
+func isEmptyReslice(e ast.Expr) bool {
+	sl, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || sl.High == nil {
+		return false
+	}
+	lit, ok := ast.Unparen(sl.High).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, poolcheck.Analyzer, "poolcheck")
+}

@@ -1,0 +1,108 @@
+// Package poolcheck is the golden package for the poolcheck analyzer.
+package poolcheck
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var objPool sync.Pool
+
+type conn struct{ n int }
+
+var connPool = sync.Pool{New: func() any { return new(conn) }}
+
+func use(b []byte) {}
+
+// --- true positives ---
+
+func leak() *[]byte {
+	bp := bufPool.Get().(*[]byte) // want `bufPool\.Get has no matching bufPool\.Put in this function`
+	return bp
+}
+
+func earlyReturn(fail bool) int {
+	bp := bufPool.Get().(*[]byte)
+	if fail {
+		return 0 // want `return between bufPool\.Get and bufPool\.Put leaks the pooled buffer on this path`
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+	return 1
+}
+
+func noReset() {
+	bp := bufPool.Get().(*[]byte)
+	*bp = append(*bp, 1)
+	bufPool.Put(bp) // want `bufPool\.Put of buffer \*bp without a length reset`
+}
+
+func crossPool() {
+	bp := bufPool.Get().(*[]byte) // want `bufPool\.Get has no matching bufPool\.Put in this function`
+	objPool.Put(bp)               // want `objPool\.Put of buffer \*bp without a length reset`
+}
+
+// --- true negatives ---
+
+func balanced() {
+	bp := bufPool.Get().(*[]byte)
+	*bp = append(*bp, 1)
+	use(*bp)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// deferredPut covers every return path; the reset may appear anywhere.
+func deferredPut(fail bool) int {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	if fail {
+		return 0
+	}
+	*bp = append(*bp, 2)
+	*bp = (*bp)[:0]
+	return 1
+}
+
+// flush Puts buffers it never Got (the Batcher drain side): orphan Puts are
+// fine as long as they reset.
+func flush(staged []*[]byte) {
+	for _, bp := range staged {
+		*bp = (*bp)[:0]
+		bufPool.Put(bp)
+	}
+}
+
+// structPool Puts a non-slice object: no reset requirement applies.
+func structPool() {
+	c := connPool.Get().(*conn)
+	c.n++
+	connPool.Put(c)
+}
+
+// --- ownership handoff ---
+
+// stage mirrors Batcher.UpdateKey: the buffer moves to a staging area and a
+// later Flush returns it to the pool.
+//
+//lint:poolown buffer ownership transfers to the staging queue until Flush
+func stage() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	return bp
+}
+
+// --- suppression ---
+
+// flushEmpty asserts //lint:poolok removes the reset diagnostic (no want).
+func flushEmpty(staged []*[]byte) {
+	for _, bp := range staged {
+		bufPool.Put(bp) //lint:poolok drained buffers are empty by construction
+	}
+}
+
+// staleOK carries a suppression on a line with nothing to suppress; the
+// analyzer must stay silent rather than misapply it.
+func staleOK() {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0] //lint:poolok nothing is reported on this line
+	bufPool.Put(bp)
+}

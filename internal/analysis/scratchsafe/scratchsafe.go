@@ -1,0 +1,375 @@
+// Package scratchsafe implements the sketchlint analyzer guarding the
+// scratch-buffer aliasing contract. The allocation-free hot paths (PR 2) got
+// there by reusing receiver-owned scratch buffers — dcs.samplePairs,
+// tdcs.topScratch, iheap.cand, the pipeline staging buffers — which are
+// overwritten wholesale on the next call. A caller that holds onto memory
+// aliasing one of those buffers sees it silently rewritten under them: the
+// classic "top-k slice changed after the next Update" bug, invisible to the
+// race detector because it is a single-goroutine aliasing error.
+//
+// Fields annotated "//lint:scratch" (doc or line comment on the field
+// declaration) are scratch sources. Within each function of the declaring
+// package, a flow-insensitive taint pass tracks values derived from scratch
+// fields — through assignments, slicing, address-taking, and append whose
+// destination is tainted — and reports when a tainted value reaches an
+// aliasing sink:
+//
+//   - a return statement
+//   - a store into a struct field outside the receiver
+//   - a channel send
+//   - a goroutine or closure capture
+//
+// Values of alias-free types (basic types, strings, and structs/arrays
+// composed only of those) carry no reference into the buffer, so copying one
+// out of a scratch slice launders the taint, as does an explicit copy into a
+// fresh buffer (copy(dst, src) does not taint dst; append(nil, src...) and
+// append(dst[:0], src...) with an untainted dst are likewise copies).
+//
+// Escape hatch: "//lint:scratchok <reason>" on the sink's line, for the
+// deliberate zero-copy accessors whose doc contract says "valid until the
+// next call" (dcs.DistinctSample).
+package scratchsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the scratchsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "scratchsafe",
+	Doc:       "report values aliasing //lint:scratch buffers escaping via returns, foreign field stores, sends, or goroutine captures",
+	Directive: "scratchok",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	scratch := scratchFields(pass)
+	if len(scratch) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ft := &funcTaint{
+				pass:    pass,
+				file:    file,
+				scratch: scratch,
+				recv:    recvObject(pass, fn),
+				tainted: map[types.Object]bool{},
+			}
+			ft.propagate(fn.Body)
+			ft.checkSinks(fn.Body)
+		}
+	}
+	return nil
+}
+
+// scratchFields collects the field objects annotated //lint:scratch in this
+// package's struct declarations.
+func scratchFields(pass *analysis.Pass) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !fieldMarked(f) {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// fieldMarked reports whether a struct field carries the //lint:scratch
+// marker in its doc or line comment.
+func fieldMarked(f *ast.Field) bool {
+	if _, ok := analysis.DocDirective(f.Doc, "scratch"); ok {
+		return true
+	}
+	_, ok := analysis.DocDirective(f.Comment, "scratch")
+	return ok
+}
+
+// recvObject resolves the method receiver's object, or nil for functions.
+func recvObject(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// funcTaint is the per-function taint state.
+type funcTaint struct {
+	pass    *analysis.Pass
+	file    *ast.File
+	scratch map[types.Object]bool
+	recv    types.Object
+	tainted map[types.Object]bool
+}
+
+// propagate runs the flow-insensitive fixpoint: any local assigned a
+// scratch-derived value becomes a taint carrier until no assignment adds one.
+func (ft *funcTaint) propagate(body ast.Node) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(n.Rhs) == len(n.Lhs):
+						rhs = n.Rhs[i]
+					case len(n.Rhs) == 1:
+						rhs = n.Rhs[0] // multi-value: taint all LHS together
+					}
+					if rhs != nil && ft.taintedExpr(rhs) && ft.markVar(lhs) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && ft.taintedExpr(n.X) && ft.markVar(n.Value) {
+					changed = true
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var rhs ast.Expr
+					switch {
+					case len(n.Values) == len(n.Names):
+						rhs = n.Values[i]
+					case len(n.Values) == 1:
+						rhs = n.Values[0]
+					}
+					if rhs != nil && ft.taintedExpr(rhs) && ft.markIdent(name) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// markVar taints the variable behind an assignable expression; returns true
+// when the set grew.
+func (ft *funcTaint) markVar(lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return ft.markIdent(id)
+}
+
+func (ft *funcTaint) markIdent(id *ast.Ident) bool {
+	obj := ft.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = ft.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || ft.tainted[obj] {
+		return false
+	}
+	if v, isVar := obj.(*types.Var); !isVar || aliasFree(v.Type()) {
+		return false
+	}
+	ft.tainted[obj] = true
+	return true
+}
+
+// taintedExpr reports whether e may alias a scratch buffer.
+func (ft *funcTaint) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := ft.pass.TypesInfo.Uses[e]
+		return obj != nil && ft.tainted[obj]
+	case *ast.SelectorExpr:
+		if obj := ft.fieldObj(e); obj != nil && ft.scratch[obj] {
+			return true
+		}
+		return ft.taintedExpr(e.X) && !ft.exprAliasFree(e)
+	case *ast.SliceExpr:
+		return ft.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		return ft.taintedExpr(e.X) && !ft.exprAliasFree(e)
+	case *ast.StarExpr:
+		return ft.taintedExpr(e.X) && !ft.exprAliasFree(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &buf[i] aliases the buffer even when the element type is
+			// alias-free.
+			if idx, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok {
+				return ft.taintedExpr(idx.X)
+			}
+		}
+		return ft.taintedExpr(e.X)
+	case *ast.CallExpr:
+		// append taints through its destination; other calls (including
+		// copy into a fresh buffer) return untainted values.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := ft.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				return ft.taintedExpr(e.Args[0])
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if ft.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// fieldObj resolves a selector to the field object it reads, if any.
+func (ft *funcTaint) fieldObj(sel *ast.SelectorExpr) types.Object {
+	if s, ok := ft.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return ft.pass.TypesInfo.Uses[sel.Sel]
+}
+
+// exprAliasFree reports whether e's type carries no reference into a buffer
+// (copying it launders taint).
+func (ft *funcTaint) exprAliasFree(e ast.Expr) bool {
+	tv, ok := ft.pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && aliasFree(tv.Type)
+}
+
+// aliasFree reports whether values of t are self-contained copies: basic
+// types (strings are immutable) and structs/arrays composed only of those.
+func aliasFree(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return t.Kind() != types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if !aliasFree(t.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return aliasFree(t.Elem())
+	}
+	return false
+}
+
+// checkSinks reports tainted values reaching aliasing sinks.
+func (ft *funcTaint) checkSinks(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if ft.taintedExpr(res) {
+					ft.report(res.Pos(), "returns a value aliasing a //lint:scratch buffer; copy it first")
+				}
+			}
+		case *ast.SendStmt:
+			if ft.taintedExpr(n.Value) {
+				ft.report(n.Value.Pos(), "sends a value aliasing a //lint:scratch buffer over a channel; copy it first")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if ft.foreignFieldStore(lhs) && ft.taintedExpr(n.Rhs[i]) {
+					ft.report(n.Rhs[i].Pos(), "stores a value aliasing a //lint:scratch buffer into a field outside the receiver; copy it first")
+				}
+			}
+		case *ast.FuncLit:
+			ft.checkCapture(n)
+			return false
+		}
+		return true
+	})
+}
+
+// foreignFieldStore reports whether lhs writes a struct field whose root is
+// not the method receiver.
+func (ft *funcTaint) foreignFieldStore(lhs ast.Expr) bool {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if obj := ft.fieldObj(sel); obj == nil {
+		return false
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return true
+	}
+	obj := ft.pass.TypesInfo.Uses[root]
+	return obj == nil || obj != ft.recv
+}
+
+// rootIdent unwraps selectors, derefs, indexes and parens to the base ident.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkCapture reports a closure that references tainted locals or scratch
+// fields: the goroutine (or stored function) may observe the buffer after it
+// is rewritten.
+func (ft *funcTaint) checkCapture(lit *ast.FuncLit) {
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := ft.pass.TypesInfo.Uses[n]; obj != nil && ft.tainted[obj] {
+				ft.report(n.Pos(), "closure captures a value aliasing a //lint:scratch buffer; copy it first")
+				reported = true
+			}
+		case *ast.SelectorExpr:
+			if obj := ft.fieldObj(n); obj != nil && ft.scratch[obj] {
+				ft.report(n.Pos(), "closure captures a //lint:scratch buffer; copy it first")
+				reported = true
+				return false
+			}
+		}
+		return !reported
+	})
+}
+
+func (ft *funcTaint) report(pos token.Pos, msg string) {
+	ft.pass.Reportf(pos, "%s", msg)
+}

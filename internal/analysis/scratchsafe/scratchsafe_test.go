@@ -1,0 +1,12 @@
+package scratchsafe_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/scratchsafe"
+)
+
+func TestScratchSafe(t *testing.T) {
+	analysistest.Run(t, scratchsafe.Analyzer, "scratchsafe")
+}

@@ -1,0 +1,114 @@
+// Package scratchsafe is the golden package for the scratchsafe analyzer.
+package scratchsafe
+
+type pair struct{ k, v uint64 }
+
+type sketch struct {
+	scratch []pair          //lint:scratch
+	seen    map[uint64]bool //lint:scratch
+	out     []pair
+	n       int
+}
+
+type holder struct{ buf []pair }
+
+// --- true positives ---
+
+func (s *sketch) direct() []pair {
+	return s.scratch // want `returns a value aliasing a //lint:scratch buffer`
+}
+
+func (s *sketch) throughLocal() []pair {
+	p := s.scratch[:0]
+	p = append(p, pair{1, 2})
+	return p // want `returns a value aliasing a //lint:scratch buffer`
+}
+
+func (s *sketch) mapField() map[uint64]bool {
+	return s.seen // want `returns a value aliasing a //lint:scratch buffer`
+}
+
+func (s *sketch) elemAddr() *pair {
+	return &s.scratch[0] // want `returns a value aliasing a //lint:scratch buffer`
+}
+
+func (s *sketch) foreignStore(h *holder) {
+	h.buf = s.scratch // want `stores a value aliasing a //lint:scratch buffer into a field outside the receiver`
+}
+
+func (s *sketch) send(ch chan []pair) {
+	ch <- s.scratch // want `sends a value aliasing a //lint:scratch buffer over a channel`
+}
+
+func (s *sketch) captureLocal(done func()) {
+	p := s.scratch
+	go func() {
+		_ = p // want `closure captures a value aliasing a //lint:scratch buffer`
+		done()
+	}()
+}
+
+func (s *sketch) captureField() func() int {
+	return func() int {
+		return len(s.scratch) // want `closure captures a //lint:scratch buffer`
+	}
+}
+
+// drain shows plain functions are covered too, via any scratch-field access.
+func drain(s *sketch) []pair {
+	return s.scratch // want `returns a value aliasing a //lint:scratch buffer`
+}
+
+// --- true negatives: copies launder the taint ---
+
+func (s *sketch) copied() []pair {
+	out := make([]pair, len(s.scratch))
+	copy(out, s.scratch)
+	return out
+}
+
+func (s *sketch) appendedToFresh(dst []pair) []pair {
+	dst = append(dst[:0], s.scratch...)
+	return dst
+}
+
+// first copies one alias-free element out of the buffer.
+func (s *sketch) first() pair {
+	return s.scratch[0]
+}
+
+// rotate stores scratch into another field of the same receiver: still
+// owner-private.
+func (s *sketch) rotate() {
+	s.out = s.scratch[:0]
+}
+
+// count reads only alias-free values derived from scratch.
+func (s *sketch) count() int {
+	n := len(s.scratch)
+	for _, p := range s.scratch {
+		if p.k != 0 {
+			n--
+		}
+	}
+	return n
+}
+
+// nonScratch returns a non-scratch buffer field: out of scope.
+func (s *sketch) nonScratch() []pair {
+	return s.out
+}
+
+// --- suppression ---
+
+// zeroCopy is the DistinctSample shape: a documented zero-copy view, valid
+// until the next update. The directive suppresses the diagnostic (no want).
+func (s *sketch) zeroCopy() []pair {
+	return s.scratch //lint:scratchok documented zero-copy view, valid until the next update
+}
+
+// staleOK carries a suppression on a line with nothing to suppress; the
+// analyzer must stay silent rather than misapply it.
+func (s *sketch) staleOK() int {
+	return s.n //lint:scratchok nothing here aliases scratch
+}

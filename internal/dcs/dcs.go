@@ -186,9 +186,9 @@ type Sketch struct {
 	// the sampling path allocation-light. Their use makes queries mutating
 	// operations; the sketch's existing single-goroutine contract already
 	// covers that.
-	sampleSeen  map[uint64]struct{}
-	samplePairs []SampledPair
-	destFreq    map[uint32]int64
+	sampleSeen  map[uint64]struct{} //lint:scratch
+	samplePairs []SampledPair       //lint:scratch
+	destFreq    map[uint32]int64    //lint:scratch
 }
 
 // New builds an empty sketch. Zero-valued Config fields take the package
@@ -243,6 +243,8 @@ func (s *Sketch) Update(src, dst uint32, delta int64) {
 }
 
 // UpdateKey is Update on a pre-packed 64-bit pair key.
+//
+//lint:allocfree
 func (s *Sketch) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return
@@ -256,6 +258,8 @@ func (s *Sketch) UpdateKey(key uint64, delta int64) {
 // UpdateBatch applies a batch of flow updates, the bulk form of UpdateKey.
 // Zero deltas are skipped. The batch slice is read-only to the sketch and
 // may be reused by the caller afterwards.
+//
+//lint:allocfree
 func (s *Sketch) UpdateBatch(batch []KeyDelta) {
 	for _, u := range batch {
 		if u.Delta == 0 {
@@ -273,6 +277,8 @@ func (s *Sketch) UpdateBatch(batch []KeyDelta) {
 // so the tracking sketch computes each key's hash locations exactly once per
 // update and shares them between its before/after singleton diffs and the
 // counter write (UpdateLocated).
+//
+//lint:allocfree
 func (s *Sketch) Locate(key uint64, buckets []int) (level int) {
 	level = s.levelHash.Level(key, s.cfg.Levels)
 	for j, h := range s.bucketHash {
@@ -284,12 +290,14 @@ func (s *Sketch) Locate(key uint64, buckets []int) (level int) {
 // UpdateLocated is UpdateKey for a caller that has already resolved key's
 // hash locations via Locate. level and buckets must be exactly Locate's
 // output for key; anything else corrupts the sketch.
+//
+//lint:allocfree
 func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int) {
 	if delta == 0 {
 		return
 	}
 	if len(buckets) != len(s.bucketHash) {
-		panic("dcs: UpdateLocated bucket slice length does not match Tables")
+		panic("dcs: UpdateLocated bucket slice length does not match Tables") //lint:allocok panic boxes its message on the cold misuse path only
 	}
 	s.updates++
 	var fp int64
@@ -311,6 +319,8 @@ func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int
 // and UpdateBatch: one level hash, one optional fingerprint hash, and per
 // table a bucket hash plus one flat index computation into the counter
 // array — no per-table subslicing.
+//
+//lint:allocfree
 func (s *Sketch) updateKernel(key uint64, delta int64) {
 	s.updates++
 	level := s.levelHash.Level(key, s.cfg.Levels)
@@ -334,6 +344,8 @@ func (s *Sketch) updateKernel(key uint64, delta int64) {
 // per-element bounds checks, and the bit-location adds mask delta by each
 // key bit instead of branching — on random keys the branchy form costs ~32
 // mispredictions per table, the dominant term of the seed update profile.
+//
+//lint:allocfree
 func (s *Sketch) addSig(i int, key uint64, delta, fp int64) int32 {
 	c := (*[1 + sig.KeyBits]int64)(s.counters[i:])
 	old := c[0]
@@ -460,7 +472,7 @@ func (s *Sketch) DistinctSample() (pairs []SampledPair, level int) {
 		}
 	}
 	s.samplePairs = pairs
-	return pairs, level
+	return pairs, level //lint:scratchok documented zero-copy view, valid until the next query or update
 }
 
 // TopK returns the (approximate) k destinations with the largest

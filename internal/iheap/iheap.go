@@ -24,7 +24,7 @@ type Heap struct {
 	pos map[uint32]int
 	// cand is the scratch candidate queue of AppendTopK, reused across
 	// queries so a top-k traversal does not allocate.
-	cand []int32
+	cand []int32 //lint:scratch
 }
 
 // New returns an empty heap with capacity preallocated for hint entries.
@@ -59,15 +59,17 @@ func (h *Heap) Max() (Entry, bool) {
 // Adjust changes key's priority by delta, inserting the key if absent and
 // removing it if its priority drops to zero or below. It returns the key's
 // resulting priority (zero if removed).
+//
+//lint:allocfree
 func (h *Heap) Adjust(key uint32, delta int64) int64 {
 	i, ok := h.pos[key]
 	if !ok {
 		if delta <= 0 {
 			return 0
 		}
-		h.entries = append(h.entries, Entry{Key: key, Priority: delta})
+		h.entries = append(h.entries, Entry{Key: key, Priority: delta}) //lint:allocok entry growth is amortized toward the heap's high-water mark
 		i = len(h.entries) - 1
-		h.pos[key] = i
+		h.pos[key] = i //lint:allocok position-index growth is amortized with the entries
 		h.siftUp(i)
 		return delta
 	}
@@ -113,6 +115,8 @@ func (h *Heap) TopK(k int) []Entry {
 // heap, and returns the extended slice. The candidate queue it traverses
 // with is heap-owned scratch, so a query whose dst has capacity performs no
 // allocation.
+//
+//lint:allocfree
 func (h *Heap) AppendTopK(dst []Entry, k int) []Entry {
 	if k <= 0 || len(h.entries) == 0 {
 		return dst
@@ -123,14 +127,14 @@ func (h *Heap) AppendTopK(dst []Entry, k int) []Entry {
 	// cand is a manual min-index max-priority heap over entry indices,
 	// avoiding container/heap's interface boxing on the hot query path.
 	cand := h.cand[:0]
-	cand = append(cand, 0)
+	cand = append(cand, 0) //lint:allocok scratch queue grows to a high-water mark of k+1
 	for taken := 0; taken < k && len(cand) > 0; taken++ {
 		i := int(cand[0])
 		last := len(cand) - 1
 		cand[0] = cand[last]
 		cand = cand[:last]
 		h.candSiftDown(cand)
-		dst = append(dst, h.entries[i])
+		dst = append(dst, h.entries[i]) //lint:allocok grows only when the caller's dst lacks capacity
 		if l := 2*i + 1; l < len(h.entries) {
 			cand = h.candPush(cand, int32(l))
 		}
@@ -143,8 +147,10 @@ func (h *Heap) AppendTopK(dst []Entry, k int) []Entry {
 }
 
 // candPush pushes entry index i onto the candidate heap and restores order.
+//
+//lint:allocfree
 func (h *Heap) candPush(cand []int32, i int32) []int32 {
-	cand = append(cand, i)
+	cand = append(cand, i) //lint:allocok scratch queue grows to a high-water mark of k+1
 	c := len(cand) - 1
 	for c > 0 {
 		parent := (c - 1) / 2
@@ -158,6 +164,8 @@ func (h *Heap) candPush(cand []int32, i int32) []int32 {
 }
 
 // candSiftDown restores candidate-heap order from the root after a pop.
+//
+//lint:allocfree
 func (h *Heap) candSiftDown(cand []int32) {
 	i := 0
 	for {
@@ -188,7 +196,7 @@ func (h *Heap) removeAt(i int) {
 	delete(h.pos, h.entries[i].Key)
 	if i != last {
 		h.entries[i] = h.entries[last]
-		h.pos[h.entries[i].Key] = i
+		h.pos[h.entries[i].Key] = i //lint:allocok overwrite of an existing key; no bucket growth
 	}
 	h.entries = h.entries[:last]
 	if i < len(h.entries) {
@@ -237,6 +245,6 @@ func (h *Heap) siftDown(i int) {
 
 func (h *Heap) swap(i, j int) {
 	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
-	h.pos[h.entries[i].Key] = i
-	h.pos[h.entries[j].Key] = j
+	h.pos[h.entries[i].Key] = i //lint:allocok overwrite of an existing key; no bucket growth
+	h.pos[h.entries[j].Key] = j //lint:allocok overwrite of an existing key; no bucket growth
 }

@@ -237,7 +237,9 @@ func (p *Pipeline) UpdateKey(key uint64, delta int64) {
 type Batcher struct {
 	p    *Pipeline
 	size int
-	bufs []*[]dcs.KeyDelta
+	// bufs holds the per-shard staging buffers, owned by this Batcher from
+	// pool Get until the buffer ships (or Flush returns it).
+	bufs []*[]dcs.KeyDelta //lint:scratch
 }
 
 // NewBatcher returns an empty Batcher for this pipeline.
@@ -256,6 +258,9 @@ func (b *Batcher) Update(src, dst uint32, delta int64) {
 
 // UpdateKey is Update on a packed pair key. It blocks only when a filled
 // shard buffer must be shipped and that shard's queue is full.
+//
+//lint:allocfree
+//lint:poolown staged buffer is owned by b.bufs until shipped to a worker or returned by Flush
 func (b *Batcher) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return
@@ -263,10 +268,10 @@ func (b *Batcher) UpdateKey(key uint64, delta int64) {
 	shard := b.p.router.Bucket(key, len(b.p.shards))
 	buf := b.bufs[shard]
 	if buf == nil {
-		buf = batchPool.Get().(*[]dcs.KeyDelta)
+		buf = batchPool.Get().(*[]dcs.KeyDelta) //lint:allocok pool refill allocates only while the pool is cold
 		b.bufs[shard] = buf
 	}
-	*buf = append(*buf, dcs.KeyDelta{Key: key, Delta: delta})
+	*buf = append(*buf, dcs.KeyDelta{Key: key, Delta: delta}) //lint:allocok staging buffers carry DefaultBatchSize capacity from the pool
 	if len(*buf) >= b.size {
 		b.bufs[shard] = nil
 		b.p.ship(shard, buf)
@@ -283,7 +288,7 @@ func (b *Batcher) Flush() {
 		}
 		b.bufs[shard] = nil
 		if len(*buf) == 0 {
-			batchPool.Put(buf)
+			batchPool.Put(buf) //lint:poolok buffer is empty by construction (nothing was staged since Get or the last ship)
 			continue
 		}
 		b.p.ship(shard, buf)

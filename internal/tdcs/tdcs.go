@@ -49,13 +49,13 @@ type Sketch struct {
 	// allocation-free. bucketIdx caches the key's second-level bucket per
 	// table so the hash locations are computed once per update and shared
 	// between the before/after diffs and the counter write.
-	beforeKeys []uint64
-	beforeOK   []bool
-	bucketIdx  []int
+	beforeKeys []uint64 //lint:scratch
+	beforeOK   []bool   //lint:scratch
+	bucketIdx  []int    //lint:scratch
 
 	// topScratch holds the heap entries of the last TopK answer, reused
 	// across queries.
-	topScratch []iheap.Entry
+	topScratch []iheap.Entry //lint:scratch
 }
 
 // New builds an empty tracking sketch. The Config semantics are identical to
@@ -126,6 +126,8 @@ func (t *Sketch) Update(src, dst uint32, delta int64) {
 }
 
 // UpdateKey is Update on a pre-packed 64-bit pair key.
+//
+//lint:allocfree
 func (t *Sketch) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return
@@ -136,6 +138,8 @@ func (t *Sketch) UpdateKey(key uint64, delta int64) {
 // UpdateBatch applies a batch of flow updates (the bulk form of UpdateKey),
 // maintaining the tracking state per element. Zero deltas are skipped; the
 // batch slice may be reused by the caller afterwards.
+//
+//lint:allocfree
 func (t *Sketch) UpdateBatch(batch []dcs.KeyDelta) {
 	for _, u := range batch {
 		if u.Delta == 0 {
@@ -151,6 +155,8 @@ func (t *Sketch) UpdateBatch(batch []dcs.KeyDelta) {
 // change, and any occupant of those buckets lives at the same first-level
 // level (DecodeBucket enforces it). Hash locations are resolved once via
 // Locate and shared with the counter write.
+//
+//lint:allocfree
 func (t *Sketch) update1(key uint64, delta int64) {
 	level := t.base.Locate(key, t.bucketIdx)
 	for j, b := range t.bucketIdx {
@@ -181,7 +187,7 @@ func (t *Sketch) update1(key uint64, delta int64) {
 // every heap at levels <= level (Fig. 6, steps 15-23).
 func (t *Sketch) incrSingleton(level int, key uint64) {
 	c := t.singles[level][key]
-	t.singles[level][key] = c + 1
+	t.singles[level][key] = c + 1 //lint:allocok singleton-set growth is amortized across the stream
 	if c != 0 {
 		return
 	}
@@ -200,7 +206,7 @@ func (t *Sketch) decrSingleton(level int, key uint64) {
 		return
 	}
 	if c > 1 {
-		t.singles[level][key] = c - 1
+		t.singles[level][key] = c - 1 //lint:allocok overwrite of an existing key; no bucket growth
 		return
 	}
 	delete(t.singles[level], key)
