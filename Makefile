@@ -16,7 +16,12 @@ lint:
 		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
-		-require 'dcsketch/internal/iheap:(*Heap).Adjust'
+		-require 'dcsketch/internal/iheap:(*Heap).Adjust' \
+		-require 'dcsketch/internal/telemetry:(*Counter).Inc' \
+		-require 'dcsketch/internal/telemetry:(*Counter).Add' \
+		-require 'dcsketch/internal/telemetry:(*Gauge).Set' \
+		-require 'dcsketch/internal/telemetry:(*Gauge).Add' \
+		-require 'dcsketch/internal/telemetry:(*Histogram).Observe'
 
 race:
 	$(GO) test -race ./...

@@ -38,8 +38,17 @@ check() {
 		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
-		-require 'dcsketch/internal/iheap:(*Heap).Adjust'
+		-require 'dcsketch/internal/iheap:(*Heap).Adjust' \
+		-require 'dcsketch/internal/telemetry:(*Counter).Inc' \
+		-require 'dcsketch/internal/telemetry:(*Counter).Add' \
+		-require 'dcsketch/internal/telemetry:(*Gauge).Set' \
+		-require 'dcsketch/internal/telemetry:(*Gauge).Add' \
+		-require 'dcsketch/internal/telemetry:(*Histogram).Observe'
 	go test -race ./...
+	# Telemetry smoke: start the daemon with -debug-addr, drive real
+	# traffic over a client connection, and scrape /metrics end to end
+	# (decode failures, level occupancy, query-latency histogram).
+	go test -run '^TestTelemetrySmoke$' -count 1 ./cmd/ddosmond
 	# Runtime invariant assertions (counter non-negativity, tracking/
 	# counter consistency) compiled in via the dcsdebug build tag.
 	go test -tags dcsdebug ./internal/dcs ./internal/tdcs
@@ -50,6 +59,7 @@ check() {
 	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
 	go test -fuzz='^FuzzDirectiveParse$' -fuzztime=10s ./internal/analysis
+	go test -fuzz='^FuzzWritePrometheus$' -fuzztime=10s ./internal/telemetry
 }
 
 bench() {

@@ -12,8 +12,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,20 +26,23 @@ import (
 	"dcsketch/internal/dcs"
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/server"
+	"dcsketch/internal/telemetry"
 	"dcsketch/internal/trace"
 )
 
 func main() {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	if err := run(os.Args[1:], sigs); err != nil {
+	if err := run(os.Args[1:], sigs, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "ddosmond:", err)
 		os.Exit(1)
 	}
 }
 
-// run starts the daemon and blocks until a value arrives on stop.
-func run(args []string, stop <-chan os.Signal) error {
+// run starts the daemon and blocks until a value arrives on stop. If ready
+// is non-nil it is called once with the bound addresses (debugAddr is nil
+// unless -debug-addr was given) — a seam for tests to discover ports.
+func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr net.Addr)) error {
 	fs := flag.NewFlagSet("ddosmond", flag.ContinueOnError)
 	var (
 		listen   = fs.String("listen", "127.0.0.1:7171", "listen address")
@@ -46,6 +53,7 @@ func run(args []string, stop <-chan os.Signal) error {
 		buckets  = fs.Int("s", 128, "second-level hash-table buckets (s)")
 		tables   = fs.Int("r", 3, "second-level hash tables (r)")
 		status   = fs.Duration("status-every", 10*time.Second, "status line period (0 disables)")
+		debug    = fs.String("debug-addr", "", "telemetry listen address serving /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +79,36 @@ func run(args []string, stop <-chan os.Signal) error {
 		return err
 	}
 	fmt.Printf("ddosmond listening on %s (r=%d s=%d seed=%d)\n", addr, *tables, *buckets, *seed)
+
+	var debugAddr net.Addr
+	if *debug != "" {
+		// Bind before publishing so a daemon that fails to start does not
+		// claim the process-wide expvar slot.
+		ln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			srv.Shutdown()
+			return fmt.Errorf("debug listen %s: %w", *debug, err)
+		}
+		reg := telemetry.NewRegistry()
+		srv.RegisterTelemetry(reg)
+		reg.PublishExpvar("dcsketch")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Handler: mux}
+		go func() { _ = dsrv.Serve(ln) }()
+		defer dsrv.Close()
+		debugAddr = ln.Addr()
+		fmt.Printf("telemetry on http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof)\n", debugAddr)
+	}
+	if ready != nil {
+		ready(addr, debugAddr)
+	}
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time

@@ -10,7 +10,7 @@ func TestRunStartsAndStops(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-listen", "127.0.0.1:0", "-status-every", "0"}, stop)
+		done <- run([]string{"-listen", "127.0.0.1:0", "-status-every", "0"}, stop, nil)
 	}()
 	// Give the daemon a moment to bind, then stop it.
 	time.Sleep(100 * time.Millisecond)
@@ -27,13 +27,16 @@ func TestRunStartsAndStops(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	stop := make(chan os.Signal)
-	if err := run([]string{"-listen", "not-an-address"}, stop); err == nil {
+	if err := run([]string{"-listen", "not-an-address"}, stop, nil); err == nil {
 		t.Fatal("bad listen address accepted")
 	}
-	if err := run([]string{"-s", "1"}, stop); err == nil {
+	if err := run([]string{"-s", "1"}, stop, nil); err == nil {
 		t.Fatal("invalid sketch config accepted")
 	}
-	if err := run([]string{"-bogus"}, stop); err == nil {
+	if err := run([]string{"-bogus"}, stop, nil); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-debug-addr", "not-an-address"}, stop, nil); err == nil {
+		t.Fatal("bad debug address accepted")
 	}
 }

@@ -3,6 +3,7 @@ package dcsketch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dcsketch/internal/cusum"
 	"dcsketch/internal/dcs"
@@ -10,6 +11,7 @@ import (
 	"dcsketch/internal/stream"
 	"dcsketch/internal/superspreader"
 	"dcsketch/internal/tcpflow"
+	"dcsketch/internal/telemetry"
 	"dcsketch/internal/trace"
 )
 
@@ -43,6 +45,10 @@ type MonitorConfig struct {
 	ThresholdFactor float64
 	// MinFrequency is the absolute alert floor.
 	MinFrequency int64
+	// MaxAlerts bounds the retained-alert ring (default 1024): once full,
+	// the oldest retained alert is evicted per new alert. AlertStats
+	// reports how many were dropped.
+	MaxAlerts int
 	// OnAlert, if non-nil, is invoked synchronously for each alert.
 	OnAlert func(Alert)
 	// HalfOpenTimeout bounds, in packet-timestamp units (microseconds),
@@ -87,6 +93,11 @@ type Monitor struct {
 	synfin         *cusum.SYNFIN
 	cusumInterval  int
 	packetsInSlice int
+	cusumWasAlarm  bool
+
+	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
+	// nil (one atomic load per packet) until then.
+	tel atomic.Pointer[telemetry.DetectorMetrics]
 }
 
 // NewMonitor builds a monitor.
@@ -103,6 +114,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		BaselineAlpha:   cfg.BaselineAlpha,
 		ThresholdFactor: cfg.ThresholdFactor,
 		MinFrequency:    cfg.MinFrequency,
+		MaxAlerts:       cfg.MaxAlerts,
 	}, onAlert)
 	if err != nil {
 		return nil, err
@@ -207,6 +219,10 @@ func (p Packet) record() trace.Record {
 // monitor: a client SYN inserts, the completing ACK or an RST deletes.
 // Packets should arrive in non-decreasing Time order.
 func (m *Monitor) ProcessPacket(p Packet) {
+	tel := m.tel.Load()
+	if tel != nil {
+		tel.PacketsTotal.Inc()
+	}
 	m.conv.Process(p.record(), m.sink)
 	if m.synfin == nil {
 		return
@@ -221,6 +237,12 @@ func (m *Monitor) ProcessPacket(p Packet) {
 	if m.packetsInSlice >= m.cusumInterval {
 		m.packetsInSlice = 0
 		m.synfin.EndInterval()
+		// Count alarm onsets (off->on transitions), not in-alarm intervals.
+		alarm := m.synfin.InAlarm()
+		if alarm && !m.cusumWasAlarm && tel != nil {
+			tel.CusumAlarmsTotal.Inc()
+		}
+		m.cusumWasAlarm = alarm
 	}
 }
 
@@ -245,6 +267,39 @@ func (m *Monitor) Alerts() []Alert {
 
 // Alerting reports whether dest is currently in an alert excursion.
 func (m *Monitor) Alerting(dest uint32) bool { return m.inner.Alerting(dest) }
+
+// AlertStats reports the alert bookkeeping counters: every alert ever
+// raised, anomalous observations suppressed by hysteresis, alerts evicted
+// from the bounded ring, and how many the ring currently retains.
+type AlertStats struct {
+	Raised     uint64
+	Suppressed uint64
+	Dropped    uint64
+	Retained   int
+}
+
+// AlertStats returns the current alert bookkeeping counters.
+func (m *Monitor) AlertStats() AlertStats { return AlertStats(m.inner.AlertStats()) }
+
+// Registry aggregates runtime telemetry for export as Prometheus text
+// (Registry.Handler, Registry.WritePrometheus) or expvar
+// (Registry.PublishExpvar). The alias makes the internal implementation
+// usable by importers of this package.
+type Registry = telemetry.Registry
+
+// NewTelemetryRegistry builds an empty telemetry registry to pass to
+// RegisterTelemetry.
+func NewTelemetryRegistry() *Registry { return telemetry.NewRegistry() }
+
+// RegisterTelemetry attaches the packet-path instrument bundle and registers
+// every monitor-layer and sketch-layer probe on reg; reg's Prometheus or
+// expvar export then covers this monitor. Call at most once per monitor and
+// registry pair, before or while the monitor is ingesting.
+func (m *Monitor) RegisterTelemetry(reg *Registry) {
+	tel := telemetry.NewDetectorMetrics(reg)
+	m.inner.RegisterTelemetry(reg)
+	m.tel.Store(tel)
+}
 
 // Updates returns the number of flow updates consumed.
 func (m *Monitor) Updates() uint64 { return m.inner.Updates() }

@@ -189,6 +189,12 @@ type Sketch struct {
 	sampleSeen  map[uint64]struct{} //lint:scratch
 	samplePairs []SampledPair       //lint:scratch
 	destFreq    map[uint32]int64    //lint:scratch
+
+	// qstats holds the query-path health counters (see QueryStats). Plain
+	// words under the same single-writer contract as the rest of the
+	// sketch; exported to telemetry through scrape-time probes that take
+	// the owning layer's lock.
+	qstats QueryStats
 }
 
 // New builds an empty sketch. Zero-valued Config fields take the package
@@ -392,9 +398,11 @@ func (s *Sketch) DecodeBucket(level, table, bucket int) (key uint64, count int64
 	}
 	key, count, state := s.layout.Decode(sg)
 	if state != sig.Singleton {
+		s.qstats.DecodeFailures++
 		return 0, 0, false
 	}
 	if !s.layout.VerifyFingerprint(sg, count, s.fpHash.Fingerprint(key)) {
+		s.qstats.ChecksumRejects++
 		return 0, 0, false
 	}
 	// A decoded pair must actually belong to this level and bucket; a
@@ -402,8 +410,10 @@ func (s *Sketch) DecodeBucket(level, table, bucket int) (key uint64, count int64
 	// checksum (or the checksum is disabled) and is rejected structurally.
 	if s.levelHash.Level(key, s.cfg.Levels) != level ||
 		s.bucketHash[table].Bucket(key, s.cfg.Buckets) != bucket {
+		s.qstats.StructuralRejects++
 		return 0, 0, false
 	}
+	s.qstats.DecodeSingletons++
 	return key, count, true
 }
 
@@ -472,6 +482,9 @@ func (s *Sketch) DistinctSample() (pairs []SampledPair, level int) {
 		}
 	}
 	s.samplePairs = pairs
+	s.qstats.Queries++
+	s.qstats.SampleLevel = level
+	s.qstats.SampleSize = len(pairs)
 	return pairs, level //lint:scratchok documented zero-copy view, valid until the next query or update
 }
 

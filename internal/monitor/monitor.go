@@ -14,9 +14,11 @@ package monitor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dcsketch/internal/dcs"
 	"dcsketch/internal/tdcs"
+	"dcsketch/internal/telemetry"
 )
 
 // Default monitor parameters.
@@ -26,6 +28,7 @@ const (
 	DefaultBaselineAlpha   = 0.05
 	DefaultThresholdFactor = 5.0
 	DefaultMinFrequency    = 64
+	DefaultMaxAlerts       = 1024
 )
 
 // Config parametrizes a Monitor. Zero fields take package defaults.
@@ -48,6 +51,11 @@ type Config struct {
 	// MinFrequency is an absolute floor below which no alert fires,
 	// suppressing noise from tiny estimates.
 	MinFrequency int64
+	// MaxAlerts bounds the retained-alert ring: once more than MaxAlerts
+	// alerts have been raised without being read, each new alert evicts
+	// the oldest (counted in AlertStats.Dropped). Long-running monitors
+	// previously grew the alert slice without bound.
+	MaxAlerts int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.MinFrequency == 0 {
 		c.MinFrequency = DefaultMinFrequency
 	}
+	if c.MaxAlerts == 0 {
+		c.MaxAlerts = DefaultMaxAlerts
+	}
 	return c
 }
 
@@ -81,6 +92,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("monitor: ThresholdFactor = %v, must be > 1", c.ThresholdFactor)
 	case c.MinFrequency < 1:
 		return fmt.Errorf("monitor: MinFrequency = %d, must be >= 1", c.MinFrequency)
+	case c.MaxAlerts < 1:
+		return fmt.Errorf("monitor: MaxAlerts = %d, must be >= 1", c.MaxAlerts)
 	}
 	return nil
 }
@@ -119,10 +132,25 @@ type Monitor struct {
 	// alert stream hysteresis: one alert per excursion, re-armed when
 	// the frequency falls back to half the trigger level. guarded by mu
 	alerting map[uint32]bool
-	// alerts accumulates every raised alert. guarded by mu
+	// alerts is a bounded ring of the most recently raised alerts
+	// (capacity cfg.MaxAlerts); alertHead indexes the oldest retained
+	// entry once the ring is full. guarded by mu
 	alerts []Alert
+	// alertHead is the ring's oldest-entry index. guarded by mu
+	alertHead int
+	// alertsRaised counts every alert ever raised. guarded by mu
+	alertsRaised uint64
+	// alertsSuppressed counts anomalous observations suppressed by
+	// hysteresis (destination already in an excursion). guarded by mu
+	alertsSuppressed uint64
+	// alertsDropped counts alerts evicted from the full ring. guarded by mu
+	alertsDropped uint64
 	// n counts consumed updates. guarded by mu
 	n uint64
+
+	// tel is the optional telemetry bundle; nil until RegisterTelemetry.
+	// guarded by mu
+	tel *telemetry.MonitorMetrics
 
 	// onAlert is immutable after New; it is invoked with mu held and must
 	// not call back into the monitor.
@@ -186,7 +214,16 @@ func (m *Monitor) UpdateBatch(batch []dcs.KeyDelta) {
 //
 //lint:locked mu
 func (m *Monitor) check() {
-	for _, e := range m.sketch.TopK(m.cfg.K) {
+	var start time.Time
+	if m.tel != nil {
+		m.tel.ChecksTotal.Inc()
+		start = time.Now()
+	}
+	top := m.sketch.TopK(m.cfg.K)
+	if m.tel != nil {
+		m.tel.QueryLatency.Observe(uint64(time.Since(start)))
+	}
+	for _, e := range top {
 		base := m.baseline[e.Dest]
 		trigger := m.cfg.ThresholdFactor * base
 		if float64(m.cfg.MinFrequency) > trigger {
@@ -196,10 +233,14 @@ func (m *Monitor) check() {
 		case float64(e.F) >= trigger && !m.alerting[e.Dest]:
 			m.alerting[e.Dest] = true
 			a := Alert{Dest: e.Dest, Estimated: e.F, Baseline: base, AtUpdate: m.n}
-			m.alerts = append(m.alerts, a)
+			m.pushAlert(a)
 			if m.onAlert != nil {
 				m.onAlert(a)
 			}
+		case float64(e.F) >= trigger:
+			// Still above trigger inside an excursion: hysteresis
+			// holds the alert stream to one alert per excursion.
+			m.alertsSuppressed++
 		case float64(e.F) < trigger/2 && m.alerting[e.Dest]:
 			delete(m.alerting, e.Dest)
 		}
@@ -211,15 +252,61 @@ func (m *Monitor) check() {
 			m.baseline[e.Dest] = base + m.cfg.BaselineAlpha*(float64(e.F)-base)
 		}
 	}
+	if m.tel != nil {
+		m.tel.CheckLatency.Observe(uint64(time.Since(start)))
+	}
 }
 
-// Alerts returns a copy of all alerts raised so far.
+// pushAlert appends an alert to the bounded ring, evicting the oldest
+// retained alert when the ring is at cfg.MaxAlerts.
+//
+//lint:locked mu
+func (m *Monitor) pushAlert(a Alert) {
+	m.alertsRaised++
+	if len(m.alerts) < m.cfg.MaxAlerts {
+		m.alerts = append(m.alerts, a)
+		return
+	}
+	m.alerts[m.alertHead] = a
+	m.alertHead = (m.alertHead + 1) % len(m.alerts)
+	m.alertsDropped++
+}
+
+// Alerts returns a copy of the retained alerts, oldest first. At most
+// Config.MaxAlerts alerts are retained; AlertStats reports how many were
+// evicted before being read.
 func (m *Monitor) Alerts() []Alert {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]Alert, len(m.alerts))
-	copy(out, m.alerts)
+	n := copy(out, m.alerts[m.alertHead:])
+	copy(out[n:], m.alerts[:m.alertHead])
 	return out
+}
+
+// AlertStats reports the alert-ring bookkeeping counters.
+type AlertStats struct {
+	// Raised counts every alert ever raised.
+	Raised uint64
+	// Suppressed counts anomalous top-k observations that did not raise
+	// an alert because their destination was already in an excursion.
+	Suppressed uint64
+	// Dropped counts alerts evicted from the full ring before being read.
+	Dropped uint64
+	// Retained is the number of alerts currently in the ring.
+	Retained int
+}
+
+// AlertStats returns the current alert bookkeeping counters.
+func (m *Monitor) AlertStats() AlertStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return AlertStats{
+		Raised:     m.alertsRaised,
+		Suppressed: m.alertsSuppressed,
+		Dropped:    m.alertsDropped,
+		Retained:   len(m.alerts),
+	}
 }
 
 // Alerting reports whether dest is currently in an alert excursion.
@@ -269,6 +356,87 @@ func (m *Monitor) Sketch() *tdcs.Sketch {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.sketch
+}
+
+// SketchHealth is a consistent snapshot of the sketch-health telemetry:
+// the decode-outcome counters plus the tracking-layer occupancy signals.
+type SketchHealth struct {
+	// Query holds the decode-outcome counters and live sample shape.
+	Query dcs.QueryStats
+	// Rebuilds counts tracking-state reconstructions.
+	Rebuilds uint64
+	// LevelsNonEmpty counts first-level buckets with at least one
+	// occupied second-level bucket.
+	LevelsNonEmpty int
+}
+
+// SketchHealth reads the sketch-health snapshot under the monitor lock.
+func (m *Monitor) SketchHealth() SketchHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return SketchHealth{
+		Query:          m.sketch.QueryStats(),
+		Rebuilds:       m.sketch.Rebuilds(),
+		LevelsNonEmpty: m.sketch.Base().NonEmptyLevels(),
+	}
+}
+
+// RegisterTelemetry attaches a live bundle (check counter, check/query
+// latency histograms) and registers the monitor's scrape-time probes on reg:
+// the alert lifecycle counters and the sketch-health series — decode
+// outcomes, distinct-sample shape, level occupancy, rebuilds. Probes read
+// the single-writer counters through the locked accessors (AlertStats,
+// SketchHealth); call at most once per monitor and registry pair.
+func (m *Monitor) RegisterTelemetry(reg *telemetry.Registry) {
+	tel := telemetry.NewMonitorMetrics(reg)
+
+	reg.CounterFunc("dcsketch_monitor_updates_total",
+		"Flow updates consumed by the monitor.",
+		m.Updates)
+	reg.CounterFunc("dcsketch_monitor_alerts_raised_total",
+		"Alerts raised into the alert ring.",
+		func() uint64 { return m.AlertStats().Raised })
+	reg.CounterFunc("dcsketch_monitor_alerts_suppressed_total",
+		"Anomalous observations suppressed by hysteresis.",
+		func() uint64 { return m.AlertStats().Suppressed })
+	reg.CounterFunc("dcsketch_monitor_alerts_dropped_total",
+		"Alerts evicted from the full alert ring before being read.",
+		func() uint64 { return m.AlertStats().Dropped })
+	reg.GaugeFunc("dcsketch_monitor_alerts_retained",
+		"Alerts currently retained in the ring.",
+		func() int64 { return int64(m.AlertStats().Retained) })
+
+	reg.CounterFunc("dcsketch_sketch_queries_total",
+		"Sketch queries (sampling passes plus tracked top-k answers).",
+		func() uint64 { return m.SketchHealth().Query.Queries })
+	reg.CounterFunc("dcsketch_sketch_decode_singletons_total",
+		"Buckets decoded into a verified singleton pair.",
+		func() uint64 { return m.SketchHealth().Query.DecodeSingletons })
+	reg.CounterFunc("dcsketch_sketch_decode_failures_total",
+		"Non-empty buckets that failed to decode (collisions, residue).",
+		func() uint64 { return m.SketchHealth().Query.DecodeFailures })
+	reg.CounterFunc("dcsketch_sketch_checksum_rejects_total",
+		"Singleton decodes rejected by the fingerprint checksum.",
+		func() uint64 { return m.SketchHealth().Query.ChecksumRejects })
+	reg.CounterFunc("dcsketch_sketch_structural_rejects_total",
+		"Singleton decodes rejected by the level/bucket re-hash check.",
+		func() uint64 { return m.SketchHealth().Query.StructuralRejects })
+	reg.CounterFunc("dcsketch_sketch_rebuilds_total",
+		"Tracking-state reconstructions (merges, deserializations).",
+		func() uint64 { return m.SketchHealth().Rebuilds })
+	reg.GaugeFunc("dcsketch_sketch_sample_level",
+		"First-level bucket the tracked top-k currently answers from.",
+		func() int64 { return int64(m.SketchHealth().Query.SampleLevel) })
+	reg.GaugeFunc("dcsketch_sketch_sample_size",
+		"Distinct-sample size at the current sample level.",
+		func() int64 { return int64(m.SketchHealth().Query.SampleSize) })
+	reg.GaugeFunc("dcsketch_sketch_levels_nonempty",
+		"First-level buckets with at least one occupied second-level bucket.",
+		func() int64 { return int64(m.SketchHealth().LevelsNonEmpty) })
+
+	m.mu.Lock()
+	m.tel = tel
+	m.mu.Unlock()
 }
 
 // Collector merges the sketches of several edge monitors into a global view

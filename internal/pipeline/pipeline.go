@@ -28,12 +28,15 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dcsketch/internal/dcs"
 	"dcsketch/internal/hashing"
 	"dcsketch/internal/tdcs"
+	"dcsketch/internal/telemetry"
 )
 
 // DefaultQueueDepth is the per-shard update queue length, counted in channel
@@ -78,6 +81,12 @@ type worker struct {
 	sketch  *dcs.Sketch
 	done    chan struct{}
 
+	// tel points at the pipeline's telemetry bundle slot. Loaded per
+	// applied envelope (nil until RegisterTelemetry): workers start before
+	// telemetry can be attached, so the indirection is what lets a running
+	// pipeline be instrumented without a lock on the ingest path.
+	tel *atomic.Pointer[telemetry.PipelineMetrics]
+
 	statMu sync.Mutex
 	// applied counts updates absorbed into the shard sketch, published at
 	// each quiescent point (fold or exit). guarded by statMu
@@ -89,14 +98,19 @@ type worker struct {
 // apply absorbs one queue message into the shard sketch and returns the
 // number of updates it carried. Batch buffers are returned to the pool.
 func (w *worker) apply(e envelope) uint64 {
+	n := uint64(1)
 	if e.batch == nil {
 		w.sketch.UpdateKey(e.one.Key, e.one.Delta)
-		return 1
+	} else {
+		n = uint64(len(*e.batch))
+		w.sketch.UpdateBatch(*e.batch)
+		*e.batch = (*e.batch)[:0]
+		batchPool.Put(e.batch)
 	}
-	n := uint64(len(*e.batch))
-	w.sketch.UpdateBatch(*e.batch)
-	*e.batch = (*e.batch)[:0]
-	batchPool.Put(e.batch)
+	if tel := w.tel.Load(); tel != nil {
+		tel.AppliedTotal.Add(n)
+		tel.BatchSize.Observe(n)
+	}
 	return n
 }
 
@@ -152,6 +166,11 @@ type Pipeline struct {
 	router  *hashing.Tab64
 	n       atomic.Uint64
 	closing sync.Once
+
+	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
+	// nil (and free of cost beyond one atomic load per envelope/fold)
+	// until then.
+	tel atomic.Pointer[telemetry.PipelineMetrics]
 }
 
 // New builds a pipeline with the given number of shard workers (>= 1).
@@ -191,6 +210,7 @@ func New(cfg dcs.Config, workers, queueDepth int) (*Pipeline, error) {
 			folds:   make(chan foldRequest),
 			sketch:  sk,
 			done:    make(chan struct{}),
+			tel:     &p.tel,
 		}
 		p.shards[i] = w
 		go w.loop()
@@ -308,6 +328,11 @@ func (p *Pipeline) ship(shard int, buf *[]dcs.KeyDelta) {
 // fold merges every shard's counters into a fresh accumulator and promotes
 // it to a tracking sketch with a single Rebuild.
 func (p *Pipeline) fold() (*tdcs.Sketch, error) {
+	tel := p.tel.Load()
+	var start time.Time
+	if tel != nil {
+		start = time.Now()
+	}
 	acc, err := dcs.New(p.cfg)
 	if err != nil {
 		return nil, err
@@ -327,7 +352,13 @@ func (p *Pipeline) fold() (*tdcs.Sketch, error) {
 			}
 		}
 	}
-	return tdcs.FromBase(acc), nil
+	snap := tdcs.FromBase(acc)
+	if tel != nil {
+		tel.FoldsTotal.Inc()
+		tel.ServedTotal.Inc()
+		tel.FoldLatency.Observe(uint64(time.Since(start)))
+	}
+	return snap, nil
 }
 
 // TopK folds the shards and returns the combined top-k destinations.
@@ -354,12 +385,23 @@ func (p *Pipeline) Threshold(tau int64) ([]dcs.Estimate, error) {
 // a Batcher are counted when shipped, not when staged.
 func (p *Pipeline) Updates() uint64 { return p.n.Load() }
 
-// ShardStats reports one shard's counters. Applied lags submissions by the
-// queue depth: workers publish it at quiescent points (a served fold or
-// worker exit), so after a fold or Close it is exact.
+// ShardStats reports one shard's counters.
 type ShardStats struct {
-	Applied uint64 // updates absorbed into the shard sketch
-	Served  uint64 // fold requests answered
+	// Applied counts updates absorbed into the shard sketch. It lags
+	// updates submitted (Pipeline.Updates) by up to the shard queue's
+	// current content plus anything still staged in Batchers: workers
+	// publish it at quiescent points (a served fold or worker exit), so
+	// only after a fold or Close is it exact. The instantaneous gap
+	// between submitted and the sum of Applied is in-flight work, of
+	// which QueueLen is the per-shard queued portion.
+	Applied uint64
+	// Served counts fold requests this shard answered.
+	Served uint64
+	// QueueLen is the shard queue's instantaneous occupancy in channel
+	// messages (a scalar update and a whole staged batch each count 1) —
+	// the backpressure signal: a shard pinned at the queue depth is
+	// stalling its producers.
+	QueueLen int
 }
 
 // Stats returns a per-shard snapshot of worker counters.
@@ -367,10 +409,29 @@ func (p *Pipeline) Stats() []ShardStats {
 	out := make([]ShardStats, len(p.shards))
 	for i, w := range p.shards {
 		w.statMu.Lock()
-		out[i] = ShardStats{Applied: w.applied, Served: w.served}
+		out[i] = ShardStats{Applied: w.applied, Served: w.served, QueueLen: len(w.updates)}
 		w.statMu.Unlock()
 	}
 	return out
+}
+
+// RegisterTelemetry attaches a telemetry bundle registered on reg and
+// registers the pipeline's scrape-time probes: total submitted updates and
+// one queue-depth gauge per shard. Call it at most once per pipeline and
+// registry pair (series registration panics on duplicates); the pipeline may
+// already be ingesting — the bundle attaches atomically.
+func (p *Pipeline) RegisterTelemetry(reg *telemetry.Registry) {
+	tel := telemetry.NewPipelineMetrics(reg)
+	reg.CounterFunc("dcsketch_pipeline_submitted_total",
+		"Updates submitted to the pipeline (batches count when shipped).",
+		p.Updates)
+	for i, w := range p.shards {
+		w := w
+		reg.GaugeFunc("dcsketch_pipeline_queue_depth{shard=\""+strconv.Itoa(i)+"\"}",
+			"Instantaneous shard queue occupancy in channel messages.",
+			func() int64 { return int64(len(w.updates)) })
+	}
+	p.tel.Store(tel)
 }
 
 // Shards returns the worker count.

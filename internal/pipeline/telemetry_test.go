@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/hashing"
+	"dcsketch/internal/telemetry"
+)
+
+// TestTelemetryScrapeDuringIngest serves /metrics from a live registry and
+// scrapes it over HTTP while producers ingest through Batchers and readers
+// poll Stats — the race-detector workout for the whole export path.
+func TestTelemetryScrapeDuringIngest(t *testing.T) {
+	p, err := New(dcs.Config{Buckets: 64, Seed: 3}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	reg := telemetry.NewRegistry()
+	p.RegisterTelemetry(reg)
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	const (
+		producers  = 4
+		perWorker  = 5000
+		scrapers   = 2
+		statsReads = 200
+	)
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			b := p.NewBatcher()
+			rng := hashing.NewSplitMix64(uint64(pr) + 1)
+			for i := 0; i < perWorker; i++ {
+				b.UpdateKey(hashing.Mix64(rng.Next()%4096), 1)
+			}
+			b.Flush()
+		}(pr)
+	}
+	scrapeErrs := make(chan error, scrapers)
+	for sc := 0; sc < scrapers; sc++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(ts.URL)
+				if err != nil {
+					scrapeErrs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					scrapeErrs <- err
+					return
+				}
+				if err := telemetry.ValidatePrometheusText(body); err != nil {
+					scrapeErrs <- err
+					return
+				}
+			}
+			scrapeErrs <- nil
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < statsReads; i++ {
+			for _, st := range p.Stats() {
+				_ = st.QueueLen
+			}
+			_ = reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	close(scrapeErrs)
+	for err := range scrapeErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// After Close every queued batch has been applied; the exported applied
+	// counter must agree with the submitted total.
+	p.Close()
+	want := float64(producers * perWorker)
+	vals := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	if vals["dcsketch_pipeline_submitted_total"] != want {
+		t.Fatalf("submitted_total = %v, want %v", vals["dcsketch_pipeline_submitted_total"], want)
+	}
+	if vals["dcsketch_pipeline_applied_total"] != want {
+		t.Fatalf("applied_total = %v, want %v", vals["dcsketch_pipeline_applied_total"], want)
+	}
+	for i := 0; i < 4; i++ {
+		name := `dcsketch_pipeline_queue_depth{shard="` + string(rune('0'+i)) + `"}`
+		if v, ok := vals[name]; !ok || v != 0 {
+			t.Fatalf("%s = %v (present=%v), want 0 after Close", name, v, ok)
+		}
+	}
+}

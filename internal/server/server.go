@@ -20,12 +20,14 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcsketch/internal/dcs"
 	"dcsketch/internal/hashing"
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/tdcs"
+	"dcsketch/internal/telemetry"
 	"dcsketch/internal/wire"
 )
 
@@ -65,6 +67,25 @@ type Server struct {
 
 	// Traffic counters. guarded by mu
 	updatesIn, batchesIn, queriesIn, sketchesIn, protocolErrs uint64
+	// framesByType counts dispatched frames per defined type (indexed by
+	// wire.MsgType; index 0 unused). guarded by mu
+	framesByType [wire.MsgTypeCount]uint64
+	// errorsByType attributes protocol errors to the defined frame type
+	// that carried them (decode failures, invalid request types, rejected
+	// sketch merges). guarded by mu
+	errorsByType [wire.MsgTypeCount]uint64
+	// unknownFrames counts frames with an undefined type byte. guarded by mu
+	unknownFrames uint64
+	// oversizedFrames counts frames rejected for exceeding
+	// wire.MaxFrameSize before payload allocation. guarded by mu
+	oversizedFrames uint64
+
+	// Connection lifecycle counters. guarded by connMu
+	connsAccepted, connsRejected, connsClosed uint64
+
+	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
+	// nil (one atomic load per query frame) until then.
+	tel atomic.Pointer[telemetry.ServerMetrics]
 }
 
 // New builds a server.
@@ -132,7 +153,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		if !s.track(conn) {
-			_ = conn.Close() // over MaxConns
+			_ = conn.Close() // over MaxConns (or shutting down)
 			continue
 		}
 		s.wg.Add(1)
@@ -153,15 +174,18 @@ func (s *Server) track(conn net.Conn) bool {
 	default:
 	}
 	if len(s.conns) >= s.cfg.MaxConns {
+		s.connsRejected++
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.connsAccepted++
 	return true
 }
 
 func (s *Server) untrack(conn net.Conn) {
 	s.connMu.Lock()
 	delete(s.conns, conn)
+	s.connsClosed++
 	s.connMu.Unlock()
 	_ = conn.Close()
 }
@@ -178,8 +202,18 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		typ, payload, err := ReadFrameOrShutdown(r, s.shutdown)
 		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The length prefix cannot be trusted for resync,
+				// so the connection is dropped; count the rejection
+				// separately from in-band protocol errors.
+				s.mu.Lock()
+				s.oversizedFrames++
+				s.protocolErrs++
+				s.mu.Unlock()
+			}
 			return
 		}
+		s.noteFrame(typ)
 		if err := s.dispatch(typ, payload, w); err != nil {
 			return
 		}
@@ -207,7 +241,7 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 	case wire.MsgUpdates:
 		updates, err := wire.DecodeUpdates(payload)
 		if err != nil {
-			s.noteProtocolError()
+			s.noteProtocolError(typ)
 			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
 		}
 		// Re-key the wire batch once and hand it to the monitor's batched
@@ -228,9 +262,14 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 		return wire.WriteFrame(w, wire.MsgAck, nil)
 
 	case wire.MsgTopKQuery:
+		tel := s.tel.Load()
+		var start time.Time
+		if tel != nil {
+			start = time.Now()
+		}
 		k, err := wire.DecodeTopKQuery(payload)
 		if err != nil {
-			s.noteProtocolError()
+			s.noteProtocolError(typ)
 			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
 		}
 		s.mu.Lock()
@@ -241,12 +280,16 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 		for i, e := range ests {
 			entries[i] = wire.TopKEntry{Dest: e.Dest, F: e.F}
 		}
-		return wire.WriteFrame(w, wire.MsgTopKReply, wire.AppendTopKReply(nil, entries))
+		err = wire.WriteFrame(w, wire.MsgTopKReply, wire.AppendTopKReply(nil, entries))
+		if tel != nil {
+			tel.QueryLatency.Observe(uint64(time.Since(start)))
+		}
+		return err
 
 	case wire.MsgSketch:
 		edge, err := tdcs.UnmarshalBinary(payload)
 		if err != nil {
-			s.noteProtocolError()
+			s.noteProtocolError(typ)
 			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
 		}
 		s.mu.Lock()
@@ -255,6 +298,7 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 			s.sketchesIn++
 		} else {
 			s.protocolErrs++
+			s.errorsByType[wire.MsgSketch]++
 		}
 		s.mu.Unlock()
 		if err != nil {
@@ -263,14 +307,31 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 		return wire.WriteFrame(w, wire.MsgAck, nil)
 
 	default:
-		s.noteProtocolError()
+		s.noteProtocolError(typ)
 		return wire.WriteFrame(w, wire.MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
 	}
 }
 
-func (s *Server) noteProtocolError() {
+// noteFrame counts one successfully read frame by type.
+func (s *Server) noteFrame(typ wire.MsgType) {
+	s.mu.Lock()
+	if int(typ) > 0 && int(typ) < wire.MsgTypeCount {
+		s.framesByType[typ]++
+	} else {
+		s.unknownFrames++
+	}
+	s.mu.Unlock()
+}
+
+// noteProtocolError counts one protocol error, attributed to its frame type
+// when that type is defined (undefined types are already visible as
+// unknownFrames).
+func (s *Server) noteProtocolError(typ wire.MsgType) {
 	s.mu.Lock()
 	s.protocolErrs++
+	if int(typ) > 0 && int(typ) < wire.MsgTypeCount {
+		s.errorsByType[typ]++
+	}
 	s.mu.Unlock()
 }
 
@@ -290,20 +351,113 @@ func (s *Server) Alerting(dest uint32) bool {
 
 // Stats reports server counters.
 type Stats struct {
+	// Updates..Sketches count successfully applied requests;
+	// ProtocolErrors is the total across every error class below
+	// (per-type, unknown, oversized).
 	Updates, Batches, Queries, Sketches, ProtocolErrors uint64
+	// FramesByType[t] counts successfully read frames of defined type t
+	// (indexed by wire.MsgType; index 0 is unused).
+	FramesByType [wire.MsgTypeCount]uint64
+	// ErrorsByType[t] attributes protocol errors to the defined frame
+	// type that carried them: payload decode failures, frame types that
+	// are not valid requests, and rejected sketch merges.
+	ErrorsByType [wire.MsgTypeCount]uint64
+	// UnknownFrames counts frames whose type byte is undefined.
+	UnknownFrames uint64
+	// OversizedFrames counts frames rejected for exceeding
+	// wire.MaxFrameSize; each also drops its connection.
+	OversizedFrames uint64
+	// ConnsAccepted, ConnsRejected (over MaxConns), and ConnsClosed count
+	// connection lifecycle events; ConnsActive is the live count.
+	ConnsAccepted, ConnsRejected, ConnsClosed uint64
+	ConnsActive                               int
 }
 
 // Stats returns a consistent snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Updates:        s.updatesIn,
-		Batches:        s.batchesIn,
-		Queries:        s.queriesIn,
-		Sketches:       s.sketchesIn,
-		ProtocolErrors: s.protocolErrs,
+	st := Stats{
+		Updates:         s.updatesIn,
+		Batches:         s.batchesIn,
+		Queries:         s.queriesIn,
+		Sketches:        s.sketchesIn,
+		ProtocolErrors:  s.protocolErrs,
+		FramesByType:    s.framesByType,
+		ErrorsByType:    s.errorsByType,
+		UnknownFrames:   s.unknownFrames,
+		OversizedFrames: s.oversizedFrames,
 	}
+	s.mu.Unlock()
+	s.connMu.Lock()
+	st.ConnsAccepted = s.connsAccepted
+	st.ConnsRejected = s.connsRejected
+	st.ConnsClosed = s.connsClosed
+	st.ConnsActive = len(s.conns)
+	s.connMu.Unlock()
+	return st
+}
+
+// Monitor exposes the shared monitor, e.g. so embedders can read
+// AlertStats or SketchHealth directly. The monitor serializes its own
+// state; mutating its sketch outside the server's methods is not supported.
+func (s *Server) Monitor() *monitor.Monitor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon
+}
+
+// RegisterTelemetry attaches the live bundle (query-frame latency) and
+// registers the server's scrape-time probes on reg: request totals,
+// per-type frame and protocol-error counters, oversized/unknown frame
+// counters, and connection lifecycle. It also registers the shared
+// monitor's telemetry (check latency, alert ring, sketch health). Call at
+// most once per server and registry pair; the server may already be
+// serving — the bundle attaches atomically.
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
+	tel := telemetry.NewServerMetrics(reg)
+
+	reg.CounterFunc("dcsketch_server_updates_total",
+		"Flow updates applied from MsgUpdates frames.",
+		func() uint64 { return s.Stats().Updates })
+	reg.CounterFunc("dcsketch_server_batches_total",
+		"MsgUpdates frames applied.",
+		func() uint64 { return s.Stats().Batches })
+	reg.CounterFunc("dcsketch_server_queries_total",
+		"Top-k query frames answered.",
+		func() uint64 { return s.Stats().Queries })
+	reg.CounterFunc("dcsketch_server_sketches_total",
+		"Edge sketches merged.",
+		func() uint64 { return s.Stats().Sketches })
+	for t := wire.MsgUpdates; t <= wire.MsgError; t++ {
+		t := t
+		reg.CounterFunc(`dcsketch_server_frames_total{type="`+t.String()+`"}`,
+			"Frames read, by frame type.",
+			func() uint64 { return s.Stats().FramesByType[t] })
+		reg.CounterFunc(`dcsketch_server_protocol_errors_total{type="`+t.String()+`"}`,
+			"Protocol errors, by the frame type that carried them.",
+			func() uint64 { return s.Stats().ErrorsByType[t] })
+	}
+	reg.CounterFunc("dcsketch_server_unknown_frames_total",
+		"Frames with an undefined type byte.",
+		func() uint64 { return s.Stats().UnknownFrames })
+	reg.CounterFunc("dcsketch_server_oversized_frames_total",
+		"Frames rejected for exceeding the maximum frame size.",
+		func() uint64 { return s.Stats().OversizedFrames })
+	reg.CounterFunc("dcsketch_server_conns_accepted_total",
+		"Connections accepted.",
+		func() uint64 { return s.Stats().ConnsAccepted })
+	reg.CounterFunc("dcsketch_server_conns_rejected_total",
+		"Connections rejected over the MaxConns limit.",
+		func() uint64 { return s.Stats().ConnsRejected })
+	reg.CounterFunc("dcsketch_server_conns_closed_total",
+		"Connections closed.",
+		func() uint64 { return s.Stats().ConnsClosed })
+	reg.GaugeFunc("dcsketch_server_conns_active",
+		"Live connections.",
+		func() int64 { return int64(s.Stats().ConnsActive) })
+
+	s.Monitor().RegisterTelemetry(reg)
+	s.tel.Store(tel)
 }
 
 // Shutdown stops accepting, closes all live connections, and waits for

@@ -1,0 +1,56 @@
+package tdcs
+
+import (
+	"testing"
+
+	"dcsketch/internal/dcs"
+)
+
+// TestQueryStatsTracking checks the tracking layer's health accessors:
+// query and rebuild counters, and the live sample shape.
+func TestQueryStatsTracking(t *testing.T) {
+	s, err := New(dcs.Config{Levels: 8, Tables: 2, Buckets: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		s.UpdateKey(k*0x9e3779b97f4a7c15, 1)
+	}
+	if got := s.QueryStats().Queries; got != 0 {
+		t.Fatalf("Queries before any query = %d", got)
+	}
+	s.TopK(5)
+	s.Threshold(1)
+	s.EstimateDistinctPairs()
+	qs := s.QueryStats()
+	if qs.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3", qs.Queries)
+	}
+	if qs.SampleLevel != s.SampleLevel() || qs.SampleSize != s.SampleSize() {
+		t.Fatalf("QueryStats sample shape (%d,%d) != accessors (%d,%d)",
+			qs.SampleLevel, qs.SampleSize, s.SampleLevel(), s.SampleSize())
+	}
+	if qs.SampleSize == 0 {
+		t.Fatal("tracked sample empty after 200 inserts")
+	}
+	// The tracking updates decode affected buckets, so the base decode
+	// counters must have been ticking during ingestion.
+	if qs.DecodeSingletons == 0 {
+		t.Fatal("no singleton decodes recorded during tracking updates")
+	}
+
+	if s.Rebuilds() != 0 {
+		t.Fatalf("Rebuilds = %d before any rebuild", s.Rebuilds())
+	}
+	s.Rebuild()
+	if s.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", s.Rebuilds())
+	}
+	base, err := dcs.New(s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromBase(base).Rebuilds(); got != 1 {
+		t.Fatalf("FromBase Rebuilds = %d, want 1", got)
+	}
+}

@@ -56,6 +56,13 @@ type Sketch struct {
 	// topScratch holds the heap entries of the last TopK answer, reused
 	// across queries.
 	topScratch []iheap.Entry //lint:scratch
+
+	// queries counts tracked queries (TopK, Threshold,
+	// EstimateDistinctPairs); rebuilds counts tracking-state
+	// reconstructions. Plain single-writer words under the same contract
+	// as dcs.QueryStats.
+	queries  uint64
+	rebuilds uint64
 }
 
 // New builds an empty tracking sketch. The Config semantics are identical to
@@ -242,6 +249,7 @@ func (t *Sketch) TopK(k int) []dcs.Estimate {
 	if k <= 0 {
 		return nil
 	}
+	t.queries++
 	b := t.sampleLevel()
 	scale := int64(1) << uint(b)
 	t.topScratch = t.heaps[b].AppendTopK(t.topScratch[:0], k)
@@ -255,6 +263,7 @@ func (t *Sketch) TopK(k int) []dcs.Estimate {
 // Threshold returns every destination whose estimated frequency is at least
 // tau, sorted by descending frequency then ascending address (§2 fn. 3).
 func (t *Sketch) Threshold(tau int64) []dcs.Estimate {
+	t.queries++
 	b := t.sampleLevel()
 	scale := int64(1) << uint(b)
 	var out []dcs.Estimate
@@ -275,6 +284,7 @@ func (t *Sketch) Threshold(tau int64) []dcs.Estimate {
 // EstimateDistinctPairs estimates U from the tracked sample: 2^b times the
 // sample size at the chosen level.
 func (t *Sketch) EstimateDistinctPairs() int64 {
+	t.queries++
 	b := t.sampleLevel()
 	var size int64
 	for l := b; l < len(t.singles); l++ {
@@ -296,6 +306,36 @@ func (t *Sketch) SampleKeys() []uint64 {
 	return out
 }
 
+// SampleLevel returns the first-level bucket TrackTopk would answer from
+// right now — the live counterpart of dcs.QueryStats.SampleLevel.
+func (t *Sketch) SampleLevel() int { return t.sampleLevel() }
+
+// SampleSize returns the size of the tracked distinct sample at the current
+// sample level (the singletons at levels >= SampleLevel).
+func (t *Sketch) SampleSize() int {
+	n := 0
+	for l := t.sampleLevel(); l < len(t.singles); l++ {
+		n += len(t.singles[l])
+	}
+	return n
+}
+
+// Rebuilds returns the number of tracking-state reconstructions (Merge,
+// FromBase adoption, deserialization).
+func (t *Sketch) Rebuilds() uint64 { return t.rebuilds }
+
+// QueryStats returns the underlying sketch's decode-outcome counters with
+// the tracking layer's own query count folded in and the sample shape
+// replaced by the live tracking-state view (TrackTopk answers from the
+// incrementally maintained sample, not from a sampling pass).
+func (t *Sketch) QueryStats() dcs.QueryStats {
+	qs := t.base.QueryStats()
+	qs.Queries += t.queries
+	qs.SampleLevel = t.sampleLevel()
+	qs.SampleSize = t.SampleSize()
+	return qs
+}
+
 // Merge adds other's stream into t (both counter arrays and tracking state).
 // The tracking structures are not linear, so they are rebuilt from the merged
 // counters; merging is therefore O(sketch size), which is the intended
@@ -314,6 +354,7 @@ func (t *Sketch) Merge(other *Sketch) error {
 // Rebuild reconstructs the tracking state (singleton sets and heaps) from
 // the counter array. It is used after Merge and deserialization.
 func (t *Sketch) Rebuild() {
+	t.rebuilds++
 	cfg := t.base.Config()
 	for b := range t.singles {
 		clear(t.singles[b])

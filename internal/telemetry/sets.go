@@ -1,0 +1,103 @@
+package telemetry
+
+// This file defines the per-layer instrument bundles and their canonical
+// series names, so the whole metric namespace is declared in one place.
+//
+// Naming convention (documented in DESIGN.md §10):
+//
+//	dcsketch_<layer>_<metric>[_<unit>][{label="v"}]
+//
+// Counters end in _total; durations are histograms in nanoseconds with an
+// _ns suffix; sizes are histograms with no unit suffix. Layers register
+// additional scrape-time probes (CounterFunc/GaugeFunc) for single-writer
+// state read under their own locks — those names follow the same convention
+// and are listed in the DESIGN.md inventory.
+
+// MonitorMetrics is the live-instrument bundle for internal/monitor: the
+// check counter and the check/query latency histograms. The alert lifecycle
+// counters stay single-writer inside the monitor (under its mutex, beside
+// the ring they describe) and are exported as scrape-time probes by the
+// monitor's RegisterTelemetry, together with the sketch-health series.
+type MonitorMetrics struct {
+	// ChecksTotal counts calls to the periodic anomaly check.
+	ChecksTotal *Counter
+	// CheckLatency observes the wall time of one full check (query +
+	// baseline update + alerting), in nanoseconds.
+	CheckLatency *Histogram
+	// QueryLatency observes the wall time of the top-k sketch query alone,
+	// in nanoseconds.
+	QueryLatency *Histogram
+}
+
+// NewMonitorMetrics registers the monitor bundle on reg.
+func NewMonitorMetrics(reg *Registry) *MonitorMetrics {
+	return &MonitorMetrics{
+		ChecksTotal:  reg.Counter("dcsketch_monitor_checks_total", "Periodic anomaly checks run."),
+		CheckLatency: reg.Histogram("dcsketch_monitor_check_latency_ns", "Wall time of one anomaly check in nanoseconds."),
+		QueryLatency: reg.Histogram("dcsketch_monitor_query_latency_ns", "Wall time of the top-k sketch query in nanoseconds."),
+	}
+}
+
+// PipelineMetrics is the live-instrument bundle for internal/pipeline:
+// batch shape, fold cost, and the applied/served totals. Per-shard queue
+// depth is registered separately as labeled GaugeFunc probes because the
+// shard count is a runtime parameter.
+type PipelineMetrics struct {
+	// AppliedTotal counts updates applied into per-shard sketches.
+	AppliedTotal *Counter
+	// ServedTotal counts queries served from folded snapshots.
+	ServedTotal *Counter
+	// BatchSize observes the number of updates in each applied batch.
+	BatchSize *Histogram
+	// FoldsTotal counts cross-shard folds.
+	FoldsTotal *Counter
+	// FoldLatency observes the wall time of one cross-shard fold in
+	// nanoseconds.
+	FoldLatency *Histogram
+}
+
+// NewPipelineMetrics registers the pipeline bundle on reg.
+func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
+	return &PipelineMetrics{
+		AppliedTotal: reg.Counter("dcsketch_pipeline_applied_total", "Updates applied into per-shard sketches."),
+		ServedTotal:  reg.Counter("dcsketch_pipeline_served_total", "Queries served from folded snapshots."),
+		BatchSize:    reg.Histogram("dcsketch_pipeline_batch_size", "Updates per applied batch."),
+		FoldsTotal:   reg.Counter("dcsketch_pipeline_folds_total", "Cross-shard folds performed."),
+		FoldLatency:  reg.Histogram("dcsketch_pipeline_fold_latency_ns", "Wall time of one cross-shard fold in nanoseconds."),
+	}
+}
+
+// ServerMetrics is the live-instrument bundle for internal/server. Frame and
+// protocol-error counters stay single-writer inside the server (per message
+// type, under its stats lock) and are exported as labeled CounterFunc probes
+// by RegisterTelemetry; only the genuinely concurrent instruments live here.
+type ServerMetrics struct {
+	// QueryLatency observes the wall time of serving one top-k query frame
+	// (decode + query + reply encode), in nanoseconds.
+	QueryLatency *Histogram
+}
+
+// NewServerMetrics registers the server bundle on reg.
+func NewServerMetrics(reg *Registry) *ServerMetrics {
+	return &ServerMetrics{
+		QueryLatency: reg.Histogram("dcsketch_server_query_latency_ns", "Wall time of serving one top-k query frame in nanoseconds."),
+	}
+}
+
+// DetectorMetrics is the live-instrument bundle for the packet-path
+// detector: per-packet and alarm counters recorded from the ingest path.
+type DetectorMetrics struct {
+	// PacketsTotal counts packets observed by the detector.
+	PacketsTotal *Counter
+	// CusumAlarmsTotal counts CUSUM threshold crossings (entering the
+	// alarm state).
+	CusumAlarmsTotal *Counter
+}
+
+// NewDetectorMetrics registers the detector bundle on reg.
+func NewDetectorMetrics(reg *Registry) *DetectorMetrics {
+	return &DetectorMetrics{
+		PacketsTotal:     reg.Counter("dcsketch_detector_packets_total", "Packets observed by the detector."),
+		CusumAlarmsTotal: reg.Counter("dcsketch_detector_cusum_alarms_total", "CUSUM threshold crossings."),
+	}
+}

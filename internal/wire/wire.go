@@ -40,6 +40,30 @@ const (
 	MsgError
 )
 
+// MsgTypeCount is one past the highest defined MsgType, sized for indexing
+// per-type counter arrays (index 0 is unused; unknown types are counted
+// separately by their consumers).
+const MsgTypeCount = int(MsgError) + 1
+
+// String returns the lowercase frame-type name used in telemetry labels.
+func (t MsgType) String() string {
+	switch t {
+	case MsgUpdates:
+		return "updates"
+	case MsgTopKQuery:
+		return "topk_query"
+	case MsgTopKReply:
+		return "topk_reply"
+	case MsgSketch:
+		return "sketch"
+	case MsgAck:
+		return "ack"
+	case MsgError:
+		return "error"
+	}
+	return "unknown"
+}
+
 // MaxFrameSize bounds a frame payload; larger frames are rejected before
 // allocation (a malicious peer must not make the monitor allocate
 // gigabytes).
