@@ -45,6 +45,10 @@ check() {
 		-require 'dcsketch/internal/telemetry:(*Gauge).Add' \
 		-require 'dcsketch/internal/telemetry:(*Histogram).Observe'
 	go test -race ./...
+	# Chaos pass: the seeded faultnet e2e — connections cut mid-batch
+	# while the exporter streams into a live daemon — must reproduce the
+	# fault-free top-k byte-for-byte with exact ledger accounting.
+	go test -race -run '^TestChaos' -count 1 ./internal/export
 	# Telemetry smoke: start the daemon with -debug-addr, drive real
 	# traffic over a client connection, and scrape /metrics end to end
 	# (decode failures, level occupancy, query-latency histogram).
@@ -57,6 +61,7 @@ check() {
 	go test -fuzz='^FuzzUnmarshalBinary$' -fuzztime=10s ./internal/dcs
 	go test -fuzz='^FuzzShardRouting$' -fuzztime=10s ./internal/pipeline
 	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzDecodeHello$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
 	go test -fuzz='^FuzzDirectiveParse$' -fuzztime=10s ./internal/analysis
 	go test -fuzz='^FuzzWritePrometheus$' -fuzztime=10s ./internal/telemetry

@@ -2,6 +2,12 @@
 // the TCP half-open state machine and streams the resulting flow updates to
 // a ddosmond daemon in batches, then optionally queries the daemon's top-k.
 //
+// Delivery rides the fault-tolerant exporter (internal/export): updates are
+// spooled in memory and shipped by a background loop that reconnects with
+// jittered backoff and replays unacknowledged batches exactly once, so a
+// daemon restart or a flaky link mid-replay loses nothing (until the spool
+// bound forces drop-oldest shedding, which is reported).
+//
 // Usage:
 //
 //	tracegen -o attack.trace
@@ -17,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"dcsketch/internal/export"
 	"dcsketch/internal/server"
 	"dcsketch/internal/stream"
 	"dcsketch/internal/tcpflow"
@@ -38,7 +45,10 @@ func run(args []string) error {
 		format  = fs.String("format", "binary", "trace format: binary, text or pcap")
 		batch   = fs.Int("batch", 512, "updates per wire batch")
 		query   = fs.Int("query", 0, "after replay, query the daemon's top-k (0 disables)")
-		timeout = fs.Duration("timeout", 10*time.Second, "connection timeout")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-attempt connection timeout")
+		drain   = fs.Duration("drain", 0, "budget for flushing the spool after replay (0 = 4x timeout)")
+		spool   = fs.Int("spool", 4096, "spooled batches kept while the daemon is unreachable")
+		session = fs.Uint64("session", 0, "replay session id (0 = random; reuse to resume after a crash)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +58,9 @@ func run(args []string) error {
 	}
 	if *batch < 1 {
 		return fmt.Errorf("batch = %d, must be >= 1", *batch)
+	}
+	if *drain <= 0 {
+		*drain = 4 * *timeout
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -60,23 +73,27 @@ func run(args []string) error {
 		return err
 	}
 
-	client, err := server.Dial(*connect, *timeout)
+	exp, err := export.New(export.Config{
+		Addr:           *connect,
+		DialTimeout:    *timeout,
+		AttemptTimeout: *timeout,
+		SpoolBatches:   *spool,
+		SessionID:      *session,
+	})
 	if err != nil {
 		return err
 	}
-	defer client.Close()
+	defer exp.Close()
 
 	conv := tcpflow.New()
 	pending := make([]wire.Update, 0, *batch)
-	sent := 0
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
 		}
-		if err := client.SendUpdates(pending); err != nil {
+		if err := exp.Export(pending); err != nil {
 			return err
 		}
-		sent += len(pending)
 		pending = pending[:0]
 		return nil
 	}
@@ -104,9 +121,25 @@ func run(args []string) error {
 	if err := flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "flowexport: %d packets -> %d flow updates exported\n", packets, sent)
+	if err := exp.Drain(*drain); err != nil {
+		return err
+	}
+	st := exp.Stats()
+	fmt.Fprintf(os.Stderr, "flowexport: %d packets -> %d flow updates exported (%d batches", packets, st.UpdatesAcked, st.BatchesAcked)
+	if st.Reconnects > 0 || st.Retransmits > 0 {
+		fmt.Fprintf(os.Stderr, ", %d reconnects, %d retransmits", st.Reconnects, st.Retransmits)
+	}
+	if st.UpdatesDropped > 0 {
+		fmt.Fprintf(os.Stderr, ", %d updates SHED", st.UpdatesDropped)
+	}
+	fmt.Fprintln(os.Stderr, ")")
 
 	if *query > 0 {
+		client, err := server.Dial(*connect, *timeout)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
 		top, err := client.TopK(*query)
 		if err != nil {
 			return err

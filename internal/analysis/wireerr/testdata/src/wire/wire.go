@@ -24,3 +24,16 @@ func DecodeUpdates(payload []byte) ([]int, error) {
 
 // AppendUpdates has no error result and is never reported.
 func AppendUpdates(buf []byte) []byte { return buf }
+
+// DecodeHello decodes a replay-handshake payload.
+func DecodeHello(payload []byte) (uint64, error) {
+	return 0, nil
+}
+
+// DecodeSeqAck decodes a sequenced-batch ack payload.
+func DecodeSeqAck(payload []byte) (uint64, error) {
+	return 0, nil
+}
+
+// AppendSeqUpdates has no error result and is never reported.
+func AppendSeqUpdates(buf []byte, seq uint64) []byte { return buf }

@@ -74,3 +74,28 @@ func noErrorResult(p []byte) []byte {
 func suppressed(w io.Writer, p []byte) {
 	_ = wire.WriteFrame(w, p) //lint:wireok best-effort error reply during teardown
 }
+
+func helloIgnored(p []byte) {
+	wire.DecodeHello(p) // want `error from wire.DecodeHello ignored on the wire path`
+}
+
+func helloBlank(p []byte) uint64 {
+	id, _ := wire.DecodeHello(p) // want `error from wire.DecodeHello discarded with _ =`
+	return id
+}
+
+func helloHandled(p []byte) (uint64, error) {
+	return wire.DecodeHello(p)
+}
+
+func seqAckBlank(p []byte) {
+	_, _ = wire.DecodeSeqAck(p) // want `error from wire.DecodeSeqAck discarded with _ =`
+}
+
+func seqAckHandled(p []byte) (uint64, error) {
+	return wire.DecodeSeqAck(p)
+}
+
+func seqAppendNoError(p []byte) []byte {
+	return wire.AppendSeqUpdates(p, 1)
+}

@@ -1,0 +1,390 @@
+// Package faultnet is a deterministic fault-injection harness for the wire
+// layer: a net.Conn/net.Listener wrapper that injects latency, partial
+// writes, short reads, mid-frame connection resets, and write blackholes on
+// a seed-driven schedule. It is the test substrate for the resilient
+// exporter (internal/export) and the monitor daemon's frame handling
+// (internal/server): a chaos test wraps one side's transport, runs real
+// traffic, and asserts the system's end state — and because every fault is
+// drawn from a SplitMix64 stream seeded by the caller, a failing schedule
+// replays exactly.
+//
+// Faults are injected at the byte-transfer level, below the frame protocol,
+// so cuts land mid-frame (the interesting case: the peer holds a partial
+// header or payload) without faultnet knowing anything about frames.
+//
+// Determinism model: each wrapped connection derives its own generator from
+// (Seed, connection index), so per-connection schedules do not depend on
+// goroutine interleaving; which in-flight operation a cut kills follows
+// from the byte positions the protocol writes, which is deterministic for a
+// synchronous request/reply client.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"dcsketch/internal/hashing"
+)
+
+// ErrInjectedReset is wrapped by errors returned from operations killed by
+// an injected mid-stream reset.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Config parametrizes an Injector. The zero value injects nothing: every
+// fault class is opt-in.
+type Config struct {
+	// Seed drives every random draw; the same seed and traffic replays the
+	// same fault schedule.
+	Seed uint64
+	// CutAfter, when positive, resets each connection after a per-connection
+	// threshold of transferred bytes (reads + writes) drawn uniformly from
+	// [CutAfter/2, 3*CutAfter/2). The reset closes the underlying
+	// connection (with SO_LINGER 0 on TCP, so the peer sees RST-like
+	// failure mid-frame) and fails the in-flight operation.
+	CutAfter int
+	// MaxCuts bounds the total number of injected resets across the
+	// injector; 0 means unlimited. Connections created after the budget is
+	// spent, or whose threshold fires after it is spent, are left intact.
+	MaxCuts int
+	// BlackholeWrites converts injected resets into write blackholes: once
+	// a connection's threshold fires, its writes block — consuming nothing —
+	// until the write deadline expires or the connection is closed,
+	// modeling a peer that stops draining its receive window.
+	BlackholeWrites bool
+	// WriteChunk, when positive, splits every Write into underlying writes
+	// of 1..WriteChunk bytes each (a slow-loris peer is WriteChunk=1 plus
+	// Delay). io.Writer semantics are preserved: the call still transfers
+	// the full buffer unless a fault fires.
+	WriteChunk int
+	// ReadChunk, when positive, truncates every Read to at most
+	// 1..ReadChunk bytes (a legal short read; callers must loop).
+	ReadChunk int
+	// Delay sleeps before every underlying read/write; DelayJitter adds a
+	// uniform extra in [0, DelayJitter).
+	Delay       time.Duration
+	DelayJitter time.Duration
+}
+
+// Stats counts injected faults and transferred traffic.
+type Stats struct {
+	// Conns counts wrapped connections.
+	Conns uint64
+	// Cuts counts injected resets; Blackholes counts thresholds that
+	// blackholed instead (BlackholeWrites).
+	Cuts, Blackholes uint64
+	// PartialWrites counts Write calls split into more than one underlying
+	// write; ShortReads counts Read calls truncated below the caller's
+	// buffer size.
+	PartialWrites, ShortReads uint64
+	// BytesRead and BytesWritten count bytes actually transferred.
+	BytesRead, BytesWritten uint64
+}
+
+// Injector wraps connections and listeners with the configured fault
+// schedule. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	// mu guards the schedule and counter state below.
+	mu sync.Mutex
+	// stats accumulates fault counts. guarded by mu
+	stats Stats
+	// spent counts resets and blackholes drawn against MaxCuts. guarded by mu
+	spent int
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// reserveCut consumes one unit of the MaxCuts budget, reporting whether the
+// fault may fire.
+func (in *Injector) reserveCut() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.MaxCuts > 0 && in.spent >= in.cfg.MaxCuts {
+		return false
+	}
+	in.spent++
+	if in.cfg.BlackholeWrites {
+		in.stats.Blackholes++
+	} else {
+		in.stats.Cuts++
+	}
+	return true
+}
+
+// WrapConn wraps c with this injector's fault schedule.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	in.mu.Lock()
+	idx := in.stats.Conns
+	in.stats.Conns++
+	in.mu.Unlock()
+	// Decorrelate the per-connection stream from both the seed and the
+	// connection index.
+	rng := hashing.NewSplitMix64(hashing.Mix64(in.cfg.Seed ^ hashing.Mix64(idx+1)))
+	budget := int64(-1)
+	if in.cfg.CutAfter > 0 {
+		span := uint64(in.cfg.CutAfter)
+		budget = int64(span/2 + rng.Next()%span)
+	}
+	return &conn{
+		Conn:   c,
+		in:     in,
+		rng:    rng,
+		budget: budget,
+		closed: make(chan struct{}),
+	}
+}
+
+// Dial connects to addr over TCP and wraps the connection.
+func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return in.WrapConn(c), nil
+}
+
+// Listen wraps ln so every accepted connection carries the fault schedule.
+func (in *Injector) Listen(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}
+
+// conn is one fault-injected connection.
+type conn struct {
+	net.Conn
+	in  *Injector
+	rng *hashing.SplitMix64 // guarded by mu
+
+	// mu serializes the schedule state so concurrent Read/Write draw from
+	// one deterministic stream per connection.
+	mu sync.Mutex
+	// budget is the remaining transferred-byte allowance before the cut
+	// threshold fires; negative disables. guarded by mu
+	budget int64
+	// blackholed marks a connection whose writes now block. guarded by mu
+	blackholed bool
+	// wdeadline mirrors the write deadline for blackholed writes. guarded by mu
+	wdeadline time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Close closes the underlying connection and releases any blackholed
+// writers.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// delay sleeps the configured per-operation latency.
+func (c *conn) delay() {
+	d := c.in.cfg.Delay
+	if j := c.in.cfg.DelayJitter; j > 0 {
+		c.mu.Lock()
+		d += time.Duration(c.rng.Next() % uint64(j))
+		c.mu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// chunkSize draws the next transfer size for a request of n bytes, bounded
+// by limit when limit is positive.
+func (c *conn) chunkSize(n, limit int) int {
+	if limit <= 0 || n <= 1 {
+		return n
+	}
+	c.mu.Lock()
+	k := 1 + int(c.rng.Next()%uint64(limit))
+	c.mu.Unlock()
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// consume draws up to want bytes against the cut budget. It returns how
+// many bytes may still transfer and whether the threshold fired (the fault
+// fires only if the injector's MaxCuts budget admits it).
+func (c *conn) consume(want int) (allowed int, fault bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget < 0 {
+		return want, false
+	}
+	if int64(want) < c.budget {
+		c.budget -= int64(want)
+		return want, false
+	}
+	allowed = int(c.budget)
+	// Lock order: conn.mu before Injector.mu (never reversed).
+	if !c.in.reserveCut() {
+		c.budget = -1 // budget exhausted injector-wide: run clean from here
+		return want, false
+	}
+	c.budget = 0
+	return allowed, true
+}
+
+// cut force-closes the underlying connection so the peer observes a
+// mid-stream failure.
+func (c *conn) cut() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0) // RST, not FIN: a crash, not a clean shutdown
+	}
+	_ = c.Close()
+}
+
+// blackholeWait blocks until the write deadline passes or the connection is
+// closed, returning the corresponding error.
+func (c *conn) blackholeWait() error {
+	c.mu.Lock()
+	deadline := c.wdeadline
+	c.mu.Unlock()
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-expire:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		c.mu.Lock()
+		holed := c.blackholed
+		c.mu.Unlock()
+		if holed {
+			return written, c.blackholeWait()
+		}
+		c.delay()
+		chunk := c.chunkSize(len(p)-written, c.in.cfg.WriteChunk)
+		allowed, fault := c.consume(chunk)
+		if fault && c.in.cfg.BlackholeWrites {
+			c.mu.Lock()
+			c.blackholed = true
+			c.mu.Unlock()
+			if written+allowed > 0 {
+				// Let already-admitted bytes through; the next write (or
+				// loop iteration) blocks.
+				n, err := c.Conn.Write(p[written : written+allowed])
+				c.noteWrite(n)
+				written += n
+				if err != nil {
+					return written, err
+				}
+			}
+			continue
+		}
+		if fault && allowed == 0 {
+			c.cut()
+			return written, fmt.Errorf("%w after %d bytes", ErrInjectedReset, written)
+		}
+		n, err := c.Conn.Write(p[written : written+allowed])
+		c.noteWrite(n)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if fault {
+			c.cut()
+			return written, fmt.Errorf("%w after %d bytes", ErrInjectedReset, written)
+		}
+	}
+	if c.in.cfg.WriteChunk > 0 && len(p) > c.in.cfg.WriteChunk {
+		c.in.mu.Lock()
+		c.in.stats.PartialWrites++
+		c.in.mu.Unlock()
+	}
+	return written, nil
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.delay()
+	chunk := c.chunkSize(len(p), c.in.cfg.ReadChunk)
+	if chunk < len(p) {
+		c.in.mu.Lock()
+		c.in.stats.ShortReads++
+		c.in.mu.Unlock()
+	}
+	allowed, fault := c.consume(chunk)
+	if fault && c.in.cfg.BlackholeWrites {
+		// Blackholes stall the write side only; the read proceeds.
+		c.mu.Lock()
+		c.blackholed = true
+		c.mu.Unlock()
+		allowed = chunk
+		fault = false
+	}
+	if fault && allowed == 0 {
+		c.cut()
+		return 0, fmt.Errorf("read: %w", ErrInjectedReset)
+	}
+	n, err := c.Conn.Read(p[:allowed])
+	c.in.mu.Lock()
+	c.in.stats.BytesRead += uint64(n)
+	c.in.mu.Unlock()
+	if fault {
+		c.cut()
+		if err == nil {
+			err = fmt.Errorf("read: %w", ErrInjectedReset)
+		}
+	}
+	return n, err
+}
+
+func (c *conn) noteWrite(n int) {
+	c.in.mu.Lock()
+	c.in.stats.BytesWritten += uint64(n)
+	c.in.mu.Unlock()
+}

@@ -1,0 +1,288 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of an in-process TCP connection.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+// drain echoes nothing: it reads everything from c into the returned buffer
+// until EOF/error, then closes done.
+func drain(c net.Conn) (*bytes.Buffer, chan struct{}) {
+	buf := &bytes.Buffer{}
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := c.Read(tmp)
+			mu.Lock()
+			buf.Write(tmp[:n])
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return buf, done
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Config{Seed: 1}) // zero faults configured
+	fc := in.WrapConn(cl)
+	buf, done := drain(sv)
+	msg := bytes.Repeat([]byte("abc123"), 1000)
+	if n, err := fc.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	fc.Close()
+	<-done
+	if !bytes.Equal(buf.Bytes(), msg) {
+		t.Fatalf("peer received %d bytes, want %d", buf.Len(), len(msg))
+	}
+	st := in.Stats()
+	if st.Cuts != 0 || st.PartialWrites != 0 || st.BytesWritten != uint64(len(msg)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestChunkedWritesPreserveBytes(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Config{Seed: 7, WriteChunk: 3})
+	fc := in.WrapConn(cl)
+	buf, done := drain(sv)
+	msg := bytes.Repeat([]byte{0xA5, 0x5A, 0x01}, 500)
+	if n, err := fc.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	fc.Close()
+	<-done
+	if !bytes.Equal(buf.Bytes(), msg) {
+		t.Fatal("chunked write corrupted the stream")
+	}
+	if in.Stats().PartialWrites == 0 {
+		t.Fatal("no partial writes counted")
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Config{Seed: 3, ReadChunk: 2})
+	fc := in.WrapConn(sv)
+	msg := []byte("0123456789abcdef")
+	go func() {
+		cl.Write(msg)
+		cl.Close()
+	}()
+	got, err := io.ReadAll(fc)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("ReadAll = (%q, %v)", got, err)
+	}
+	if in.Stats().ShortReads == 0 {
+		t.Fatal("no short reads counted")
+	}
+}
+
+func TestCutKillsConnectionMidStream(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Config{Seed: 11, CutAfter: 64})
+	fc := in.WrapConn(cl)
+	_, done := drain(sv)
+	var wn int
+	var werr error
+	for i := 0; i < 100 && werr == nil; i++ {
+		var n int
+		n, werr = fc.Write(bytes.Repeat([]byte("x"), 16))
+		wn += n
+	}
+	if !errors.Is(werr, ErrInjectedReset) {
+		t.Fatalf("write error = %v, want ErrInjectedReset", werr)
+	}
+	st := in.Stats()
+	if st.Cuts != 1 {
+		t.Fatalf("cuts = %d, want 1", st.Cuts)
+	}
+	// The threshold is drawn from [32, 96): the transferred byte count must
+	// respect it.
+	if st.BytesWritten >= 96 || uint64(wn) != st.BytesWritten {
+		t.Fatalf("bytes written %d (reported %d), want < 96", st.BytesWritten, wn)
+	}
+	// The peer observes the failure promptly.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not observe the cut")
+	}
+	// Subsequent writes fail: the connection is gone.
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Fatal("write after cut succeeded")
+	}
+}
+
+func TestCutScheduleIsDeterministic(t *testing.T) {
+	run := func() uint64 {
+		cl, sv := pipePair(t)
+		in := New(Config{Seed: 99, CutAfter: 128})
+		fc := in.WrapConn(cl)
+		_, _ = drain(sv)
+		for i := 0; i < 200; i++ {
+			if _, err := fc.Write([]byte("0123456789")); err != nil {
+				break
+			}
+		}
+		return in.Stats().BytesWritten
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed cut at different byte positions: %d vs %d", a, b)
+	}
+}
+
+func TestMaxCutsBudget(t *testing.T) {
+	in := New(Config{Seed: 5, CutAfter: 32, MaxCuts: 2})
+	for i := 0; i < 4; i++ {
+		cl, sv := pipePair(t)
+		fc := in.WrapConn(cl)
+		_, _ = drain(sv)
+		for j := 0; j < 64; j++ {
+			if _, err := fc.Write([]byte("01234567")); err != nil {
+				break
+			}
+		}
+		fc.Close()
+	}
+	if cuts := in.Stats().Cuts; cuts != 2 {
+		t.Fatalf("cuts = %d, want exactly MaxCuts=2", cuts)
+	}
+}
+
+func TestBlackholeWritesBlockUntilDeadline(t *testing.T) {
+	cl, sv := pipePair(t)
+	defer sv.Close()
+	in := New(Config{Seed: 2, CutAfter: 32, BlackholeWrites: true})
+	fc := in.WrapConn(cl)
+	_, _ = drain(sv)
+	if err := fc.SetWriteDeadline(time.Now().Add(150 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		_, err = fc.Write(bytes.Repeat([]byte("y"), 16))
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed write error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("write failed after %v, want it to block until the deadline", elapsed)
+	}
+	if in.Stats().Blackholes != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	cl, sv := pipePair(t)
+	defer sv.Close()
+	in := New(Config{Seed: 2, CutAfter: 16, BlackholeWrites: true})
+	fc := in.WrapConn(cl)
+	_, _ = drain(sv)
+	errCh := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 100 && err == nil; i++ {
+			_, err = fc.Write(bytes.Repeat([]byte("z"), 8))
+		}
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("blackholed write returned nil after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blackholed write did not unblock on Close")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 8, ReadChunk: 1})
+	fln := in.Listen(ln)
+	defer fln.Close()
+	go func() {
+		c, err := net.Dial("tcp", fln.Addr().String())
+		if err != nil {
+			return
+		}
+		c.Write([]byte("ping"))
+		c.Close()
+	}()
+	c, err := fln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := io.ReadAll(c)
+	if err != nil || string(got) != "ping" {
+		t.Fatalf("ReadAll = (%q, %v)", got, err)
+	}
+	if in.Stats().Conns != 1 || in.Stats().ShortReads == 0 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestDelayInjectsLatency(t *testing.T) {
+	cl, sv := pipePair(t)
+	in := New(Config{Seed: 4, Delay: 20 * time.Millisecond})
+	fc := in.WrapConn(cl)
+	_, _ = drain(sv)
+	start := time.Now()
+	if _, err := fc.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("write completed in %v, want >= ~20ms of injected latency", elapsed)
+	}
+}

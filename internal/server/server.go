@@ -40,8 +40,17 @@ type Config struct {
 	// ReadTimeout bounds how long a connection may stay silent before
 	// being dropped (default 30s; negative disables).
 	ReadTimeout time.Duration
+	// WriteTimeout bounds how long a reply write (frame + flush) may block
+	// on a peer that stops reading before the handler gives up and drops
+	// the connection (default: the resolved ReadTimeout; negative
+	// disables). Without it a stalled reader parks the handler goroutine
+	// forever.
+	WriteTimeout time.Duration
 	// MaxConns bounds concurrent connections (default 256).
 	MaxConns int
+	// MaxSessions bounds the exporter-replay dedup table (default 1024);
+	// past the bound the least-recently-used session's state is evicted.
+	MaxSessions int
 }
 
 // Server is the monitor daemon's network front end.
@@ -53,6 +62,10 @@ type Server struct {
 	mu sync.Mutex
 	// mon is the shared detection state. guarded by mu
 	mon *monitor.Monitor
+	// sessions is the exporter-replay dedup table; holding mu across the
+	// dedup check, the batch application, and the lastSeq advance is what
+	// makes replayed-batch suppression atomic with the sketch. guarded by mu
+	sessions *sessionTable
 
 	// connMu guards the connection-lifecycle state below.
 	connMu sync.Mutex
@@ -67,6 +80,9 @@ type Server struct {
 
 	// Traffic counters. guarded by mu
 	updatesIn, batchesIn, queriesIn, sketchesIn, protocolErrs uint64
+	// Replay-session counters: handshakes, sequenced batches received, and
+	// duplicates suppressed by the dedup table. guarded by mu
+	hellosIn, seqBatchesIn, dupBatches uint64
 	// framesByType counts dispatched frames per defined type (indexed by
 	// wire.MsgType; index 0 unused). guarded by mu
 	framesByType [wire.MsgTypeCount]uint64
@@ -82,6 +98,10 @@ type Server struct {
 
 	// Connection lifecycle counters. guarded by connMu
 	connsAccepted, connsRejected, connsClosed uint64
+	// acceptErrors counts listener Accept failures (all of which are now
+	// retried with backoff rather than silently killing the accept loop).
+	// guarded by connMu
+	acceptErrors uint64
 
 	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
 	// nil (one atomic load per query frame) until then.
@@ -93,8 +113,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 30 * time.Second
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = cfg.ReadTimeout
+	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 256
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 1024
 	}
 	mon, err := monitor.New(cfg.Monitor, cfg.OnAlert)
 	if err != nil {
@@ -103,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		mon:      mon,
+		sessions: newSessionTable(cfg.MaxSessions),
 		conns:    make(map[net.Conn]struct{}),
 		shutdown: make(chan struct{}),
 	}, nil
@@ -115,29 +142,52 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	// Registering under connMu orders this against Shutdown: either the
-	// accept loop is accounted in wg before Shutdown closes connections
-	// (so Wait covers it), or shutdown already began and Listen refuses.
-	s.connMu.Lock()
-	down := false
-	select {
-	case <-s.shutdown:
-		down = true
-	default:
-		s.listener = ln
-		s.wg.Add(1)
-	}
-	s.connMu.Unlock()
-	if down {
+	if err := s.Serve(ln); err != nil {
 		_ = ln.Close()
-		return nil, errors.New("server: already shut down")
+		return nil, err
 	}
-	go s.acceptLoop(ln)
 	return ln.Addr(), nil
 }
 
+// Serve starts accepting connections from a caller-provided listener (the
+// seam for wrapped transports, e.g. a faultnet.Listener in chaos tests).
+// Ownership of ln passes to the server: Shutdown closes it. A server serves
+// at most one listener.
+func (s *Server) Serve(ln net.Listener) error {
+	// Registering under connMu orders this against Shutdown: either the
+	// accept loop is accounted in wg before Shutdown closes connections
+	// (so Wait covers it), or shutdown already began and Serve refuses.
+	s.connMu.Lock()
+	var refuse error
+	select {
+	case <-s.shutdown:
+		refuse = errors.New("server: already shut down")
+	default:
+		if s.listener != nil {
+			refuse = errors.New("server: already serving a listener")
+		} else {
+			s.listener = ln
+			s.wg.Add(1)
+		}
+	}
+	s.connMu.Unlock()
+	if refuse != nil {
+		return refuse
+	}
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// acceptBackoff bounds the retry pacing for transient Accept failures
+// (EMFILE, ECONNABORTED, and friends): exponential from 5ms to 1s.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -146,12 +196,32 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				return
 			default:
 			}
+			if errors.Is(err, net.ErrClosed) {
+				// The listener itself is gone; nothing left to accept.
+				return
+			}
+			s.noteAcceptError()
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue
 			}
-			return
+			// Transient resource errors (fd exhaustion, aborted
+			// handshakes) recover; retrying with backoff keeps the
+			// listener alive instead of silently killing it, and the
+			// error counter makes a persistent failure observable.
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-s.shutdown:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		if !s.track(conn) {
 			_ = conn.Close() // over MaxConns (or shutting down)
 			continue
@@ -163,6 +233,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.handle(conn)
 		}()
 	}
+}
+
+// noteAcceptError counts one listener Accept failure.
+func (s *Server) noteAcceptError() {
+	s.connMu.Lock()
+	s.acceptErrors++
+	s.connMu.Unlock()
 }
 
 func (s *Server) track(conn net.Conn) bool {
@@ -190,10 +267,19 @@ func (s *Server) untrack(conn net.Conn) {
 	_ = conn.Close()
 }
 
+// connState is the per-connection protocol state threaded through dispatch.
+type connState struct {
+	// sessionID is the replay session announced by MsgHello (0 before any
+	// handshake). It scopes the dedup lookups for MsgSeqUpdates frames on
+	// this connection.
+	sessionID uint64
+}
+
 // handle runs one connection's request loop.
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	var cs connState
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
@@ -214,7 +300,15 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.noteFrame(typ)
-		if err := s.dispatch(typ, payload, w); err != nil {
+		// Bound the reply write before dispatching: a peer that stops
+		// reading must time the handler out, not park it forever on a
+		// full send buffer.
+		if s.cfg.WriteTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+				return
+			}
+		}
+		if err := s.dispatch(&cs, typ, payload, w); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -236,7 +330,7 @@ func ReadFrameOrShutdown(r *bufio.Reader, shutdown <-chan struct{}) (wire.MsgTyp
 }
 
 // dispatch applies one request frame and writes the reply.
-func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
+func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.Writer) error {
 	switch typ {
 	case wire.MsgUpdates:
 		updates, err := wire.DecodeUpdates(payload)
@@ -247,19 +341,62 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 		// Re-key the wire batch once and hand it to the monitor's batched
 		// path: one monitor lock acquisition and one sketch kernel pass
 		// per frame instead of one per update record.
-		batch := make([]dcs.KeyDelta, 0, len(updates))
-		for _, u := range updates {
-			if u.Delta == 0 {
-				continue
-			}
-			batch = append(batch, dcs.KeyDelta{Key: hashing.PairKey(u.Src, u.Dst), Delta: u.Delta})
-		}
+		batch := rekey(updates)
 		s.mu.Lock()
 		s.mon.UpdateBatch(batch)
 		s.batchesIn++
 		s.updatesIn += uint64(len(batch))
 		s.mu.Unlock()
 		return wire.WriteFrame(w, wire.MsgAck, nil)
+
+	case wire.MsgHello:
+		id, err := wire.DecodeHello(payload)
+		if err != nil {
+			s.noteProtocolError(typ)
+			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+		}
+		s.mu.Lock()
+		sess := s.sessions.lookup(id)
+		lastAcked := sess.lastSeq
+		s.hellosIn++
+		s.mu.Unlock()
+		cs.sessionID = id
+		// Echo the replay horizon: everything at or below lastAcked is
+		// applied and will never be re-applied; the exporter prunes its
+		// spool to it and resends the rest.
+		return wire.WriteFrame(w, wire.MsgHelloAck, wire.AppendHelloAck(nil, lastAcked))
+
+	case wire.MsgSeqUpdates:
+		seq, updates, err := wire.DecodeSeqUpdates(payload)
+		if err != nil {
+			s.noteProtocolError(typ)
+			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+		}
+		if cs.sessionID == 0 {
+			s.noteProtocolError(typ)
+			return wire.WriteFrame(w, wire.MsgError, []byte("sequenced batch before MsgHello handshake"))
+		}
+		// Re-key outside the lock (same as MsgUpdates); for a duplicate
+		// this work is wasted, but duplicates are the rare retry path and
+		// keeping the lock hold identical to the fresh-batch case keeps
+		// sequence handling off the sketch hot path.
+		batch := rekey(updates)
+		s.mu.Lock()
+		sess := s.sessions.lookup(cs.sessionID)
+		s.seqBatchesIn++
+		if seq <= sess.lastSeq {
+			// Already applied: the previous ack was lost. Ack again,
+			// apply nothing — this is the exactly-once half of the
+			// at-least-once retransmission contract.
+			s.dupBatches++
+		} else {
+			s.mon.UpdateBatch(batch)
+			s.batchesIn++
+			s.updatesIn += uint64(len(batch))
+			sess.lastSeq = seq
+		}
+		s.mu.Unlock()
+		return wire.WriteFrame(w, wire.MsgSeqAck, wire.AppendSeqAck(nil, seq))
 
 	case wire.MsgTopKQuery:
 		tel := s.tel.Load()
@@ -312,6 +449,19 @@ func (s *Server) dispatch(typ wire.MsgType, payload []byte, w io.Writer) error {
 	}
 }
 
+// rekey converts a decoded wire batch into the monitor's keyed form,
+// dropping no-op zero deltas.
+func rekey(updates []wire.Update) []dcs.KeyDelta {
+	batch := make([]dcs.KeyDelta, 0, len(updates))
+	for _, u := range updates {
+		if u.Delta == 0 {
+			continue
+		}
+		batch = append(batch, dcs.KeyDelta{Key: hashing.PairKey(u.Src, u.Dst), Delta: u.Delta})
+	}
+	return batch
+}
+
 // noteFrame counts one successfully read frame by type.
 func (s *Server) noteFrame(typ wire.MsgType) {
 	s.mu.Lock()
@@ -355,6 +505,15 @@ type Stats struct {
 	// ProtocolErrors is the total across every error class below
 	// (per-type, unknown, oversized).
 	Updates, Batches, Queries, Sketches, ProtocolErrors uint64
+	// Hellos counts replay handshakes; SeqBatches counts sequenced update
+	// frames received (applied + duplicate); DuplicateBatches counts
+	// retransmissions suppressed by the dedup table (acked, not applied).
+	Hellos, SeqBatches, DuplicateBatches uint64
+	// SessionsActive is the live dedup-table size; SessionsEvicted counts
+	// LRU evictions past the MaxSessions bound (each eviction reopens a
+	// double-apply window for that session's retransmissions).
+	SessionsActive  int
+	SessionsEvicted uint64
 	// FramesByType[t] counts successfully read frames of defined type t
 	// (indexed by wire.MsgType; index 0 is unused).
 	FramesByType [wire.MsgTypeCount]uint64
@@ -371,21 +530,29 @@ type Stats struct {
 	// connection lifecycle events; ConnsActive is the live count.
 	ConnsAccepted, ConnsRejected, ConnsClosed uint64
 	ConnsActive                               int
+	// AcceptErrors counts listener Accept failures; the accept loop
+	// retries them with backoff instead of exiting.
+	AcceptErrors uint64
 }
 
 // Stats returns a consistent snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Updates:         s.updatesIn,
-		Batches:         s.batchesIn,
-		Queries:         s.queriesIn,
-		Sketches:        s.sketchesIn,
-		ProtocolErrors:  s.protocolErrs,
-		FramesByType:    s.framesByType,
-		ErrorsByType:    s.errorsByType,
-		UnknownFrames:   s.unknownFrames,
-		OversizedFrames: s.oversizedFrames,
+		Updates:          s.updatesIn,
+		Batches:          s.batchesIn,
+		Queries:          s.queriesIn,
+		Sketches:         s.sketchesIn,
+		ProtocolErrors:   s.protocolErrs,
+		Hellos:           s.hellosIn,
+		SeqBatches:       s.seqBatchesIn,
+		DuplicateBatches: s.dupBatches,
+		SessionsActive:   s.sessions.len(),
+		SessionsEvicted:  s.sessions.evicted,
+		FramesByType:     s.framesByType,
+		ErrorsByType:     s.errorsByType,
+		UnknownFrames:    s.unknownFrames,
+		OversizedFrames:  s.oversizedFrames,
 	}
 	s.mu.Unlock()
 	s.connMu.Lock()
@@ -393,6 +560,7 @@ func (s *Server) Stats() Stats {
 	st.ConnsRejected = s.connsRejected
 	st.ConnsClosed = s.connsClosed
 	st.ConnsActive = len(s.conns)
+	st.AcceptErrors = s.acceptErrors
 	s.connMu.Unlock()
 	return st
 }
@@ -428,7 +596,7 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("dcsketch_server_sketches_total",
 		"Edge sketches merged.",
 		func() uint64 { return s.Stats().Sketches })
-	for t := wire.MsgUpdates; t <= wire.MsgError; t++ {
+	for t := wire.MsgUpdates; int(t) < wire.MsgTypeCount; t++ {
 		t := t
 		reg.CounterFunc(`dcsketch_server_frames_total{type="`+t.String()+`"}`,
 			"Frames read, by frame type.",
@@ -437,6 +605,24 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 			"Protocol errors, by the frame type that carried them.",
 			func() uint64 { return s.Stats().ErrorsByType[t] })
 	}
+	reg.CounterFunc("dcsketch_server_hellos_total",
+		"Replay-session handshakes (MsgHello) accepted.",
+		func() uint64 { return s.Stats().Hellos })
+	reg.CounterFunc("dcsketch_server_seq_batches_total",
+		"Sequenced update frames received (applied plus duplicate).",
+		func() uint64 { return s.Stats().SeqBatches })
+	reg.CounterFunc("dcsketch_server_duplicate_batches_total",
+		"Retransmitted batches suppressed by the replay dedup table.",
+		func() uint64 { return s.Stats().DuplicateBatches })
+	reg.GaugeFunc("dcsketch_server_sessions_active",
+		"Live replay sessions in the dedup table.",
+		func() int64 { return int64(s.Stats().SessionsActive) })
+	reg.CounterFunc("dcsketch_server_sessions_evicted_total",
+		"Replay sessions LRU-evicted past the MaxSessions bound.",
+		func() uint64 { return s.Stats().SessionsEvicted })
+	reg.CounterFunc("dcsketch_server_accept_errors_total",
+		"Listener accept failures (retried with backoff).",
+		func() uint64 { return s.Stats().AcceptErrors })
 	reg.CounterFunc("dcsketch_server_unknown_frames_total",
 		"Frames with an undefined type byte.",
 		func() uint64 { return s.Stats().UnknownFrames })

@@ -1,0 +1,68 @@
+package server
+
+import "container/list"
+
+// session is one exporter replay session's dedup state: the highest batch
+// sequence already applied into the shared sketch. A MsgSeqUpdates frame
+// whose sequence is at or below lastSeq has already been applied — it is
+// acked again (the first ack was evidently lost) but not re-applied, which
+// is what turns the exporter's at-least-once retransmission into
+// exactly-once application. Sequences are strictly increasing per session;
+// gaps are legal (the exporter sheds spooled batches under pressure and
+// skips their sequences).
+type session struct {
+	id      uint64
+	lastSeq uint64
+}
+
+// sessionTable is the bounded, LRU-evicted dedup table mapping session IDs
+// to their replay state. It is not self-locking: the server accesses it
+// under the same mutex that guards the sketch, so the dedup check, the
+// batch application, and the lastSeq advance are one atomic step.
+//
+// The bound is the correctness horizon: while at most max sessions are
+// live, dedup state is never lost. Past that, the least-recently-used
+// session's state is evicted, and a retransmission arriving after eviction
+// would be applied again (the table trades unbounded memory for a bounded,
+// observable risk window — evictions are counted and exported).
+type sessionTable struct {
+	max int
+	// ll orders sessions most-recently-used first; elements hold *session.
+	ll *list.List
+	m  map[uint64]*list.Element
+
+	evicted uint64
+}
+
+// newSessionTable returns a table bounded to max sessions (clamped to 1).
+func newSessionTable(max int) *sessionTable {
+	if max < 1 {
+		max = 1
+	}
+	return &sessionTable{
+		max: max,
+		ll:  list.New(),
+		m:   make(map[uint64]*list.Element, max),
+	}
+}
+
+// lookup returns the session for id, creating it (and evicting the LRU
+// entry past the bound) if needed, and marks it most recently used.
+func (t *sessionTable) lookup(id uint64) *session {
+	if el, ok := t.m[id]; ok {
+		t.ll.MoveToFront(el)
+		return el.Value.(*session)
+	}
+	for t.ll.Len() >= t.max {
+		oldest := t.ll.Back()
+		t.ll.Remove(oldest)
+		delete(t.m, oldest.Value.(*session).id)
+		t.evicted++
+	}
+	s := &session{id: id}
+	t.m[id] = t.ll.PushFront(s)
+	return s
+}
+
+// len returns the number of live sessions.
+func (t *sessionTable) len() int { return t.ll.Len() }

@@ -63,3 +63,43 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(AppendHello(nil, 1))
+	f.Add(AppendHello(nil, ^uint64(0)))
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		if id == 0 {
+			t.Fatal("zero session ID decoded without error")
+		}
+		again, err := DecodeHello(AppendHello(nil, id))
+		if err != nil || again != id {
+			t.Fatalf("re-decode: (%d, %v), want %d", again, err, id)
+		}
+	})
+}
+
+func FuzzDecodeSeqUpdates(f *testing.F) {
+	f.Add(AppendSeqUpdates(nil, 1, []Update{{1, 2, 1}, {3, 4, -1}}))
+	f.Add([]byte{0})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, ups, err := DecodeSeqUpdates(data)
+		if err != nil {
+			return
+		}
+		if seq == 0 {
+			t.Fatal("zero sequence decoded without error")
+		}
+		seq2, again, err := DecodeSeqUpdates(AppendSeqUpdates(nil, seq, ups))
+		if err != nil || seq2 != seq || len(again) != len(ups) {
+			t.Fatalf("re-decode failed: (%d, %d updates, %v)", seq2, len(again), err)
+		}
+	})
+}

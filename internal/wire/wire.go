@@ -10,13 +10,24 @@
 //
 // Payload encodings are varint-based and delta-friendly:
 //
-//	MsgUpdates:   count, then per update: src u32, dst u32 (fixed LE),
-//	              delta zigzag varint
-//	MsgTopKQuery: k uvarint
-//	MsgTopKReply: count, then per entry: dest u32 LE, frequency uvarint
-//	MsgSketch:    an encoded sketch (dcs wire format) for merging
-//	MsgAck:       empty
-//	MsgError:     UTF-8 message
+//	MsgUpdates:    count, then per update: src u32, dst u32 (fixed LE),
+//	               delta zigzag varint
+//	MsgTopKQuery:  k uvarint
+//	MsgTopKReply:  count, then per entry: dest u32 LE, frequency uvarint
+//	MsgSketch:     an encoded sketch (dcs wire format) for merging
+//	MsgAck:        empty
+//	MsgError:      UTF-8 message
+//	MsgHello:      version uvarint (currently 1), session ID u64 LE
+//	MsgHelloAck:   last-acked sequence uvarint
+//	MsgSeqUpdates: sequence uvarint, then the MsgUpdates encoding
+//	MsgSeqAck:     acked sequence uvarint
+//
+// MsgHello/MsgSeqUpdates are the replay handshake spoken by resilient
+// exporters (internal/export): an exporter announces a nonzero session ID,
+// the server echoes the highest sequence it has applied for that session,
+// and every subsequent batch carries a strictly increasing sequence so a
+// batch retried after a lost ack is acked but not re-applied. Sequence-less
+// MsgUpdates remains valid and unchanged for old clients.
 package wire
 
 import (
@@ -38,12 +49,16 @@ const (
 	MsgSketch
 	MsgAck
 	MsgError
+	MsgHello
+	MsgHelloAck
+	MsgSeqUpdates
+	MsgSeqAck
 )
 
 // MsgTypeCount is one past the highest defined MsgType, sized for indexing
 // per-type counter arrays (index 0 is unused; unknown types are counted
 // separately by their consumers).
-const MsgTypeCount = int(MsgError) + 1
+const MsgTypeCount = int(MsgSeqAck) + 1
 
 // String returns the lowercase frame-type name used in telemetry labels.
 func (t MsgType) String() string {
@@ -60,6 +75,14 @@ func (t MsgType) String() string {
 		return "ack"
 	case MsgError:
 		return "error"
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello_ack"
+	case MsgSeqUpdates:
+		return "seq_updates"
+	case MsgSeqAck:
+		return "seq_ack"
 	}
 	return "unknown"
 }
@@ -227,4 +250,88 @@ func DecodeTopKReply(payload []byte) ([]TopKEntry, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(payload))
 	}
 	return out, nil
+}
+
+// HelloVersion is the current replay-handshake protocol version.
+const HelloVersion = 1
+
+// AppendHello encodes a MsgHello payload announcing a replay session.
+// Session IDs must be nonzero (zero means "no session" server-side).
+func AppendHello(buf []byte, sessionID uint64) []byte {
+	buf = binary.AppendUvarint(buf, HelloVersion)
+	return binary.LittleEndian.AppendUint64(buf, sessionID)
+}
+
+// DecodeHello decodes a MsgHello payload into its session ID.
+func DecodeHello(payload []byte) (uint64, error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated hello version", ErrMalformed)
+	}
+	if v != HelloVersion {
+		return 0, fmt.Errorf("%w: unsupported hello version %d", ErrMalformed, v)
+	}
+	payload = payload[n:]
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("%w: hello session ID must be 8 bytes, got %d", ErrMalformed, len(payload))
+	}
+	id := binary.LittleEndian.Uint64(payload)
+	if id == 0 {
+		return 0, fmt.Errorf("%w: zero hello session ID", ErrMalformed)
+	}
+	return id, nil
+}
+
+// AppendHelloAck encodes a MsgHelloAck payload: the highest sequence the
+// server has applied (and will never re-apply) for the announced session;
+// zero when the session is new.
+func AppendHelloAck(buf []byte, lastAcked uint64) []byte {
+	return binary.AppendUvarint(buf, lastAcked)
+}
+
+// DecodeHelloAck decodes a MsgHelloAck payload.
+func DecodeHelloAck(payload []byte) (uint64, error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, fmt.Errorf("%w: bad hello ack", ErrMalformed)
+	}
+	return seq, nil
+}
+
+// AppendSeqUpdates encodes a MsgSeqUpdates payload: a batch sequence number
+// (strictly increasing per session, starting at 1) followed by the
+// MsgUpdates encoding.
+func AppendSeqUpdates(buf []byte, seq uint64, updates []Update) []byte {
+	buf = binary.AppendUvarint(buf, seq)
+	return AppendUpdates(buf, updates)
+}
+
+// DecodeSeqUpdates decodes a MsgSeqUpdates payload.
+func DecodeSeqUpdates(payload []byte) (uint64, []Update, error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated sequence", ErrMalformed)
+	}
+	if seq == 0 {
+		return 0, nil, fmt.Errorf("%w: zero batch sequence", ErrMalformed)
+	}
+	updates, err := DecodeUpdates(payload[n:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, updates, nil
+}
+
+// AppendSeqAck encodes a MsgSeqAck payload carrying the acked sequence.
+func AppendSeqAck(buf []byte, seq uint64) []byte {
+	return binary.AppendUvarint(buf, seq)
+}
+
+// DecodeSeqAck decodes a MsgSeqAck payload.
+func DecodeSeqAck(payload []byte) (uint64, error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, fmt.Errorf("%w: bad sequence ack", ErrMalformed)
+	}
+	return seq, nil
 }

@@ -134,6 +134,95 @@ func TestTopKReplyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 42, 1 << 63, ^uint64(0)} {
+		got, err := DecodeHello(AppendHello(nil, id))
+		if err != nil || got != id {
+			t.Fatalf("id=%d: (%d,%v)", id, got, err)
+		}
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"zero session":   AppendHello(nil, 0),
+		"bad version":    append([]byte{2}, AppendHello(nil, 7)[1:]...),
+		"short session":  {1, 1, 2, 3},
+		"trailing bytes": append(AppendHello(nil, 7), 0xee),
+		"version only":   {1},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeHello(payload); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 999, 1 << 50} {
+		got, err := DecodeHelloAck(AppendHelloAck(nil, seq))
+		if err != nil || got != seq {
+			t.Fatalf("seq=%d: (%d,%v)", seq, got, err)
+		}
+	}
+	if _, err := DecodeHelloAck(nil); err == nil {
+		t.Error("empty hello ack accepted")
+	}
+	if _, err := DecodeHelloAck(append(AppendHelloAck(nil, 1), 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSeqUpdatesRoundTrip(t *testing.T) {
+	in := []Update{{Src: 1, Dst: 2, Delta: 1}, {Src: 3, Dst: 4, Delta: -1}}
+	for _, seq := range []uint64{1, 128, 1 << 40} {
+		gotSeq, out, err := DecodeSeqUpdates(AppendSeqUpdates(nil, seq, in))
+		if err != nil || gotSeq != seq || len(out) != len(in) {
+			t.Fatalf("seq=%d: (%d,%v,%v)", seq, gotSeq, out, err)
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("update %d: %+v vs %+v", i, in[i], out[i])
+			}
+		}
+	}
+	if _, _, err := DecodeSeqUpdates(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, err := DecodeSeqUpdates(AppendSeqUpdates(nil, 0, in)); err == nil {
+		t.Error("zero sequence accepted")
+	}
+	if _, _, err := DecodeSeqUpdates(append(AppendSeqUpdates(nil, 5, in), 0xee)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSeqAckRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 77, 1 << 60} {
+		got, err := DecodeSeqAck(AppendSeqAck(nil, seq))
+		if err != nil || got != seq {
+			t.Fatalf("seq=%d: (%d,%v)", seq, got, err)
+		}
+	}
+	if _, err := DecodeSeqAck(nil); err == nil {
+		t.Error("empty seq ack accepted")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	// Every defined type must have a distinct non-"unknown" telemetry label;
+	// one past the last must not.
+	seen := map[string]bool{}
+	for typ := MsgUpdates; int(typ) < MsgTypeCount; typ++ {
+		s := typ.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("type %d label %q (unknown or duplicate)", typ, s)
+		}
+		seen[s] = true
+	}
+	if MsgType(MsgTypeCount).String() != "unknown" {
+		t.Fatalf("type %d should be unknown", MsgTypeCount)
+	}
+}
+
 func TestEmptyBatches(t *testing.T) {
 	out, err := DecodeUpdates(AppendUpdates(nil, nil))
 	if err != nil || len(out) != 0 {
