@@ -25,11 +25,19 @@ check() {
 	go vet ./...
 	# sketchlint enforces the sketch invariants the type system cannot:
 	# same-seed merges, '// guarded by' mutex discipline, handled wire
-	# errors, the ±1 delta discipline, and the hot-path contracts
+	# errors, the ±1 delta discipline, the hot-path contracts
 	# (//lint:allocfree call graphs, //lint:scratch escape hygiene,
-	# sync.Pool Get/Put balance). See DESIGN.md. The run must be
-	# self-clean: zero unsuppressed diagnostics over the whole module.
+	# sync.Pool Get/Put balance), and the concurrency contracts
+	# (lockorder acquisition cycles, goroleak goroutine joins,
+	# atomicfield atomics discipline, msgexhaustive wire coverage).
+	# See DESIGN.md. The run must be self-clean: zero unsuppressed
+	# diagnostics over the whole module.
 	go run ./cmd/sketchlint ./...
+	# Suppression inventory: per-analyzer finding/suppression counts and
+	# timings from the -json trailer, so every //lint: escape hatch in
+	# the tree stays visible in the CI log instead of rotting silently.
+	echo "sketchlint suppression inventory (findings/suppressed/elapsed per analyzer):"
+	go run ./cmd/sketchlint -json ./... | grep '"summary":true'
 	# escapecheck ground-truths //lint:allocfree against the compiler's
 	# escape analysis, and -require pins the annotations on the update
 	# kernels so deleting one fails here instead of shrinking the proof.
@@ -56,12 +64,18 @@ check() {
 	# Runtime invariant assertions (counter non-negativity, tracking/
 	# counter consistency) compiled in via the dcsdebug build tag.
 	go test -tags dcsdebug ./internal/dcs ./internal/tdcs
+	# ...and the same assertions under the race detector, so a data race
+	# on a counter cannot masquerade as an invariant violation.
+	go test -race -tags dcsdebug ./internal/dcs ./internal/tdcs
 	# Fuzz smoke: a short budget per representative target catches
 	# decoder and routing regressions without holding CI hostage.
 	go test -fuzz='^FuzzUnmarshalBinary$' -fuzztime=10s ./internal/dcs
 	go test -fuzz='^FuzzShardRouting$' -fuzztime=10s ./internal/pipeline
 	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzDecodeHello$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzDecodeUpdates$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzDecodeTopKReply$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzDecodeSeqUpdates$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
 	go test -fuzz='^FuzzDirectiveParse$' -fuzztime=10s ./internal/analysis
 	go test -fuzz='^FuzzWritePrometheus$' -fuzztime=10s ./internal/telemetry

@@ -101,8 +101,7 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dsrv := &http.Server{Handler: mux}
-		go func() { _ = dsrv.Serve(ln) }()
-		defer dsrv.Close()
+		defer serveDebug(dsrv, ln)()
 		debugAddr = ln.Addr()
 		fmt.Printf("telemetry on http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof)\n", debugAddr)
 	}
@@ -127,6 +126,22 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 		case <-tick:
 			printStatus(srv, *k)
 		}
+	}
+}
+
+// serveDebug serves the telemetry mux on ln in the background and returns a
+// stop function that closes the server and then waits for the serve
+// goroutine to exit, so a graceful shutdown never strands the acceptor
+// mid-request.
+func serveDebug(dsrv *http.Server, ln net.Listener) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = dsrv.Serve(ln)
+	}()
+	return func() {
+		_ = dsrv.Close()
+		<-done
 	}
 }
 

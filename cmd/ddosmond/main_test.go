@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net"
+	"net/http"
 	"os"
 	"testing"
 	"time"
@@ -22,6 +24,41 @@ func TestRunStartsAndStops(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not stop")
+	}
+}
+
+// TestServeDebugJoins pins the debug server's shutdown contract: stop must
+// not return until the background Serve goroutine has exited. Regression
+// test for the leak where run spawned Serve with no join and Close raced
+// process teardown.
+func TestServeDebugJoins(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrv := &http.Server{Handler: http.NewServeMux()}
+	stop := serveDebug(dsrv, ln)
+
+	// The server must actually be accepting before we stop it.
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("debug server not accepting: %v", err)
+	}
+	conn.Close()
+
+	done := make(chan struct{})
+	go func() {
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not join the serve goroutine")
+	}
+	// After stop, the listener is closed: Serve returned, not abandoned.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after stop")
 	}
 }
 

@@ -1,14 +1,18 @@
 // Command sketchlint is the project's static-analysis driver: a
-// multichecker running the seven dcsketch invariant analyzers over the whole
-// module.
+// multichecker running the eleven dcsketch invariant analyzers over the
+// whole module.
 //
-//	seedcompat   sketch Merge/Subtract/Fold operands must share one Config/seed
-//	lockcheck    '// guarded by <mu>' fields need the named mutex held
-//	wireerr      no discarded errors on the wire path
-//	deltasign    no raw integer→int64 delta conversions into Update APIs
-//	allocfree    //lint:allocfree functions stay allocation-free over their call graph
-//	scratchsafe  //lint:scratch buffers must not escape their owner
-//	poolcheck    sync.Pool Get/Put balance and length-reset discipline
+//	seedcompat     sketch Merge/Subtract/Fold operands must share one Config/seed
+//	lockcheck      '// guarded by <mu>' fields need the named mutex held
+//	wireerr        no discarded errors on the wire path
+//	deltasign      no raw integer→int64 delta conversions into Update APIs
+//	allocfree      //lint:allocfree functions stay allocation-free over their call graph
+//	scratchsafe    //lint:scratch buffers must not escape their owner
+//	poolcheck      sync.Pool Get/Put balance and length-reset discipline
+//	lockorder      no cyclic lock acquisition; //lint:lockorder pins declare the order
+//	goroleak       every go spawn needs a provable join or shutdown path
+//	atomicfield    sync/atomic fields are never accessed plainly and stay aligned
+//	msgexhaustive  every wire MsgType is encoded, decoded, tested, printed, routed
 //
 // Usage:
 //
@@ -20,7 +24,9 @@
 // is 1 when any unsuppressed diagnostic is reported (the CI `check` target
 // treats that as failure). With -json, every diagnostic — suppressed ones
 // included, flagged "suppressed": true — is emitted as one JSON object per
-// line, keeping the module's suppression inventory machine-auditable. The
+// line, keeping the module's suppression inventory machine-auditable; after
+// the diagnostics, one summary object per analyzer ("summary": true) reports
+// its package count, finding and suppression tallies, and elapsed time. The
 // //lint: escape hatches and markers are documented in DESIGN.md and the
 // internal/analysis package doc.
 package main
@@ -33,11 +39,16 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dcsketch/internal/analysis"
 	"dcsketch/internal/analysis/allocfree"
+	"dcsketch/internal/analysis/atomicfield"
 	"dcsketch/internal/analysis/deltasign"
+	"dcsketch/internal/analysis/goroleak"
 	"dcsketch/internal/analysis/lockcheck"
+	"dcsketch/internal/analysis/lockorder"
+	"dcsketch/internal/analysis/msgexhaustive"
 	"dcsketch/internal/analysis/poolcheck"
 	"dcsketch/internal/analysis/scratchsafe"
 	"dcsketch/internal/analysis/seedcompat"
@@ -53,6 +64,10 @@ var analyzers = []*analysis.Analyzer{
 	allocfree.Analyzer,
 	scratchsafe.Analyzer,
 	poolcheck.Analyzer,
+	lockorder.Analyzer,
+	goroleak.Analyzer,
+	atomicfield.Analyzer,
+	msgexhaustive.Analyzer,
 }
 
 func main() {
@@ -72,6 +87,25 @@ type jsonDiagnostic struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
+// jsonSummary is the -json per-analyzer trailer: counts and timing for the
+// suppression inventory (one object per analyzer, after all diagnostics).
+type jsonSummary struct {
+	Summary    bool    `json:"summary"` // always true, distinguishes the trailer
+	Analyzer   string  `json:"analyzer"`
+	Packages   int     `json:"packages"`
+	Findings   int     `json:"findings"` // unsuppressed diagnostics
+	Suppressed int     `json:"suppressed"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// analyzerStats accumulates one analyzer's counters across packages.
+type analyzerStats struct {
+	packages   int
+	findings   int
+	suppressed int
+	elapsed    time.Duration
+}
+
 // run executes the multichecker and returns the process exit code: 0 clean,
 // 1 when unsuppressed diagnostics were reported.
 func run(args []string, w io.Writer) (int, error) {
@@ -87,7 +121,7 @@ func run(args []string, w io.Writer) (int, error) {
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(w, "%-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(w, "%-13s %s\n", a.Name, a.Doc)
 		}
 		return 0, nil
 	}
@@ -117,10 +151,19 @@ func run(args []string, w io.Writer) (int, error) {
 	mod := analysis.NewModule(pkgs)
 
 	enc := json.NewEncoder(w)
+	stats := map[string]*analyzerStats{}
 	actionable := 0
 	for _, pkg := range pkgs {
 		for _, a := range suite {
+			st := stats[a.Name]
+			if st == nil {
+				st = &analyzerStats{}
+				stats[a.Name] = st
+			}
+			start := time.Now()
 			ds, err := analysis.Run(a, pkg, mod)
+			st.elapsed += time.Since(start)
+			st.packages++
 			if err != nil {
 				return 2, err
 			}
@@ -133,9 +176,27 @@ func run(args []string, w io.Writer) (int, error) {
 				} else if !d.Suppressed {
 					fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
 				}
-				if !d.Suppressed {
+				if d.Suppressed {
+					st.suppressed++
+				} else {
+					st.findings++
 					actionable++
 				}
+			}
+		}
+	}
+	if *jsonMode {
+		for _, a := range suite {
+			st := stats[a.Name]
+			if err := enc.Encode(jsonSummary{
+				Summary:    true,
+				Analyzer:   a.Name,
+				Packages:   st.packages,
+				Findings:   st.findings,
+				Suppressed: st.suppressed,
+				ElapsedMS:  float64(st.elapsed.Microseconds()) / 1000,
+			}); err != nil {
+				return 2, err
 			}
 		}
 	}

@@ -53,6 +53,39 @@ func TestUnsupportedPattern(t *testing.T) {
 	}
 }
 
+// TestJSONSummaryShape pins the -json trailer contract consumed by ci.sh's
+// suppression-inventory grep: summary objects carry "summary":true plus the
+// per-analyzer counters, and never the diagnostic fields.
+func TestJSONSummaryShape(t *testing.T) {
+	data, err := json.Marshal(jsonSummary{
+		Summary:    true,
+		Analyzer:   "lockorder",
+		Packages:   55,
+		Findings:   1,
+		Suppressed: 2,
+		ElapsedMS:  12.345,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"summary":true`, `"analyzer":"lockorder"`, `"packages":55`, `"findings":1`, `"suppressed":2`, `"elapsed_ms":12.345`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("summary JSON missing %s: %s", key, data)
+		}
+	}
+	var round jsonSummary
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if round != (jsonSummary{Summary: true, Analyzer: "lockorder", Packages: 55, Findings: 1, Suppressed: 2, ElapsedMS: 12.345}) {
+		t.Errorf("jsonSummary round-trip = %+v", round)
+	}
+	// A summary line must be distinguishable from a diagnostic line.
+	if strings.Contains(string(data), `"position"`) || strings.Contains(string(data), `"message"`) {
+		t.Errorf("summary JSON leaks diagnostic fields: %s", data)
+	}
+}
+
 func TestJSONLine(t *testing.T) {
 	d := analysis.Diagnostic{
 		Pos:        token.NoPos,

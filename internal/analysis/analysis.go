@@ -5,11 +5,14 @@
 //
 // An Analyzer inspects one type-checked package at a time through a Pass and
 // reports Diagnostics. The project analyzers live in subpackages (seedcompat,
-// lockcheck, wireerr, deltasign, allocfree, scratchsafe, poolcheck) and are
-// driven over the whole module by cmd/sketchlint; each is unit-tested against
-// golden packages with the analysistest subpackage. Analyzers that reason
-// across package boundaries (allocfree's call-graph proofs) additionally
-// receive a Module index over every loaded package.
+// lockcheck, wireerr, deltasign, allocfree, scratchsafe, poolcheck,
+// lockorder, goroleak, atomicfield, msgexhaustive) and are driven over the
+// whole module by cmd/sketchlint; each is unit-tested against golden
+// packages with the analysistest subpackage. Analyzers that reason across
+// package boundaries (allocfree's call-graph proofs, lockorder's
+// acquisition graph, goroleak's join search, atomicfield's module-wide
+// access scan, msgexhaustive's dispatch scan) additionally receive a Module
+// index over every loaded package.
 //
 // # The //lint: annotation vocabulary
 //
@@ -26,6 +29,12 @@
 //	//lint:allocok   <reason>   suppress an allocfree diagnostic
 //	//lint:scratchok <reason>   suppress a scratchsafe diagnostic
 //	//lint:poolok    <reason>   suppress a poolcheck diagnostic
+//	//lint:orderok   <reason>   suppress a lockorder diagnostic
+//	//lint:daemon    <reason>   the go statement spawns an intentional
+//	                            process-lifetime goroutine (goroleak)
+//	//lint:atomicok  <reason>   suppress an atomicfield diagnostic
+//	//lint:msgok     <reason>   the MsgType constant is asymmetric or
+//	                            untested by design (msgexhaustive)
 //
 // Doc-comment argument directives pass one machine-read argument:
 //
@@ -43,11 +52,19 @@
 //	                          sync.Pool buffer past its return — ownership
 //	                          is handed off (consumed by poolcheck)
 //
-// Struct fields carry one marker:
+// Struct fields and package variables carry declaration markers:
 //
-//	//lint:scratch   the field is owner-private reusable scratch; values
-//	                 derived from it must not escape the owning method
-//	                 (consumed by scratchsafe)
+//	//lint:scratch                  the field is owner-private reusable
+//	                                scratch; values derived from it must
+//	                                not escape the owning method
+//	                                (consumed by scratchsafe)
+//	//lint:lockorder before(<lock>) pins the sanctioned acquisition order
+//	                                for the annotated mutex: acquiring it
+//	                                while <lock> is held is a violation
+//	                                even without a completing cycle. <lock>
+//	                                resolves as field, Type.field, pkg.var,
+//	                                or pkg.Type.field (consumed by
+//	                                lockorder)
 package analysis
 
 import (
@@ -153,6 +170,22 @@ func FileLineDirective(fset *token.FileSet, file *ast.File, pos token.Pos, name 
 		}
 	}
 	return false
+}
+
+// ModulePackages returns every package a module-wide analyzer should index:
+// the full Module when the driver supplies one, otherwise a singleton view
+// of the pass's own package (the isolated-Run fallback).
+func (p *Pass) ModulePackages() []*Package {
+	if p.Module != nil {
+		return p.Module.Packages()
+	}
+	return []*Package{{
+		Path:      p.Pkg.Path(),
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Types:     p.Pkg,
+		TypesInfo: p.TypesInfo,
+	}}
 }
 
 // FileFor returns the *ast.File whose source range contains pos.

@@ -1,0 +1,80 @@
+// Package atomicfield is the golden input for the atomicfield analyzer:
+// mixed atomic/plain access, 64-bit misalignment, discipline conflicts,
+// and suppressions.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes an atomic increment with a plain read.
+type counter struct {
+	hits int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) get() int64 {
+	return c.hits // want `accessed with sync/atomic elsewhere`
+}
+
+// newCounter initializes the field in a composite literal, which happens
+// before publication and is exempt.
+func newCounter() *counter {
+	return &counter{hits: 0}
+}
+
+// approx carries a reviewed suppression for a deliberately racy read.
+func (c *counter) approx() int64 {
+	return c.hits //lint:atomicok approximate read reviewed, staleness is acceptable here
+}
+
+// staleOK carries a suppression on a line with nothing to suppress; the
+// analyzer must stay silent rather than misapply it.
+func (c *counter) staleOK() {
+	atomic.AddInt64(&c.hits, 1) //lint:atomicok nothing is reported on this line
+}
+
+// misaligned puts a 64-bit atomic after a bool: offset 4 under 32-bit
+// layout, where 64-bit atomic access faults or tears.
+type misaligned struct {
+	flag bool
+	n    int64 // want `not 8-byte aligned`
+}
+
+func (m *misaligned) bump() { atomic.AddInt64(&m.n, 1) }
+
+// aligned keeps the 64-bit word first, which is safe on every layout.
+type aligned struct {
+	n    int64
+	flag bool
+}
+
+func (a *aligned) bump() { atomic.AddInt64(&a.n, 1) }
+
+// typed uses the typed atomic wrapper, which the runtime always aligns.
+type typed struct {
+	flag bool
+	n    atomic.Int64
+}
+
+func (t *typed) bump() { t.n.Add(1) }
+
+// mixed declares a lock discipline and then bypasses it atomically.
+type mixed struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int64 // want `mixes '// guarded by mu' locking with sync/atomic access`
+}
+
+func (m *mixed) inc() { atomic.AddInt64(&m.n, 1) }
+
+// total is a package-level variable with the same mixed-access defect.
+var total int64
+
+func addTotal(n int64) { atomic.AddInt64(&total, n) }
+
+func readTotal() int64 {
+	return total // want `accessed with sync/atomic elsewhere`
+}

@@ -1,0 +1,383 @@
+// Package goroleak implements the sketchlint analyzer enforcing goroutine
+// lifecycle discipline: every `go` spawn must have a statically provable
+// join or shutdown path. The seed's own history (the Listen/Shutdown
+// listener races of PR 1) is the motivation — a goroutine nobody joins is
+// a shutdown race or a leak waiting for the next refactor.
+//
+// A spawn is accepted when any of the following holds:
+//
+//   - WaitGroup join: the enclosing function calls wg.Add(...) before the
+//     spawn and the spawned body (transitively through static module
+//     calls) calls Done() on the same WaitGroup.
+//   - Shutdown channel: the spawned body receives from ctx.Done() or from
+//     a channel that some other module code closes or sends to (the
+//     done/shutdown-channel pattern).
+//   - Join channel: the spawned body closes or sends to a channel that
+//     some other module code receives from (the spawner blocks on it).
+//   - //lint:daemon <reason> on the spawn line acknowledges an
+//     intentionally process-lifetime goroutine; like every suppression it
+//     stays in the sketchlint -json inventory.
+//
+// Spawns whose body cannot be resolved statically (function values,
+// interface methods) are reported as such: an unresolvable spawn is
+// unauditable, which is its own finding.
+//
+// The evidence collection is deliberately lenient — a receive anywhere in
+// the spawned body counts, nested function literals are included, and the
+// channel/WaitGroup match is by declared object, not by alias analysis.
+// The analyzer exists to catch goroutines with no lifecycle story at all,
+// not to prove liveness.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the goroleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroleak",
+	Doc:       "every go spawn needs a provable join or shutdown path (WaitGroup, done/ctx channel, or //lint:daemon)",
+	Directive: "daemon",
+	Run:       run,
+}
+
+// summary is the lifecycle-relevant behavior of one function body.
+type summary struct {
+	dones         map[types.Object]bool // WaitGroups this body calls Done() on
+	receives      map[types.Object]bool // channels this body receives from
+	closesOrSends map[types.Object]bool // channels this body closes or sends to
+	ctxDone       bool                  // receives from a context.Context's Done()
+}
+
+func newSummary() *summary {
+	return &summary{
+		dones:         map[types.Object]bool{},
+		receives:      map[types.Object]bool{},
+		closesOrSends: map[types.Object]bool{},
+	}
+}
+
+func (s *summary) merge(o *summary) {
+	if o == nil {
+		return
+	}
+	for k := range o.dones {
+		s.dones[k] = true
+	}
+	for k := range o.receives {
+		s.receives[k] = true
+	}
+	for k := range o.closesOrSends {
+		s.closesOrSends[k] = true
+	}
+	s.ctxDone = s.ctxDone || o.ctxDone
+}
+
+func run(pass *analysis.Pass) error {
+	sc := &scanner{
+		pass:  pass,
+		memo:  map[types.Object]*summary{},
+		state: map[types.Object]int{},
+	}
+	glob := globalChannelFacts(pass.ModulePackages())
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpawns(pass, sc, glob, fn)
+		}
+	}
+	return nil
+}
+
+// globalFacts aggregates channel activity over the whole module, the "some
+// other code closes/receives this channel" side of the shutdown and join
+// rules.
+type globalFacts struct {
+	closedOrSent map[types.Object]bool
+	received     map[types.Object]bool
+}
+
+func globalChannelFacts(pkgs []*analysis.Package) *globalFacts {
+	g := &globalFacts{closedOrSent: map[types.Object]bool{}, received: map[types.Object]bool{}}
+	for _, pkg := range pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isBuiltinClose(info, n) {
+						if obj := chanObj(info, n.Args[0]); obj != nil {
+							g.closedOrSent[obj] = true
+						}
+					}
+				case *ast.SendStmt:
+					if obj := chanObj(info, n.Chan); obj != nil {
+						g.closedOrSent[obj] = true
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if obj := chanObj(info, n.X); obj != nil {
+							g.received[obj] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if isChanType(info.Types[n.X].Type) {
+						if obj := chanObj(info, n.X); obj != nil {
+							g.received[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// checkSpawns finds every go statement under fn (function literals
+// included) and verifies each against the lifecycle rules. The Add-before-
+// spawn scan is scoped to fn's whole body: an Add in the enclosing
+// function counts for a spawn inside one of its literals.
+func checkSpawns(pass *analysis.Pass, sc *scanner, glob *globalFacts, fn *ast.FuncDecl) {
+	type wgAdd struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var adds []wgAdd
+	var spawns []*ast.GoStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = append(spawns, n)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" && len(n.Args) == 1 {
+				if t := pass.TypesInfo.Types[sel.X].Type; t != nil && isWaitGroupType(t) {
+					if obj := chanObj(pass.TypesInfo, sel.X); obj != nil {
+						adds = append(adds, wgAdd{obj, n.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, g := range spawns {
+		sum, resolved := sc.spawnSummary(g)
+		if !resolved {
+			pass.Reportf(g.Pos(), "cannot statically resolve the spawned goroutine body; spawn a named function or method, or annotate //lint:daemon <reason>")
+			continue
+		}
+		joined := sum.ctxDone
+		for _, a := range adds {
+			if !joined && a.pos < g.Pos() && sum.dones[a.obj] {
+				joined = true
+			}
+		}
+		for ch := range sum.receives {
+			if glob.closedOrSent[ch] {
+				joined = true
+			}
+		}
+		for ch := range sum.closesOrSends {
+			if glob.received[ch] {
+				joined = true
+			}
+		}
+		if !joined {
+			pass.Reportf(g.Pos(), "goroutine has no statically provable join or shutdown path (want a matched WaitGroup Add/Done, a done/ctx channel, or //lint:daemon <reason>)")
+		}
+	}
+}
+
+// scanner memoizes per-function lifecycle summaries across the module.
+type scanner struct {
+	pass  *analysis.Pass
+	memo  map[types.Object]*summary
+	state map[types.Object]int // 0 unvisited, 1 in progress, 2 done
+}
+
+// spawnSummary resolves a go statement's body to its summary. resolved is
+// false for dynamic spawns (function values, interface methods).
+func (sc *scanner) spawnSummary(g *ast.GoStmt) (*summary, bool) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return sc.summarizeBody(sc.pass.TypesInfo, lit.Body), true
+	}
+	callee := staticCallee(sc.pass.TypesInfo, g.Call)
+	if callee == nil {
+		return nil, false
+	}
+	if sc.pass.Module.FuncDecl(callee) == nil {
+		// A declared function outside the module (stdlib) has no body to
+		// audit; treat it as unresolvable rather than silently joined.
+		return nil, false
+	}
+	return sc.summarizeFunc(callee), true
+}
+
+// summarizeFunc is the memoized, recursion-guarded form of summarizeBody
+// for declared module functions.
+func (sc *scanner) summarizeFunc(fn types.Object) *summary {
+	switch sc.state[fn] {
+	case 1:
+		return nil // call cycle: the initiator completes the summary
+	case 2:
+		return sc.memo[fn]
+	}
+	sc.state[fn] = 1
+	sum := newSummary()
+	if info := sc.pass.Module.FuncDecl(fn); info != nil && info.Decl.Body != nil {
+		sum = sc.summarizeBody(info.Pkg.TypesInfo, info.Decl.Body)
+	}
+	sc.memo[fn] = sum
+	sc.state[fn] = 2
+	return sum
+}
+
+// summarizeBody collects the lifecycle evidence of one body: Done calls,
+// channel receives, closes and sends, transitively through static module
+// calls. Nested function literals are included (deferred closers count);
+// nested go spawns are not — a grandchild's join does not join the child.
+func (sc *scanner) summarizeBody(info *types.Info, body *ast.BlockStmt) *summary {
+	sum := newSummary()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isBuiltinClose(info, n) {
+				if obj := chanObj(info, n.Args[0]); obj != nil {
+					sum.closesOrSends[obj] = true
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(n.Args) == 0 {
+				if t := info.Types[sel.X].Type; t != nil && isWaitGroupType(t) {
+					if obj := chanObj(info, sel.X); obj != nil {
+						sum.dones[obj] = true
+					}
+					return true
+				}
+			}
+			if callee := staticCallee(info, n); callee != nil {
+				sum.merge(sc.summarizeFunc(callee))
+			}
+		case *ast.SendStmt:
+			if obj := chanObj(info, n.Chan); obj != nil {
+				sum.closesOrSends[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if call, ok := n.X.(*ast.CallExpr); ok && isContextDone(info, call) {
+				sum.ctxDone = true
+				return true
+			}
+			if obj := chanObj(info, n.X); obj != nil {
+				sum.receives[obj] = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(info.Types[n.X].Type) {
+				if obj := chanObj(info, n.X); obj != nil {
+					sum.receives[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// staticCallee resolves a call to the declared function or method it
+// statically invokes, or nil for dynamic calls and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	if _, ok := obj.(*types.Func); !ok {
+		return nil
+	}
+	return obj
+}
+
+// chanObj resolves a channel or WaitGroup expression to its declared
+// variable or field object.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isBuiltinClose recognizes the builtin close(ch).
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isContextDone recognizes ctx.Done() on a context.Context value.
+func isContextDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+		return false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup or a pointer to one.
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isChanType reports whether t is a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "goroleak")
+}

@@ -1,0 +1,131 @@
+// Package goroleak is the golden input for the goroleak analyzer: joined,
+// shut-down, suppressed, and leaked goroutine spawns.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// work spins forever with no join.
+func work() {
+	for {
+	}
+}
+
+func leak() {
+	go work() // want `no statically provable join or shutdown path`
+}
+
+// svc joins its loop through the WaitGroup: Add before the spawn, Done in
+// the spawned body.
+type svc struct {
+	wg sync.WaitGroup
+}
+
+func (s *svc) start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *svc) loop() {
+	defer s.wg.Done()
+}
+
+func (s *svc) wait() { s.wg.Wait() }
+
+// nosvc calls Done in the spawned body but never Adds before the spawn —
+// Wait would not block, so this is not a join.
+type nosvc struct {
+	wg sync.WaitGroup
+}
+
+func (n *nosvc) start() {
+	go n.loop() // want `no statically provable join or shutdown path`
+}
+
+func (n *nosvc) loop() {
+	defer n.wg.Done()
+}
+
+// deepsvc reaches its Done through a helper call, proving the summary
+// follows static module calls.
+type deepsvc struct {
+	wg sync.WaitGroup
+}
+
+func (d *deepsvc) start() {
+	d.wg.Add(1)
+	go d.loop()
+}
+
+func (d *deepsvc) loop() {
+	d.finish()
+}
+
+func (d *deepsvc) finish() {
+	d.wg.Done()
+}
+
+// joinLocal closes a local channel the spawner receives: the join-channel
+// pattern.
+func joinLocal() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// pump drains a channel its Close closes: the shutdown-channel pattern.
+type pump struct {
+	updates chan int
+}
+
+func (p *pump) run() {
+	go p.drain()
+}
+
+func (p *pump) drain() {
+	for range p.updates {
+	}
+}
+
+// Close stops the drain goroutine.
+func (p *pump) Close() {
+	close(p.updates)
+}
+
+// watch selects on the context's done channel.
+func watch(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// launch spawns a function value the analyzer cannot see through.
+func launch(fn func()) {
+	go fn() // want `cannot statically resolve`
+}
+
+// daemonLoop intentionally runs for the whole process lifetime.
+func daemonLoop() {
+	for {
+	}
+}
+
+func startDaemon() {
+	go daemonLoop() //lint:daemon serves for the whole process lifetime
+}
+
+// staleOK carries a suppression on a spawn that is properly joined; the
+// analyzer must stay silent rather than misapply it.
+func staleOK() {
+	done := make(chan struct{})
+	go func() { //lint:daemon stale: this spawn is joined below
+		defer close(done)
+	}()
+	<-done
+}

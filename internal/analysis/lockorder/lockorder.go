@@ -1,0 +1,757 @@
+// Package lockorder implements the sketchlint analyzer enforcing a global
+// lock-acquisition order: it builds an inter-procedural lock-order graph
+// from every mu.Lock()/RLock() call site in the module (following static
+// calls through the Module index) and reports any potential cyclic
+// ordering — the static shadow of an AB/BA deadlock.
+//
+// Locks are identified by their declaration: a sync.Mutex/RWMutex struct
+// field or package-level variable, displayed as pkg.Type.field (or pkg.var).
+// Acquiring lock B while holding lock A records the edge A → B; calling a
+// module function that (transitively) acquires B while holding A records
+// the same edge at the call site. A cycle among those edges means two
+// goroutines can acquire the same locks in opposite orders.
+//
+// The sanctioned order is declared in the lock's declaration comment:
+//
+//	//lint:lockorder before(<lock>)
+//
+// pins "this lock is acquired before <lock>". <lock> is resolved as a
+// sibling field name, Type.field, or pkg.Type.field. An observed edge that
+// contradicts a pin is reported at the acquisition site even when the graph
+// has no full cycle yet, so the first inverted acquisition fails CI rather
+// than the second.
+//
+// Deliberate imprecision, tuned against false positives: function literals
+// are analyzed as independent roots (callbacks and deferred closures run
+// with their own lock context, not the registrar's), goroutine spawns do
+// not propagate the spawner's held set (the child runs concurrently, so
+// "held at spawn" is not an ordering), and the walk is flow-insensitive
+// across branches exactly like lockcheck. //lint:orderok on the acquisition
+// line suppresses a reviewed finding.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "build the module's lock-acquisition graph and report cyclic orderings and //lint:lockorder pin violations",
+	Directive: "orderok",
+	Run:       run,
+}
+
+// lock is one module lock: a mutex-typed struct field or package variable.
+type lock struct {
+	obj     types.Object
+	pkg     string // package name (not path), for display and pin resolution
+	typ     string // owning type name, "" for package-level variables
+	field   string // field or variable name
+	display string // pkg.typ.field or pkg.field
+	pos     token.Pos
+}
+
+// pinDecl is one parsed //lint:lockorder before(<ref>) directive.
+type pinDecl struct {
+	owner *lock
+	ref   string // the <ref> inside before(...), "" when malformed
+	pos   token.Pos
+}
+
+// edge records one observed ordering: to was acquired while from was held.
+// via names the called function when the acquisition is transitive.
+type edge struct {
+	from, to types.Object
+	pos      token.Pos
+	via      string
+}
+
+func run(pass *analysis.Pass) error {
+	pkgs := pass.ModulePackages()
+	locks, pins := collectLocks(pkgs)
+	if len(locks) == 0 {
+		return nil
+	}
+	b := &builder{
+		pass:    pass,
+		locks:   locks,
+		acquire: map[types.Object]map[types.Object]bool{},
+		state:   map[types.Object]int{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					b.analyzeFunc(pkg, fn)
+				}
+			}
+		}
+	}
+	report(pass, locks, pins, b.edges)
+	return nil
+}
+
+// collectLocks indexes every mutex-typed struct field and package-level
+// variable in the module, together with their //lint:lockorder pins.
+func collectLocks(pkgs []*analysis.Package) (map[types.Object]*lock, []pinDecl) {
+	locks := map[types.Object]*lock{}
+	var pins []pinDecl
+	addPins := func(l *lock, groups ...*ast.CommentGroup) {
+		for _, cg := range groups {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				d, ok := analysis.ParseDirective(c.Text)
+				if !ok || d.Name != "lockorder" {
+					continue
+				}
+				pins = append(pins, pinDecl{owner: l, ref: pinRef(d.Args), pos: l.pos})
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeSpec:
+					st, ok := n.Type.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							obj := pkg.TypesInfo.Defs[name]
+							if obj == nil || !isMutexType(obj.Type()) {
+								continue
+							}
+							l := &lock{
+								obj: obj, pkg: pkg.Types.Name(), typ: n.Name.Name,
+								field:   name.Name,
+								display: pkg.Types.Name() + "." + n.Name.Name + "." + name.Name,
+								pos:     name.Pos(),
+							}
+							locks[obj] = l
+							addPins(l, field.Doc, field.Comment)
+						}
+					}
+				case *ast.GenDecl:
+					if n.Tok != token.VAR {
+						return true
+					}
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							obj := pkg.TypesInfo.Defs[name]
+							if obj == nil || !isMutexType(obj.Type()) {
+								continue
+							}
+							// Only package-level variables name module locks;
+							// locals are invisible outside their function.
+							if v, isVar := obj.(*types.Var); !isVar || v.Parent() != pkg.Types.Scope() {
+								continue
+							}
+							l := &lock{
+								obj: obj, pkg: pkg.Types.Name(), field: name.Name,
+								display: pkg.Types.Name() + "." + name.Name,
+								pos:     name.Pos(),
+							}
+							locks[obj] = l
+							addPins(l, n.Doc, vs.Doc, vs.Comment)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return locks, pins
+}
+
+// pinRef extracts <ref> from a "before(<ref>)" argument, or "" when the
+// directive is malformed.
+func pinRef(args []string) string {
+	if len(args) != 1 {
+		return ""
+	}
+	inner, ok := strings.CutPrefix(args[0], "before(")
+	if !ok {
+		return ""
+	}
+	inner, ok = strings.CutSuffix(inner, ")")
+	if !ok || inner == "" {
+		return ""
+	}
+	return inner
+}
+
+// resolveRef resolves a pin reference against the module's locks:
+// "field" (sibling first, then unique module-wide), "Type.field", or
+// "pkg.Type.field" ("pkg.var" for package variables). The error string is
+// non-empty when the reference is unknown or ambiguous.
+func resolveRef(locks map[types.Object]*lock, owner *lock, ref string) (*lock, string) {
+	parts := strings.Split(ref, ".")
+	ordered := sortedLocks(locks)
+	var matches []*lock
+	match := func(cond func(*lock) bool) {
+		matches = matches[:0]
+		for _, l := range ordered {
+			if l.obj != owner.obj && cond(l) {
+				matches = append(matches, l)
+			}
+		}
+	}
+	switch len(parts) {
+	case 1:
+		// Sibling fields of the owning type shadow the module-wide name.
+		match(func(l *lock) bool {
+			return l.pkg == owner.pkg && l.typ == owner.typ && l.field == parts[0]
+		})
+		if len(matches) == 1 {
+			return matches[0], ""
+		}
+		match(func(l *lock) bool { return l.field == parts[0] })
+	case 2:
+		match(func(l *lock) bool {
+			return (l.typ == parts[0] && l.field == parts[1]) ||
+				(l.typ == "" && l.pkg == parts[0] && l.field == parts[1])
+		})
+	case 3:
+		match(func(l *lock) bool {
+			return l.pkg == parts[0] && l.typ == parts[1] && l.field == parts[2]
+		})
+	default:
+		return nil, fmt.Sprintf("//lint:lockorder pin names unknown lock %q", ref)
+	}
+	switch len(matches) {
+	case 0:
+		return nil, fmt.Sprintf("//lint:lockorder pin names unknown lock %q", ref)
+	case 1:
+		return matches[0], ""
+	}
+	names := make([]string, len(matches))
+	for i, m := range matches {
+		names[i] = m.display
+	}
+	return nil, fmt.Sprintf("//lint:lockorder pin %q is ambiguous (matches %s)", ref, strings.Join(names, ", "))
+}
+
+// sortedLocks returns the locks in deterministic display order.
+func sortedLocks(locks map[types.Object]*lock) []*lock {
+	out := make([]*lock, 0, len(locks))
+	for _, l := range locks {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].display < out[j].display })
+	return out
+}
+
+// builder accumulates ordering edges over every function body of the module.
+type builder struct {
+	pass  *analysis.Pass
+	locks map[types.Object]*lock
+	edges []edge
+
+	// acquire memoizes, per module function, the set of locks its body (and
+	// transitively its static module callees) acquires. state guards against
+	// recursion through call cycles: 0 unvisited, 1 in progress, 2 done.
+	acquire map[types.Object]map[types.Object]bool
+	state   map[types.Object]int
+}
+
+// analyzeFunc walks one declared function, seeding held state from a
+// "//lint:locked <mu>" doc directive (the caller-holds contract lockcheck
+// already understands).
+func (b *builder) analyzeFunc(pkg *analysis.Package, fn *ast.FuncDecl) {
+	held := map[types.Object]int{}
+	if mu, ok := analysis.DocDirectiveArg(fn.Doc, "locked"); ok {
+		if obj := receiverField(pkg, fn, mu); obj != nil {
+			if _, known := b.locks[obj]; known {
+				held[obj]++
+			}
+		}
+	}
+	b.analyzeBody(pkg, fn.Body, held)
+}
+
+// analyzeBody walks a body in source order, maintaining the held multiset
+// and recording ordering edges. Function literals are queued as fresh roots:
+// they run with their own lock context (callbacks, deferred closures), so
+// inheriting the enclosing holds would fabricate edges.
+func (b *builder) analyzeBody(pkg *analysis.Package, body *ast.BlockStmt, held map[types.Object]int) {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.GoStmt:
+			// The spawned goroutine runs concurrently; the spawner's held
+			// set is not an ordering constraint on it. Literal bodies are
+			// still analyzed as roots via the queue.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+				return false
+			}
+			// A deferred Lock acquires at exit while everything still held
+			// here is held; a deferred Unlock releases at exit, so it must
+			// not decrement mid-body.
+			if obj, op, ok := b.lockCall(pkg, n.Call); ok {
+				if op == "Lock" || op == "RLock" {
+					b.recordAcquire(held, obj, n.Call.Pos())
+				}
+				return false
+			}
+			b.callEdges(pkg, n.Call, held)
+			return false
+		case *ast.CallExpr:
+			if obj, op, ok := b.lockCall(pkg, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					b.recordAcquire(held, obj, n.Pos())
+				case "Unlock", "RUnlock":
+					if held[obj] > 0 {
+						held[obj]--
+					}
+				}
+				return false
+			}
+			b.callEdges(pkg, n, held)
+		}
+		return true
+	})
+	for _, lit := range lits {
+		b.analyzeBody(pkg, lit.Body, map[types.Object]int{})
+	}
+}
+
+// recordAcquire registers the edges implied by acquiring obj under held,
+// then marks it held.
+func (b *builder) recordAcquire(held map[types.Object]int, obj types.Object, pos token.Pos) {
+	if held[obj] > 0 {
+		b.edges = append(b.edges, edge{from: obj, to: obj, pos: pos})
+	} else {
+		for h, n := range held {
+			if n > 0 {
+				b.edges = append(b.edges, edge{from: h, to: obj, pos: pos})
+			}
+		}
+	}
+	held[obj]++
+}
+
+// callEdges records edges for a static call to a module function that
+// (transitively) acquires locks while the caller holds some.
+func (b *builder) callEdges(pkg *analysis.Package, call *ast.CallExpr, held map[types.Object]int) {
+	if !anyHeld(held) {
+		return
+	}
+	callee := staticCallee(pkg.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	acquired := b.transAcquires(callee)
+	if len(acquired) == 0 {
+		return
+	}
+	via := qualifiedName(callee)
+	for _, obj := range sortedObjs(acquired, b.locks) {
+		if held[obj] > 0 {
+			b.edges = append(b.edges, edge{from: obj, to: obj, pos: call.Pos(), via: via})
+			continue
+		}
+		for h, n := range held {
+			if n > 0 {
+				b.edges = append(b.edges, edge{from: h, to: obj, pos: call.Pos(), via: via})
+			}
+		}
+	}
+}
+
+// anyHeld reports whether the multiset holds any lock.
+func anyHeld(held map[types.Object]int) bool {
+	for _, n := range held {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// transAcquires returns the set of module locks fn (or any static module
+// callee, transitively) acquires. Function literals and goroutine spawns
+// inside fn are excluded: the former run in a different lock context, the
+// latter concurrently.
+func (b *builder) transAcquires(fn types.Object) map[types.Object]bool {
+	if b.state[fn] == 1 {
+		return nil // recursion through a call cycle: the initiator finishes the set
+	}
+	if b.state[fn] == 2 {
+		return b.acquire[fn]
+	}
+	b.state[fn] = 1
+	set := map[types.Object]bool{}
+	if info := b.pass.Module.FuncDecl(fn); info != nil && info.Decl.Body != nil {
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if obj, op, ok := b.lockCall(info.Pkg, n); ok {
+					if op == "Lock" || op == "RLock" {
+						set[obj] = true
+					}
+					return false
+				}
+				if callee := staticCallee(info.Pkg.TypesInfo, n); callee != nil {
+					for obj := range b.transAcquires(callee) {
+						set[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	b.acquire[fn] = set
+	b.state[fn] = 2
+	return set
+}
+
+// lockCall recognizes <expr>.Lock/Unlock/RLock/RUnlock() on a module lock
+// and returns the lock object and operation.
+func (b *builder) lockCall(pkg *analysis.Package, call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	t := pkg.TypesInfo.Types[sel.X].Type
+	if t == nil || !isMutexType(t) {
+		return nil, "", false
+	}
+	obj := lockObj(pkg.TypesInfo, sel.X)
+	if obj == nil {
+		return nil, "", false
+	}
+	if _, known := b.locks[obj]; !known {
+		return nil, "", false
+	}
+	return obj, op, true
+}
+
+// lockObj resolves the mutex expression of a lock call to its declared
+// field or variable object.
+func lockObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// staticCallee resolves a call to the declared function or method object it
+// statically invokes, or nil for dynamic calls (function values, interface
+// methods) and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	if _, ok := obj.(*types.Func); !ok {
+		return nil
+	}
+	return obj
+}
+
+// receiverField resolves a field name against fn's receiver struct type.
+func receiverField(pkg *analysis.Package, fn *ast.FuncDecl, name string) types.Object {
+	fobj, ok := pkg.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fobj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// qualifiedName renders a function object as pkg.Name or pkg.Type.Name.
+func qualifiedName(fn types.Object) string {
+	name := fn.Name()
+	if f, ok := fn.(*types.Func); ok {
+		if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// sortedObjs orders a lock set by display name for deterministic edges.
+func sortedObjs(set map[types.Object]bool, locks map[types.Object]*lock) []types.Object {
+	out := make([]types.Object, 0, len(set))
+	for obj := range set {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return locks[out[i]].display < locks[out[j]].display })
+	return out
+}
+
+// report classifies the observed edges against the pins and emits the
+// pass-local diagnostics: malformed and unresolved pins, contradictory
+// pins, reentrant acquisitions, pin violations, and cycles among whatever
+// edges remain.
+func report(pass *analysis.Pass, locks map[types.Object]*lock, pins []pinDecl, edges []edge) {
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	add := func(pos token.Pos, format string, args ...any) {
+		if inPass(pass, pos) {
+			findings = append(findings, finding{pos, fmt.Sprintf(format, args...)})
+		}
+	}
+	disp := func(obj types.Object) string { return locks[obj].display }
+
+	// Resolve pins; order[A][B] means A is declared acquired-before B.
+	order := map[types.Object]map[types.Object]*pinDecl{}
+	for i := range pins {
+		pin := &pins[i]
+		if pin.ref == "" {
+			add(pin.pos, "malformed //lint:lockorder directive (want before(<lock>))")
+			continue
+		}
+		target, errmsg := resolveRef(locks, pin.owner, pin.ref)
+		if errmsg != "" {
+			add(pin.pos, "%s", errmsg)
+			continue
+		}
+		if order[pin.owner.obj] == nil {
+			order[pin.owner.obj] = map[types.Object]*pinDecl{}
+		}
+		order[pin.owner.obj][target.obj] = pin
+	}
+	for _, a := range sortedLocks(locks) {
+		for _, bl := range sortedLocks(locks) {
+			if a.display >= bl.display {
+				continue
+			}
+			if order[a.obj][bl.obj] != nil && order[bl.obj][a.obj] != nil {
+				add(order[a.obj][bl.obj].pos, "contradictory //lint:lockorder pins: %s and %s each declared before the other", a.display, bl.display)
+				add(order[bl.obj][a.obj].pos, "contradictory //lint:lockorder pins: %s and %s each declared before the other", bl.display, a.display)
+			}
+		}
+	}
+
+	// Classify edges: reentrancy and pin violations are reported directly
+	// and withheld from the cycle graph (the sanctioned direction must not
+	// be double-reported as a cycle).
+	var graph []edge
+	for _, e := range edges {
+		switch {
+		case e.from == e.to:
+			if e.via != "" {
+				add(e.pos, "call to %s acquires %s while it is already held (sync mutexes are not reentrant)", e.via, disp(e.to))
+			} else {
+				add(e.pos, "acquires %s while already holding it (sync mutexes are not reentrant)", disp(e.to))
+			}
+		case order[e.to] != nil && order[e.to][e.from] != nil:
+			if e.via != "" {
+				add(e.pos, "call to %s acquires %s while holding %s, but //lint:lockorder declares %s before %s", e.via, disp(e.to), disp(e.from), disp(e.to), disp(e.from))
+			} else {
+				add(e.pos, "acquires %s while holding %s, but //lint:lockorder declares %s before %s", disp(e.to), disp(e.from), disp(e.to), disp(e.from))
+			}
+		default:
+			graph = append(graph, e)
+		}
+	}
+
+	// Any strongly connected component with more than one lock (or a
+	// retained self-loop) is a potential deadlock; report every edge
+	// inside one.
+	comp := sccOf(graph)
+	for _, e := range graph {
+		cf, okf := comp[e.from]
+		ct, okt := comp[e.to]
+		if !okf || !okt || cf.id != ct.id || cf.size < 2 {
+			continue
+		}
+		members := make([]string, 0, cf.size)
+		for obj, c := range comp {
+			if c.id == cf.id {
+				members = append(members, disp(obj))
+			}
+		}
+		sort.Strings(members)
+		if e.via != "" {
+			add(e.pos, "lock-order cycle among %s: call to %s acquires %s while holding %s; declare the sanctioned order with //lint:lockorder before(...)", strings.Join(members, ", "), e.via, disp(e.to), disp(e.from))
+		} else {
+			add(e.pos, "lock-order cycle among %s: acquires %s while holding %s; declare the sanctioned order with //lint:lockorder before(...)", strings.Join(members, ", "), disp(e.to), disp(e.from))
+		}
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// component is one SCC membership entry.
+type component struct {
+	id   int
+	size int
+}
+
+// sccOf computes strongly connected components (Tarjan) over the edge list.
+func sccOf(edges []edge) map[types.Object]*component {
+	adj := map[types.Object]map[types.Object]bool{}
+	nodes := []types.Object{}
+	addNode := func(o types.Object) {
+		if adj[o] == nil {
+			adj[o] = map[types.Object]bool{}
+			nodes = append(nodes, o)
+		}
+	}
+	for _, e := range edges {
+		addNode(e.from)
+		addNode(e.to)
+		adj[e.from][e.to] = true
+	}
+
+	comp := map[types.Object]*component{}
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	next, compID := 0, 0
+
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			c := &component{id: compID}
+			compID++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = c
+				c.size++
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// inPass reports whether pos lies inside one of the pass's files; the graph
+// is module-global but each package pass reports only its own sites.
+func inPass(pass *analysis.Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+// Package lockorder is the golden input for the lockorder analyzer: seeded
+// inverted lock pairs, sanctioned pins, transitive and cross-package
+// acquisitions, reentrancy, and suppressions.
+package lockorder
+
+import (
+	"sync"
+
+	"lockorderdep"
+)
+
+// A and B are a deliberately inverted pair — the classic AB/BA deadlock —
+// with no pin declaring a winner, so both acquisition sites report a cycle.
+type A struct{ mu sync.Mutex }
+
+// B pairs with A above.
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle among lockorder\.A\.mu, lockorder\.B\.mu`
+	defer b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock-order cycle among lockorder\.A\.mu, lockorder\.B\.mu`
+	defer a.mu.Unlock()
+}
+
+// C is pinned before D: the single inverted acquisition in dc fails even
+// though the graph holds no full cycle.
+type C struct {
+	//lint:lockorder before(D.mu)
+	mu sync.Mutex
+}
+
+// D pairs with C above.
+type D struct{ mu sync.Mutex }
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want `declares lockorder\.C\.mu before lockorder\.D\.mu`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// E and F invert through helper calls: the cycle edges are recorded at the
+// call sites via the transitive acquisition summaries.
+type E struct{ mu sync.Mutex }
+
+// F pairs with E above.
+type F struct{ mu sync.Mutex }
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func ef(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockF(f) // want `lock-order cycle among lockorder\.E\.mu, lockorder\.F\.mu`
+}
+
+func fe(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lockE(e) // want `lock-order cycle among lockorder\.E\.mu, lockorder\.F\.mu`
+}
+
+// R exercises reentrancy, directly and through a helper.
+type R struct{ mu sync.Mutex }
+
+func (r *R) outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want `not reentrant`
+	r.mu.Unlock()
+}
+
+func lockR(r *R) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func (r *R) nested() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lockR(r) // want `call to lockorder\.lockR acquires lockorder\.R\.mu while it is already held`
+}
+
+// G's helper documents the caller-holds contract with //lint:locked, so
+// the h.mu acquisition inside it runs under g.mu — inverting H's pin.
+type G struct{ mu sync.Mutex }
+
+// H is pinned before G.
+type H struct {
+	//lint:lockorder before(G.mu)
+	mu sync.Mutex
+}
+
+// helper runs with g.mu held by the caller.
+//
+//lint:locked mu
+func (g *G) helper(h *H) {
+	h.mu.Lock() // want `declares lockorder\.H\.mu before lockorder\.G\.mu`
+	h.mu.Unlock()
+}
+
+// L and M: the callback literal registered under l.mu runs later in its
+// own lock context, so the m.mu acquisition inside it must NOT become an
+// L→M edge — otherwise registerReverse's M→L edge would fake a cycle.
+type L struct {
+	mu    sync.Mutex
+	hooks []func()
+}
+
+// M pairs with L above.
+type M struct{ mu sync.Mutex }
+
+func register(l *L, m *M) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks = append(l.hooks, func() {
+		m.mu.Lock()
+		m.mu.Unlock()
+	})
+}
+
+func registerReverse(l *L, m *M) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// X is pinned before the dependency package's lock; dx inverts it across
+// the package boundary.
+type X struct {
+	//lint:lockorder before(lockorderdep.Dep.Mu)
+	mu sync.Mutex
+}
+
+func xd(x *X, d *lockorderdep.Dep) {
+	x.mu.Lock()
+	d.Mu.Lock()
+	d.Mu.Unlock()
+	x.mu.Unlock()
+}
+
+func dx(x *X, d *lockorderdep.Dep) {
+	d.Mu.Lock()
+	x.mu.Lock() // want `declares lockorder\.X\.mu before lockorderdep\.Dep\.Mu`
+	x.mu.Unlock()
+	d.Mu.Unlock()
+}
+
+// U carries a pin naming a lock that does not exist.
+type U struct {
+	//lint:lockorder before(nosuch)
+	mu sync.Mutex // want `names unknown lock "nosuch"`
+}
+
+// V carries a pin in the wrong grammar.
+type V struct {
+	//lint:lockorder after(mu)
+	mu sync.Mutex // want `malformed //lint:lockorder directive`
+}
+
+// P and Q pin each other first — a contradiction reported at both pins.
+type P struct {
+	//lint:lockorder before(Q.mu)
+	mu sync.Mutex // want `contradictory //lint:lockorder pins`
+}
+
+// Q pairs with P above.
+type Q struct {
+	//lint:lockorder before(P.mu)
+	mu sync.Mutex // want `contradictory //lint:lockorder pins`
+}
+
+// S1 and S2 invert like A and B, but both sites carry reviewed
+// //lint:orderok suppressions: the cycle stays out of CI while remaining
+// in the -json inventory.
+type S1 struct{ mu sync.Mutex }
+
+// S2 pairs with S1 above.
+type S2 struct{ mu sync.Mutex }
+
+func s12(a *S1, b *S2) {
+	a.mu.Lock()
+	b.mu.Lock() //lint:orderok reviewed: fixture acknowledges the inversion
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func s21(a *S1, b *S2) {
+	b.mu.Lock()
+	a.mu.Lock() //lint:orderok reviewed: fixture acknowledges the inversion
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// staleOK carries a suppression on a line with nothing to suppress; the
+// analyzer must stay silent rather than misapply it.
+func staleOK(a *S1) {
+	a.mu.Lock() //lint:orderok nothing is reported on this line
+	a.mu.Unlock()
+}

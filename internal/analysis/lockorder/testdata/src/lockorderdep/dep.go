@@ -1,0 +1,11 @@
+// Package lockorderdep provides a cross-package lock for the lockorder
+// golden test: the sibling package pins its own mutex before Dep.Mu and
+// must be caught acquiring in the reverse order.
+package lockorderdep
+
+import "sync"
+
+// Dep exposes its mutex so sibling packages can order against it.
+type Dep struct {
+	Mu sync.Mutex
+}

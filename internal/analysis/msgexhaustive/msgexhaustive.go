@@ -1,0 +1,305 @@
+// Package msgexhaustive implements the sketchlint analyzer enforcing
+// wire-protocol exhaustiveness: every constant of a package's MsgType
+// enumeration must be a fully wired citizen of the protocol, so PR-5-style
+// protocol growth cannot silently skip a handler.
+//
+// For a package declaring an integer `type MsgType`, each MsgType-typed
+// constant Msg<X> must have:
+//
+//   - an encode+decode pair: package functions Append<X> and Decode<X>;
+//   - round-trip coverage: both names referenced from the package's own
+//     _test.go files;
+//   - a String case: a `case Msg<X>:` arm in MsgType's String method;
+//   - a dispatch arm: a case in some MsgType-tagged switch, or an ==/!=
+//     comparison against it, anywhere in the module outside the String
+//     method (the server/client/export routing layers).
+//
+// Additionally, every Fuzz* function in the declaring package's test files
+// must be listed in the CI fuzz smoke script (ci.sh at the module root, or
+// SmokeScript when overridden), reported at the MsgType declaration; a
+// decoder with a fuzz target that CI never runs is unprotected protocol
+// surface.
+//
+// Constants that are deliberately asymmetric (empty payloads, opaque
+// pass-through frames) carry //lint:msgok <reason> on their declaration
+// line; like every suppression it stays in the sketchlint -json inventory.
+package msgexhaustive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"dcsketch/internal/analysis"
+)
+
+// Analyzer is the msgexhaustive analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "msgexhaustive",
+	Doc:       "every MsgType constant needs an encode+decode pair with tests, a String case, a dispatch arm, and fuzz smoke coverage",
+	Directive: "msgok",
+	Run:       run,
+}
+
+// SmokeScript overrides the fuzz smoke script consulted by the fuzz-target
+// rule; when empty, ci.sh at the enclosing module root is used. Golden
+// tests point it at a fixture so they do not depend on the real CI script.
+var SmokeScript string
+
+func run(pass *analysis.Pass) error {
+	tn, ok := pass.Pkg.Scope().Lookup("MsgType").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	basic, ok := tn.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+
+	consts := msgTypeConsts(pass, tn)
+	if len(consts) == 0 {
+		return nil
+	}
+	typePos := typeDeclPos(pass, tn)
+	stringBody, stringCases := stringMethod(pass, tn)
+	testIdents, fuzzFuncs := parseTestFiles(pass)
+	dispatched := dispatchArms(pass, tn, stringBody)
+
+	for _, c := range consts {
+		base := strings.TrimPrefix(c.Name(), "Msg")
+		appendName, decodeName := "Append"+base, "Decode"+base
+		_, hasAppend := pass.Pkg.Scope().Lookup(appendName).(*types.Func)
+		_, hasDecode := pass.Pkg.Scope().Lookup(decodeName).(*types.Func)
+		if !hasAppend || !hasDecode {
+			pass.Reportf(c.Pos(), "MsgType constant %s has no encode+decode pair (want %s and %s)", c.Name(), appendName, decodeName)
+		} else if !testIdents[appendName] || !testIdents[decodeName] {
+			pass.Reportf(c.Pos(), "encode+decode pair for %s (%s/%s) is not exercised by the package tests", c.Name(), appendName, decodeName)
+		}
+		if stringBody == nil {
+			// Reported once below, at the type declaration.
+		} else if !stringCases[c] {
+			pass.Reportf(c.Pos(), "MsgType constant %s has no String case (telemetry labels would fall back to unknown)", c.Name())
+		}
+		if !dispatched[c] {
+			pass.Reportf(c.Pos(), "MsgType constant %s has no dispatch arm anywhere in the module (no MsgType switch case or ==/!= comparison)", c.Name())
+		}
+	}
+	if stringBody == nil && typePos.IsValid() {
+		pass.Reportf(typePos, "type MsgType has no String method; telemetry labels need one")
+	}
+
+	checkFuzzSmoke(pass, typePos, fuzzFuncs)
+	return nil
+}
+
+// msgTypeConsts returns the package's MsgType-typed constants in
+// declaration order. Derived constants of other types (MsgTypeCount-style
+// sizing constants) are excluded by the type check.
+func msgTypeConsts(pass *analysis.Pass, tn *types.TypeName) []*types.Const {
+	scope := pass.Pkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), tn.Type()) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// typeDeclPos locates the MsgType type declaration in the pass's files.
+func typeDeclPos(pass *analysis.Pass, tn *types.TypeName) token.Pos {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && pass.TypesInfo.Defs[ts.Name] == tn {
+					return ts.Name.Pos()
+				}
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// stringMethod finds MsgType's String method and the set of constants its
+// switch arms cover.
+func stringMethod(pass *analysis.Pass, tn *types.TypeName) (*ast.BlockStmt, map[types.Object]bool) {
+	cases := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "String" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			fobj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fobj.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if !types.Identical(t, tn.Type()) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					for obj := range usedConsts(pass.TypesInfo, e) {
+						cases[obj] = true
+					}
+				}
+				return true
+			})
+			return fn.Body, cases
+		}
+	}
+	return nil, cases
+}
+
+// dispatchArms scans the whole module for protocol routing: constants used
+// in the arms of MsgType-tagged switches or in ==/!= comparisons. The
+// String method's own switch is excluded — pretty-printing is not routing.
+func dispatchArms(pass *analysis.Pass, tn *types.TypeName, stringBody *ast.BlockStmt) map[types.Object]bool {
+	dispatched := map[types.Object]bool{}
+	for _, pkg := range pass.ModulePackages() {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if stringBody != nil && n == ast.Node(stringBody) {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					t := info.Types[n.Tag].Type
+					if t == nil || !types.Identical(t, tn.Type()) {
+						return true
+					}
+					for _, stmt := range n.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							for obj := range usedConsts(info, e) {
+								dispatched[obj] = true
+							}
+						}
+					}
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for obj := range usedConsts(info, n.X) {
+						dispatched[obj] = true
+					}
+					for obj := range usedConsts(info, n.Y) {
+						dispatched[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return dispatched
+}
+
+// usedConsts collects the constant objects referenced inside e.
+func usedConsts(info *types.Info, e ast.Expr) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := info.Uses[id].(*types.Const); ok {
+				out[c] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// parseTestFiles parses the package directory's _test.go files (syntax
+// only; test files are outside the type-checked load) and returns the set
+// of identifiers they mention plus their declared Fuzz* functions.
+func parseTestFiles(pass *analysis.Pass) (idents map[string]bool, fuzzFuncs []string) {
+	idents = map[string]bool{}
+	if len(pass.Files) == 0 {
+		return idents, nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return idents, nil
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(pass.Fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fn.Name.Name, "Fuzz") {
+				fuzzFuncs = append(fuzzFuncs, fn.Name.Name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	sort.Strings(fuzzFuncs)
+	return idents, fuzzFuncs
+}
+
+// checkFuzzSmoke verifies every package fuzz target appears in the CI fuzz
+// smoke script. Findings anchor at the MsgType declaration: the fix is in
+// CI, not at any one fuzz function.
+func checkFuzzSmoke(pass *analysis.Pass, typePos token.Pos, fuzzFuncs []string) {
+	if len(fuzzFuncs) == 0 || !typePos.IsValid() {
+		return
+	}
+	script := SmokeScript
+	if script == "" {
+		dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+		root, err := analysis.FindModuleRoot(dir)
+		if err != nil {
+			return
+		}
+		script = filepath.Join(root, "ci.sh")
+	}
+	content, err := os.ReadFile(script)
+	if err != nil {
+		return
+	}
+	for _, name := range fuzzFuncs {
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
+		if !re.Match(content) {
+			pass.Reportf(typePos, "fuzz target %s is missing from the fuzz smoke list in %s", name, filepath.Base(script))
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package msgexhaustive_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/msgexhaustive"
+)
+
+func TestMsgExhaustive(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("testdata", "smoke.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgexhaustive.SmokeScript = abs
+	defer func() { msgexhaustive.SmokeScript = "" }()
+	analysistest.Run(t, msgexhaustive.Analyzer, "msgwire")
+}

@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Fuzz smoke fixture for the msgexhaustive golden test: only the ping
+# decoder's fuzz target is listed; the data decoder's is deliberately
+# absent so the analyzer has a defect to find.
+go test -run=NONE -fuzz='FuzzDecodePing$' -fuzztime=5s ./msgwire

@@ -1,0 +1,27 @@
+// Package msgdispatch provides the dispatch arms the msgexhaustive golden
+// test expects to find outside the declaring package. MsgData is
+// deliberately unrouted.
+package msgdispatch
+
+import "msgwire"
+
+// Dispatch routes one frame type.
+func Dispatch(t msgwire.MsgType) string {
+	switch t {
+	case msgwire.MsgPing:
+		return "ping"
+	case msgwire.MsgPong:
+		return "pong"
+	case msgwire.MsgStat:
+		return "stat"
+	case msgwire.MsgDrop:
+		return "drop"
+	case msgwire.MsgRaw:
+		return "raw"
+	}
+	return ""
+}
+
+// IsCurrent reports whether t is not the legacy type — an equality
+// dispatch arm for MsgOld.
+func IsCurrent(t msgwire.MsgType) bool { return t != msgwire.MsgOld }

@@ -1,0 +1,73 @@
+// Package msgwire is the golden input for the msgexhaustive analyzer: a
+// miniature wire protocol whose constants are each missing exactly one
+// piece of coverage.
+package msgwire
+
+// MsgType identifies a frame's payload.
+type MsgType uint8 // want `fuzz target FuzzDecodeData is missing from the fuzz smoke list`
+
+// Frame types. MsgPing is fully wired; each of the others is missing one
+// obligation, and MsgRaw/MsgOld carry suppressions (one live, one stale).
+const (
+	MsgPing MsgType = iota + 1
+	MsgPong         // want `has no String case`
+	MsgData         // want `has no dispatch arm`
+	MsgStat         // want `has no encode\+decode pair \(want AppendStat and DecodeStat\)`
+	MsgDrop         // want `\(AppendDrop/DecodeDrop\) is not exercised by the package tests`
+	MsgRaw          //lint:msgok raw frames are opaque pass-through by design
+	MsgOld          //lint:msgok stale: MsgOld is fully covered, nothing to suppress
+)
+
+// MsgCount sizes per-type counter arrays; as a plain int constant it is
+// outside the per-constant obligations.
+const MsgCount = int(MsgOld) + 1
+
+// String returns the frame-type name. MsgPong's case is deliberately
+// missing.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgData:
+		return "data"
+	case MsgStat:
+		return "stat"
+	case MsgDrop:
+		return "drop"
+	case MsgRaw:
+		return "raw"
+	case MsgOld:
+		return "old"
+	}
+	return "unknown"
+}
+
+// AppendPing encodes a ping payload.
+func AppendPing(buf []byte) []byte { return append(buf, 1) }
+
+// DecodePing decodes a ping payload.
+func DecodePing(p []byte) bool { return len(p) == 1 }
+
+// AppendPong encodes a pong payload.
+func AppendPong(buf []byte) []byte { return append(buf, 2) }
+
+// DecodePong decodes a pong payload.
+func DecodePong(p []byte) bool { return len(p) == 1 }
+
+// AppendData encodes a data payload.
+func AppendData(buf []byte, b []byte) []byte { return append(buf, b...) }
+
+// DecodeData decodes a data payload.
+func DecodeData(p []byte) []byte { return p }
+
+// AppendDrop encodes a drop payload.
+func AppendDrop(buf []byte) []byte { return buf }
+
+// DecodeDrop decodes a drop payload.
+func DecodeDrop(p []byte) bool { return len(p) == 0 }
+
+// AppendOld encodes a legacy payload.
+func AppendOld(buf []byte) []byte { return buf }
+
+// DecodeOld decodes a legacy payload.
+func DecodeOld(p []byte) bool { return len(p) == 0 }

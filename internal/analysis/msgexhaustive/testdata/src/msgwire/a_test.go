@@ -1,0 +1,30 @@
+package msgwire
+
+import "testing"
+
+// TestRoundTrips exercises the encode+decode pairs; AppendDrop/DecodeDrop
+// are deliberately unexercised so the coverage rule has a defect to find.
+func TestRoundTrips(t *testing.T) {
+	if DecodePing(AppendPing(nil)) == false {
+		t.Fatal("ping")
+	}
+	if DecodePong(AppendPong(nil)) == false {
+		t.Fatal("pong")
+	}
+	if len(DecodeData(AppendData(nil, []byte{1}))) != 1 {
+		t.Fatal("data")
+	}
+	if !DecodeOld(AppendOld(nil)) {
+		t.Fatal("old")
+	}
+}
+
+// FuzzDecodePing is listed in the smoke fixture.
+func FuzzDecodePing(f *testing.F) {
+	f.Fuzz(func(t *testing.T, p []byte) { DecodePing(p) })
+}
+
+// FuzzDecodeData is deliberately absent from the smoke fixture.
+func FuzzDecodeData(f *testing.F) {
+	f.Fuzz(func(t *testing.T, p []byte) { DecodeData(p) })
+}

@@ -183,7 +183,11 @@ type conn struct {
 	rng *hashing.SplitMix64 // guarded by mu
 
 	// mu serializes the schedule state so concurrent Read/Write draw from
-	// one deterministic stream per connection.
+	// one deterministic stream per connection. reserveCut is called with
+	// it held, so conn.mu nests outside the injector's lock (never
+	// reversed; see consumeBudget).
+	//
+	//lint:lockorder before(Injector.mu)
 	mu sync.Mutex
 	// budget is the remaining transferred-byte allowance before the cut
 	// threshold fires; negative disables. guarded by mu

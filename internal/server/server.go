@@ -58,7 +58,11 @@ type Server struct {
 	cfg Config
 
 	// mu serializes monitor access with the counter snapshots so Stats
-	// is consistent with the detection state.
+	// is consistent with the detection state. Monitor calls made under it
+	// take the monitor's own lock, so that nesting is the sanctioned
+	// order module-wide.
+	//
+	//lint:lockorder before(monitor.Monitor.mu)
 	mu sync.Mutex
 	// mon is the shared detection state. guarded by mu
 	mon *monitor.Monitor

@@ -189,6 +189,39 @@ func TestSessionTableLRUEviction(t *testing.T) {
 	}
 }
 
+func TestEvictedSessionReconnectResetsHorizon(t *testing.T) {
+	// The eviction boundary: once a session falls out of the LRU table its
+	// replay horizon is forgotten, so a reconnect starts at lastAcked 0 and
+	// a retransmission of an already-applied sequence is applied AGAIN, not
+	// suppressed. That double-count is the documented cost of bounding the
+	// table; this test pins it so it changes only deliberately.
+	srv, addr := startServer(t, Config{MaxSessions: 2})
+	rc := dialSess(t, addr)
+
+	rc.hello(1)
+	rc.seqSend(7, batchOf(10, 9, 1))
+	rc.hello(2)
+	rc.hello(3) // table is {1,2}; 3 evicts 1 (LRU)
+
+	// Session 1 returns: its horizon is gone, so the server reports a fresh
+	// lastAcked of 0 (re-inserting 1 evicts 2, the LRU now).
+	if last := rc.hello(1); last != 0 {
+		t.Fatalf("evicted session lastAcked = %d, want 0", last)
+	}
+	// The exporter, seeing lastAcked 0, replays sequence 7. With the dedup
+	// state evicted this is indistinguishable from fresh data: it must be
+	// applied, not counted as a duplicate.
+	rc.seqSend(7, batchOf(10, 9, 1))
+
+	st := srv.Stats()
+	if st.Batches != 2 || st.DuplicateBatches != 0 || st.Updates != 20 {
+		t.Fatalf("replayed batch after eviction: stats = %+v (want 2 applied batches, 0 duplicates, 20 updates)", st)
+	}
+	if st.SessionsEvicted != 2 {
+		t.Fatalf("SessionsEvicted = %d, want 2 (session 1 by 3, then session 2 by 1's return)", st.SessionsEvicted)
+	}
+}
+
 func TestOldProtocolClientsInteroperate(t *testing.T) {
 	// A sequence-less client (the seed protocol) and a session client share
 	// one server; both streams land, and the old client never needs a

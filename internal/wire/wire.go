@@ -46,9 +46,9 @@ const (
 	MsgUpdates MsgType = iota + 1
 	MsgTopKQuery
 	MsgTopKReply
-	MsgSketch
-	MsgAck
-	MsgError
+	MsgSketch //lint:msgok payload is a dcs sketch in its own MarshalBinary format, not a wire codec
+	MsgAck    //lint:msgok payload is empty by definition; the frame header is the whole message
+	MsgError  //lint:msgok payload is raw UTF-8 text with no structure to encode or decode
 	MsgHello
 	MsgHelloAck
 	MsgSeqUpdates
