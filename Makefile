@@ -13,6 +13,10 @@ lint:
 	$(GO) run ./cmd/sketchlint ./...
 	$(GO) run ./cmd/escapecheck \
 		-require 'dcsketch/internal/dcs:(*Sketch).updateKernel' \
+		-require 'dcsketch/internal/dcs:(*Sketch).applySig' \
+		-require 'dcsketch/internal/dcs:(*Sketch).UpdateLocated' \
+		-require 'dcsketch/internal/vec:BuildMaskedAddends' \
+		-require 'dcsketch/internal/vec:AddInt64Lanes' \
 		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \

@@ -43,6 +43,10 @@ check() {
 	# kernels so deleting one fails here instead of shrinking the proof.
 	go run ./cmd/escapecheck \
 		-require 'dcsketch/internal/dcs:(*Sketch).updateKernel' \
+		-require 'dcsketch/internal/dcs:(*Sketch).applySig' \
+		-require 'dcsketch/internal/dcs:(*Sketch).UpdateLocated' \
+		-require 'dcsketch/internal/vec:BuildMaskedAddends' \
+		-require 'dcsketch/internal/vec:AddInt64Lanes' \
 		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
 		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
@@ -74,21 +78,34 @@ check() {
 	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzDecodeHello$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzDecodeUpdates$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzDecodeUpdatesInto$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzDecodeTopKReply$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzDecodeSeqUpdates$' -fuzztime=10s ./internal/wire
+	go test -fuzz='^FuzzDecodeSeqUpdatesInto$' -fuzztime=10s ./internal/wire
 	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
 	go test -fuzz='^FuzzDirectiveParse$' -fuzztime=10s ./internal/analysis
 	go test -fuzz='^FuzzWritePrometheus$' -fuzztime=10s ./internal/telemetry
 }
 
 bench() {
-	# The five gated benchmarks: the Table-2 per-update/query costs and
-	# the sharded ingest path. 5 repeats give benchcheck a stable median.
+	# The gated benchmarks: the Table-2 per-update/query costs, the sharded
+	# ingest path, and the whole-pipeline server ingest (TCP socket ->
+	# pooled arena -> in-place decode -> pipeline -> kernel). 5 repeats
+	# give benchcheck a stable median.
 	out="$(mktemp)"
 	trap 'rm -f "$out"' EXIT
 	go test -run '^$' \
 		-bench '^(BenchmarkUpdateBasic|BenchmarkUpdateTracking|BenchmarkQueryBasic|BenchmarkQueryTracking|BenchmarkPipelineIngest)$' \
 		-benchmem -count 5 . | tee "$out"
+	go test -run '^$' \
+		-bench '^BenchmarkServerIngest$' \
+		-benchmem -count 5 ./internal/server | tee -a "$out"
+	# Whole-pipeline throughput at a glance: median of the updates/s metric
+	# the server ingest benchmark reports alongside its per-frame ns/op.
+	awk '/^BenchmarkServerIngest/ { for (i = 1; i < NF; i++) if ($(i+1) == "updates/s") v[n++] = $i }
+	     END { if (n) { for (i = 0; i < n; i++) for (j = i + 1; j < n; j++)
+	           if (v[j] + 0 < v[i] + 0) { tmp = v[i]; v[i] = v[j]; v[j] = tmp }
+	           printf "server ingest throughput: %.0f updates/sec (median of %d runs)\n", v[int(n/2)], n } }' "$out"
 	go run ./cmd/benchcheck parse -o BENCH_2.json "$out"
 	go run ./cmd/benchcheck compare \
 		-baseline BENCH_baseline.json -current BENCH_2.json -max-regress 0.10

@@ -62,6 +62,56 @@ func TestUpdateBatchEquivalence(t *testing.T) {
 	}
 }
 
+// TestUpdateBatchSerialRoundTrip checks the batched kernel composes with the
+// flat-counter serialization: a sketch fed through UpdateBatch must encode
+// byte-identically to a scalar-fed twin, and both must keep producing
+// identical state when updating resumes on the decoded copies.
+func TestUpdateBatchSerialRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	first, second := randomStream(rng, 3000), randomStream(rng, 2000)
+	cfg := Config{Seed: 19}
+
+	scalar := mustNew(t, cfg)
+	batched := mustNew(t, cfg)
+	for _, u := range first {
+		scalar.UpdateKey(u.Key, u.Delta)
+	}
+	batched.UpdateBatch(first)
+
+	encScalar, err := scalar.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBatched, err := batched.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(encScalar, encBatched) {
+		t.Fatal("batched sketch encodes differently from scalar twin")
+	}
+
+	// Resume on the decoded copies, crossing the kernels over: the decoded
+	// scalar twin continues batched and vice versa.
+	reScalar, err := UnmarshalBinary(encScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reBatched, err := UnmarshalBinary(encBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reScalar.UpdateBatch(second)
+	for _, u := range second {
+		reBatched.UpdateKey(u.Key, u.Delta)
+	}
+	if !slices.Equal(reScalar.counters, reBatched.counters) {
+		t.Fatal("post-round-trip counters diverge between kernels")
+	}
+	if !slices.Equal(reScalar.occupied, reBatched.occupied) {
+		t.Fatal("post-round-trip occupancy diverges between kernels")
+	}
+}
+
 // TestOccupancyIncrementalMatchesRecount checks that the occupancy index the
 // kernel maintains per update equals a from-scratch recount, across inserts,
 // deletes, merge, subtract and reset.

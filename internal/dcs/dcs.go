@@ -28,7 +28,19 @@ import (
 
 	"dcsketch/internal/hashing"
 	"dcsketch/internal/sig"
+	"dcsketch/internal/vec"
 )
+
+// The vectorized kernels operate on exactly one lane per key bit; the two
+// constants are definitionally equal, and the conversion in applySig relies
+// on it.
+var _ [vec.Lanes]struct{} = [sig.KeyBits]struct{}{}
+
+// batchChunk is the number of records per precomputation chunk of
+// UpdateBatch: large enough to amortize the phase switch, small enough that
+// the per-chunk hash outputs (levels, fingerprints, flat counter indices)
+// stay resident in L1 while phase 2 replays them.
+const batchChunk = 128
 
 // Default parameter values; the defaults for r and s match the paper's
 // experimental configuration (§6.1).
@@ -189,6 +201,22 @@ type Sketch struct {
 	sampleSeen  map[uint64]struct{} //lint:scratch
 	samplePairs []SampledPair       //lint:scratch
 	destFreq    map[uint32]int64    //lint:scratch
+	estimates   []Estimate          //lint:scratch
+
+	// addends is the per-update masked addend vector (vec.BuildMaskedAddends
+	// output), built once per update and applied to each of the r tables.
+	// Update scratch, valid only within one kernel invocation.
+	addends [vec.Lanes]int64
+
+	// Batch precomputation scratch (UpdateBatch phase 1 → phase 2): per
+	// chunked record the pair key, delta, fingerprint, first-level bucket,
+	// and the r flat counter indices. Sized at construction so the batch
+	// path never allocates.
+	batchKeys   []uint64 //lint:scratch
+	batchDeltas []int64  //lint:scratch
+	batchFps    []int64  //lint:scratch
+	batchLevels []int32  //lint:scratch
+	batchIdx    []int    //lint:scratch
 
 	// qstats holds the query-path health counters (see QueryStats). Plain
 	// words under the same single-writer contract as the rest of the
@@ -218,6 +246,11 @@ func New(cfg Config) (*Sketch, error) {
 		bucketHash:  make([]*hashing.Tab64, cfg.Tables),
 		counters:    make([]int64, cfg.Levels*cfg.Tables*cfg.Buckets*width),
 		occupied:    make([]int32, cfg.Levels),
+		batchKeys:   make([]uint64, batchChunk),
+		batchDeltas: make([]int64, batchChunk),
+		batchFps:    make([]int64, batchChunk),
+		batchLevels: make([]int32, batchChunk),
+		batchIdx:    make([]int, batchChunk*cfg.Tables),
 	}
 	for j := range s.bucketHash {
 		s.bucketHash[j] = hashing.NewTab64(seeds.Next())
@@ -265,16 +298,65 @@ func (s *Sketch) UpdateKey(key uint64, delta int64) {
 // Zero deltas are skipped. The batch slice is read-only to the sketch and
 // may be reused by the caller afterwards.
 //
+// The batch runs in two phases per chunk of batchChunk records: phase 1
+// computes every hash (first-level bucket, fingerprint, and the r flat
+// counter indices) into sketch-owned scratch, phase 2 replays the scratch
+// applying the vectorized signature adds. Splitting the pure hash
+// computation from the counter writes keeps the hash tables hot in cache
+// during phase 1 and turns phase 2 into straight-line load-add-store work
+// with no hash-table traffic interleaved.
+//
 //lint:allocfree
 func (s *Sketch) UpdateBatch(batch []KeyDelta) {
-	for _, u := range batch {
-		if u.Delta == 0 {
-			continue
+	r := len(s.bucketHash)
+	for len(batch) > 0 {
+		chunk := batch
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
 		}
-		s.updateKernel(u.Key, u.Delta)
-		if debugAssertions && u.Delta < 0 {
-			s.assertKeyBuckets(u.Key, "delete")
+		batch = batch[len(chunk):]
+
+		// Phase 1: hash precomputation. Zero-delta records are compacted
+		// away here so phase 2 sees only live updates.
+		keys, deltas := s.batchKeys, s.batchDeltas
+		fps, levels, idx := s.batchFps, s.batchLevels, s.batchIdx
+		n := 0
+		for _, u := range chunk {
+			if u.Delta == 0 {
+				continue
+			}
+			key := u.Key
+			keys[n] = key
+			deltas[n] = u.Delta
+			level := s.levelHash.Level(key, s.cfg.Levels)
+			levels[n] = int32(level)
+			if s.layout.Fingerprint {
+				fps[n] = s.fpHash.Fingerprint(key)
+			} else {
+				fps[n] = 0
+			}
+			base := level * s.levelStride
+			for j, h := range s.bucketHash {
+				idx[n*r+j] = base + j*s.tableStride + h.Bucket(key, s.cfg.Buckets)*s.width
+			}
+			n++
 		}
+
+		// Phase 2: apply. One addend build per record, r vector adds.
+		for i := 0; i < n; i++ {
+			delta := deltas[i]
+			vec.BuildMaskedAddends(&s.addends, keys[i], delta)
+			fp := fps[i]
+			occ := int32(0)
+			for j := 0; j < r; j++ {
+				occ += s.applySig(idx[i*r+j], delta, fp)
+			}
+			s.occupied[levels[i]] += occ
+			if debugAssertions && delta < 0 {
+				s.assertKeyBuckets(keys[i], "delete")
+			}
+		}
+		s.updates += uint64(n)
 	}
 }
 
@@ -310,10 +392,11 @@ func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int
 	if s.layout.Fingerprint {
 		fp = s.fpHash.Fingerprint(key)
 	}
+	vec.BuildMaskedAddends(&s.addends, key, delta)
 	base := level * s.levelStride
 	occ := int32(0)
 	for j, b := range buckets {
-		occ += s.addSig(base+j*s.tableStride+b*s.width, key, delta, fp)
+		occ += s.applySig(base+j*s.tableStride+b*s.width, delta, fp)
 	}
 	s.occupied[level] += occ
 	if debugAssertions && delta < 0 {
@@ -321,10 +404,11 @@ func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int
 	}
 }
 
-// updateKernel is the inlined scalar update fast path shared by UpdateKey
-// and UpdateBatch: one level hash, one optional fingerprint hash, and per
-// table a bucket hash plus one flat index computation into the counter
-// array — no per-table subslicing.
+// updateKernel is the update fast path shared by UpdateKey and UpdateBatch:
+// one level hash, one optional fingerprint hash, one masked-addend build,
+// and per table a bucket hash plus one flat index computation into the
+// counter array — no per-table subslicing, and the 64 bit-location adds run
+// through the vec lane kernels (AVX2 where available).
 //
 //lint:allocfree
 func (s *Sketch) updateKernel(key uint64, delta int64) {
@@ -334,25 +418,28 @@ func (s *Sketch) updateKernel(key uint64, delta int64) {
 	if s.layout.Fingerprint {
 		fp = s.fpHash.Fingerprint(key)
 	}
+	vec.BuildMaskedAddends(&s.addends, key, delta)
 	base := level * s.levelStride
 	occ := int32(0)
 	for j, h := range s.bucketHash {
 		b := h.Bucket(key, s.cfg.Buckets)
-		occ += s.addSig(base+j*s.tableStride+b*s.width, key, delta, fp)
+		occ += s.applySig(base+j*s.tableStride+b*s.width, delta, fp)
 	}
 	s.occupied[level] += occ
 }
 
-// addSig adds delta for key to the count signature at flat counter index i
-// and returns the occupancy change of the bucket (+1 when the total became
-// non-zero, -1 when it returned to zero). The 65 mandatory counters are
-// addressed through a fixed-size array pointer so the compiler drops the
-// per-element bounds checks, and the bit-location adds mask delta by each
-// key bit instead of branching — on random keys the branchy form costs ~32
-// mispredictions per table, the dominant term of the seed update profile.
+// applySig adds the prebuilt masked addend vector (s.addends, see
+// vec.BuildMaskedAddends) plus the total/fingerprint counters to the count
+// signature at flat counter index i, and returns the occupancy change of the
+// bucket (+1 when the total became non-zero, -1 when it returned to zero).
+// The 65 mandatory counters are addressed through a fixed-size array pointer
+// so the compiler drops the per-element bounds checks; the 64 bit-location
+// counters go through one 64-lane vector add. Building the addends once per
+// update amortizes the key-bit masking across the r tables, which is what
+// made the masked-add loop (~78% of the PR 2 update profile) disappear.
 //
 //lint:allocfree
-func (s *Sketch) addSig(i int, key uint64, delta, fp int64) int32 {
+func (s *Sketch) applySig(i int, delta, fp int64) int32 {
 	c := (*[1 + sig.KeyBits]int64)(s.counters[i:])
 	old := c[0]
 	tot := old + delta
@@ -365,14 +452,7 @@ func (s *Sketch) addSig(i int, key uint64, delta, fp int64) int32 {
 	} else if tot == 0 {
 		occ = -1
 	}
-	k := key
-	for bit := 1; bit+3 <= sig.KeyBits; bit += 4 {
-		c[bit] += delta & -int64(k&1)
-		c[bit+1] += delta & -int64((k>>1)&1)
-		c[bit+2] += delta & -int64((k>>2)&1)
-		c[bit+3] += delta & -int64((k>>3)&1)
-		k >>= 4
-	}
+	vec.AddInt64Lanes((*[vec.Lanes]int64)(c[1:]), &s.addends)
 	if s.layout.Fingerprint {
 		s.counters[i+1+sig.KeyBits] += delta * fp
 	}
@@ -497,6 +577,10 @@ func (s *Sketch) DistinctSample() (pairs []SampledPair, level int) {
 // decremented past the last collected level; its analysis (Lemma 4.3)
 // defines b as the level at which the loop terminates, i.e. the last level
 // included, which is what this implementation uses.
+//
+// The returned slice is owned by the sketch and only valid until the next
+// query or update; callers that retain it must copy (the public API layer
+// does).
 func (s *Sketch) TopK(k int) []Estimate {
 	if k <= 0 {
 		return nil
@@ -511,6 +595,8 @@ func (s *Sketch) TopK(k int) []Estimate {
 
 // Threshold returns every destination whose estimated distinct-source
 // frequency is at least tau, in descending frequency order (§2, footnote 3).
+// The returned slice is sketch-owned scratch with the same validity contract
+// as TopK.
 func (s *Sketch) Threshold(tau int64) []Estimate {
 	pairs, level := s.DistinctSample()
 	ests := s.destEstimates(pairs, 1<<uint(level))
@@ -527,9 +613,10 @@ func (s *Sketch) EstimateDistinctPairs() int64 {
 
 // destEstimates aggregates a distinct sample into per-destination sample
 // frequencies f^s_v, scales them by scale, and returns them sorted by
-// descending frequency then ascending destination. The aggregation map is
-// sketch-owned scratch; the returned slice is freshly allocated (callers
-// retain query answers).
+// descending frequency then ascending destination. Both the aggregation map
+// and the returned slice are sketch-owned scratch, valid until the next
+// query; callers that retain query answers must copy (the public API layer
+// does, via convertEstimates).
 func (s *Sketch) destEstimates(pairs []SampledPair, scale int64) []Estimate {
 	if s.destFreq == nil {
 		s.destFreq = make(map[uint32]int64, len(pairs))
@@ -539,10 +626,11 @@ func (s *Sketch) destEstimates(pairs []SampledPair, scale int64) []Estimate {
 	for _, p := range pairs {
 		freq[hashing.PairDest(p.Key)]++
 	}
-	ests := make([]Estimate, 0, len(freq))
+	ests := s.estimates[:0]
 	for dest, f := range freq {
 		ests = append(ests, Estimate{Dest: dest, F: f * scale})
 	}
+	s.estimates = ests
 	slices.SortFunc(ests, func(a, b Estimate) int {
 		switch {
 		case a.F != b.F:
@@ -558,7 +646,7 @@ func (s *Sketch) destEstimates(pairs []SampledPair, scale int64) []Estimate {
 		}
 		return 0
 	})
-	return ests
+	return ests //lint:scratchok documented zero-copy view, valid until the next query
 }
 
 // ErrIncompatible is returned by Merge when the two sketches were built with

@@ -316,11 +316,13 @@ func (m *Monitor) Alerting(dest uint32) bool {
 	return m.alerting[dest]
 }
 
-// TopK exposes the current tracking answer.
+// TopK exposes the current tracking answer. The result is a private copy:
+// the sketch's answer is scratch valid only until the next query, and the
+// monitor's callers read replies after m.mu is released.
 func (m *Monitor) TopK(k int) []dcs.Estimate {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.sketch.TopK(k)
+	return append([]dcs.Estimate(nil), m.sketch.TopK(k)...)
 }
 
 // Updates returns the number of consumed updates.
@@ -338,6 +340,17 @@ func (m *Monitor) MergeSketch(edge *tdcs.Sketch) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.sketch.Merge(edge) //lint:seedok wire contract: exporter must use the collector's seed; Merge rejects mismatches at runtime
+}
+
+// MergeBaseInto adds the monitor's raw counters into dst, a basic sketch
+// sharing the monitor's sketch Config (seed included). Unlike MergeInto this
+// skips dst's tracking-state rebuild, so a caller combining several counter
+// sources (e.g. the server's sharded ingest pipeline plus this monitor) can
+// merge them all and pay one rebuild at the end.
+func (m *Monitor) MergeBaseInto(dst *dcs.Sketch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return dst.Merge(m.sketch.Base()) //lint:seedok caller contract mirrors MergeInto: dst must share the monitor's sketch config; Merge rejects mismatches at runtime
 }
 
 // MergeInto folds the monitor's sketch into dst while holding the monitor

@@ -337,20 +337,8 @@ func (p *Pipeline) fold() (*tdcs.Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range p.shards {
-		req := foldRequest{acc: acc, done: make(chan error, 1)}
-		select {
-		case w.folds <- req:
-			if err := <-req.done; err != nil {
-				return nil, fmt.Errorf("pipeline: fold shard %d: %w", i, err)
-			}
-		case <-w.done:
-			// Worker already stopped (Close): its sketch is
-			// quiescent, merge directly.
-			if err := acc.Merge(w.sketch); err != nil { //lint:seedok acc is built from p.cfg, the same config every shard sketch is built from
-				return nil, fmt.Errorf("pipeline: fold stopped shard %d: %w", i, err)
-			}
-		}
+	if err := p.foldInto(acc); err != nil {
+		return nil, err
 	}
 	snap := tdcs.FromBase(acc)
 	if tel != nil {
@@ -359,6 +347,44 @@ func (p *Pipeline) fold() (*tdcs.Sketch, error) {
 		tel.FoldLatency.Observe(uint64(time.Since(start)))
 	}
 	return snap, nil
+}
+
+// FoldBase merges every shard's counters into a fresh basic sketch and
+// returns it without promoting it to a tracking sketch. Callers that need to
+// combine the pipeline's view with other counter sources (e.g. the server
+// folding in its monitor's sketch) merge into the returned accumulator and
+// pay the single tdcs.FromBase rebuild themselves. The caller owns the
+// returned sketch.
+func (p *Pipeline) FoldBase() (*dcs.Sketch, error) {
+	acc, err := dcs.New(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.foldInto(acc); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// foldInto merges every shard's counters into acc at per-shard quiescent
+// points, draining each shard's queue first.
+func (p *Pipeline) foldInto(acc *dcs.Sketch) error {
+	for i, w := range p.shards {
+		req := foldRequest{acc: acc, done: make(chan error, 1)}
+		select {
+		case w.folds <- req:
+			if err := <-req.done; err != nil {
+				return fmt.Errorf("pipeline: fold shard %d: %w", i, err)
+			}
+		case <-w.done:
+			// Worker already stopped (Close): its sketch is
+			// quiescent, merge directly.
+			if err := acc.Merge(w.sketch); err != nil { //lint:seedok acc is built from p.cfg, the same config every shard sketch is built from
+				return fmt.Errorf("pipeline: fold stopped shard %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // TopK folds the shards and returns the combined top-k destinations.

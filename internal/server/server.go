@@ -4,13 +4,16 @@
 // collector-side merging, and issue top-k queries answered from the shared
 // tracking state — realizing the paper's Fig. 1 deployment with one process.
 //
-// Concurrency model: one goroutine per accepted connection, all feeding one
-// mutex-protected monitor (the tracking sketch absorbs >10^6 updates/s on a
-// single core, far beyond what the protocol parsing sustains, so a single
-// shared sketch is not the bottleneck; a sharded design would change merge
-// semantics for no gain here). The server owns every goroutine it starts:
-// Shutdown stops the listener, closes live connections, and blocks until
-// all handlers have exited.
+// Concurrency model: one goroutine per accepted connection. By default all
+// connections feed one mutex-protected monitor; with Config.IngestShards > 0
+// update frames are instead staged straight into a sharded ingest pipeline
+// (one private sketch per shard worker, merged at query time), which removes
+// the shared sketch lock from the ingest path at the cost of continuous
+// alert detection (see Config.IngestShards). Either way the per-record path
+// is allocation-free: frames are read into pooled per-connection arenas,
+// decoded in place, and fed to the kernel without per-frame slices. The
+// server owns every goroutine it starts: Shutdown stops the listener, closes
+// live connections, and blocks until all handlers have exited.
 package server
 
 import (
@@ -26,6 +29,7 @@ import (
 	"dcsketch/internal/dcs"
 	"dcsketch/internal/hashing"
 	"dcsketch/internal/monitor"
+	"dcsketch/internal/pipeline"
 	"dcsketch/internal/tdcs"
 	"dcsketch/internal/telemetry"
 	"dcsketch/internal/wire"
@@ -51,6 +55,17 @@ type Config struct {
 	// MaxSessions bounds the exporter-replay dedup table (default 1024);
 	// past the bound the least-recently-used session's state is evicted.
 	MaxSessions int
+	// IngestShards, when > 0, routes update frames into a sharded ingest
+	// pipeline (that many shard workers, each owning a private sketch)
+	// instead of the shared monitor, so concurrent connections ingest
+	// without contending on one sketch lock. Queries fold the shards plus
+	// the monitor's sketch (MsgSketch merges still land on the monitor).
+	// Tradeoff: the monitor no longer sees individual updates, so
+	// continuous alert detection (OnAlert, Alerting) only covers
+	// monitor-routed traffic — deployments that need per-interval alerting
+	// on streamed updates should keep the default inline path. 0 (default)
+	// preserves the inline single-monitor behavior exactly.
+	IngestShards int
 }
 
 // Server is the monitor daemon's network front end.
@@ -66,6 +81,10 @@ type Server struct {
 	mu sync.Mutex
 	// mon is the shared detection state. guarded by mu
 	mon *monitor.Monitor
+	// pipe is the sharded ingest pipeline, nil unless Config.IngestShards
+	// > 0. It serializes itself (shard channels); handlers stage into it
+	// through per-connection Batchers without holding mu.
+	pipe *pipeline.Pipeline
 	// sessions is the exporter-replay dedup table; holding mu across the
 	// dedup check, the batch application, and the lastSeq advance is what
 	// makes replayed-batch suppression atomic with the sketch. guarded by mu
@@ -130,9 +149,26 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pipe *pipeline.Pipeline
+	if cfg.IngestShards > 0 {
+		// The pipeline's shard sketches must share the monitor's effective
+		// (defaulted) sketch config so query-time folds merge exactly.
+		//
+		// The shallow queue (vs pipeline.DefaultQueueDepth) is deliberate:
+		// handlers only ship batch envelopes (up to DefaultBatchSize
+		// records each), so even a short queue absorbs large bursts, and a
+		// deep one just parks megabytes of staging buffers outside the
+		// recycle pool — every GC then wipes the pool and the ingest path
+		// re-allocates the parked inventory.
+		pipe, err = pipeline.New(mon.Config().Sketch, cfg.IngestShards, ingestQueueDepth)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Server{
 		cfg:      cfg,
 		mon:      mon,
+		pipe:     pipe,
 		sessions: newSessionTable(cfg.MaxSessions),
 		conns:    make(map[net.Conn]struct{}),
 		shutdown: make(chan struct{}),
@@ -277,20 +313,64 @@ type connState struct {
 	// handshake). It scopes the dedup lookups for MsgSeqUpdates frames on
 	// this connection.
 	sessionID uint64
+	// scratch holds the connection's pooled ingest buffers for the life of
+	// the connection.
+	scratch *ingestScratch
+	// batcher stages decoded updates into the ingest pipeline; nil in the
+	// inline (monitor) mode.
+	batcher *pipeline.Batcher
 }
 
+// ingestScratch aggregates the reusable per-connection ingest buffers: the
+// frame payload arena (wire.ReadFrameInto), the decoded update records
+// (wire.DecodeUpdatesInto), and the re-keyed batch handed to the monitor's
+// bulk path. One connection at a time owns an instance (handle holds it from
+// pool Get to the deferred Put), so in steady state a frame travels
+// socket → payload arena → decoded records → kernel with zero per-record
+// allocations.
+type ingestScratch struct {
+	payload []byte         //lint:scratch
+	ups     []wire.Update  //lint:scratch
+	keys    []dcs.KeyDelta //lint:scratch
+	// reply holds each framed reply (header + payload) so it goes out in
+	// one Write with no per-frame header allocation (see wire.AppendFrame).
+	reply []byte //lint:scratch
+	// ack is the seq-ack payload staging area (max uvarint64 width).
+	ack [10]byte //lint:scratch
+}
+
+// ingestQueueDepth is the per-shard queue length for the server's ingest
+// pipeline, counted in envelopes. Handlers ship whole batches, so 64
+// envelopes buffer up to 64*pipeline.DefaultBatchSize records per shard.
+const ingestQueueDepth = 64
+
+// ingestScratchPool recycles ingest buffers across connections; buffers keep
+// their grown capacity, so a reconnecting exporter's frames find a warm
+// arena.
+var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
 // handle runs one connection's request loop.
+//
+//lint:poolown scratch is owned by this handler from Get to the deferred Put; dispatch only borrows it
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	var cs connState
+	cs := connState{scratch: ingestScratchPool.Get().(*ingestScratch)}
+	defer ingestScratchPool.Put(cs.scratch)
+	if s.pipe != nil {
+		cs.batcher = s.pipe.NewBatcher()
+		// A handler that exits with staged updates (peer vanished between
+		// frames) still ships them: updates are acked per frame after an
+		// explicit Flush, so this final flush only covers unacked leftovers.
+		defer cs.batcher.Flush()
+	}
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 				return
 			}
 		}
-		typ, payload, err := ReadFrameOrShutdown(r, s.shutdown)
+		typ, payload, err := s.readFrame(r, cs.scratch)
 		if err != nil {
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				// The length prefix cannot be trusted for resync,
@@ -321,43 +401,53 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// ReadFrameOrShutdown reads one frame; it exists as a seam so the read can
-// observe server shutdown promptly via the connection deadline (Shutdown
-// closes connections, which unblocks the read).
-func ReadFrameOrShutdown(r *bufio.Reader, shutdown <-chan struct{}) (wire.MsgType, []byte, error) {
+// readFrame reads one frame into the connection's payload arena, observing
+// server shutdown (Shutdown closes connections, which unblocks the read).
+// The returned payload aliases sc.payload and is valid until the next call.
+func (s *Server) readFrame(r *bufio.Reader, sc *ingestScratch) (wire.MsgType, []byte, error) {
 	select {
-	case <-shutdown:
+	case <-s.shutdown:
 		return 0, nil, errors.New("server: shutting down")
 	default:
 	}
-	return wire.ReadFrame(r)
+	typ, payload, buf, err := wire.ReadFrameInto(r, sc.payload)
+	sc.payload = buf
+	return typ, payload, err
 }
 
-// dispatch applies one request frame and writes the reply.
+// writeReply frames one reply in the connection's scratch buffer and sends
+// it with a single Write. Stock wire.WriteFrame's stack header escapes into
+// the io.Writer interface call, costing an allocation per reply; framing in
+// the pooled scratch keeps the steady-state ack path allocation-free.
+func (s *Server) writeReply(cs *connState, w io.Writer, t wire.MsgType, payload []byte) error {
+	buf, err := wire.AppendFrame(cs.scratch.reply[:0], t, payload)
+	cs.scratch.reply = buf[:0]
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// dispatch applies one request frame and writes the reply. payload and the
+// scratch buffers inside cs are only valid for the duration of the call.
 func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.Writer) error {
 	switch typ {
 	case wire.MsgUpdates:
-		updates, err := wire.DecodeUpdates(payload)
+		updates, err := wire.DecodeUpdatesInto(payload, cs.scratch.ups[:0])
+		cs.scratch.ups = updates[:0]
 		if err != nil {
 			s.noteProtocolError(typ)
-			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
-		// Re-key the wire batch once and hand it to the monitor's batched
-		// path: one monitor lock acquisition and one sketch kernel pass
-		// per frame instead of one per update record.
-		batch := rekey(updates)
-		s.mu.Lock()
-		s.mon.UpdateBatch(batch)
-		s.batchesIn++
-		s.updatesIn += uint64(len(batch))
-		s.mu.Unlock()
-		return wire.WriteFrame(w, wire.MsgAck, nil)
+		s.applyBatch(cs, updates)
+		return s.writeReply(cs, w, wire.MsgAck, nil)
 
 	case wire.MsgHello:
 		id, err := wire.DecodeHello(payload)
 		if err != nil {
 			s.noteProtocolError(typ)
-			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
 		s.mu.Lock()
 		sess := s.sessions.lookup(id)
@@ -368,39 +458,65 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		// Echo the replay horizon: everything at or below lastAcked is
 		// applied and will never be re-applied; the exporter prunes its
 		// spool to it and resends the rest.
-		return wire.WriteFrame(w, wire.MsgHelloAck, wire.AppendHelloAck(nil, lastAcked))
+		return s.writeReply(cs, w, wire.MsgHelloAck, wire.AppendHelloAck(nil, lastAcked))
 
 	case wire.MsgSeqUpdates:
-		seq, updates, err := wire.DecodeSeqUpdates(payload)
+		seq, updates, err := wire.DecodeSeqUpdatesInto(payload, cs.scratch.ups[:0])
+		cs.scratch.ups = updates[:0]
 		if err != nil {
 			s.noteProtocolError(typ)
-			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
 		if cs.sessionID == 0 {
 			s.noteProtocolError(typ)
 			return wire.WriteFrame(w, wire.MsgError, []byte("sequenced batch before MsgHello handshake"))
 		}
-		// Re-key outside the lock (same as MsgUpdates); for a duplicate
-		// this work is wasted, but duplicates are the rare retry path and
-		// keeping the lock hold identical to the fresh-batch case keeps
-		// sequence handling off the sketch hot path.
-		batch := rekey(updates)
+		if cs.batcher != nil {
+			// Pipeline mode: the dedup decision (and lastSeq advance)
+			// happens under mu, the staging outside it. The ack is
+			// written only after Flush, so "acked implies visible to
+			// later queries" still holds; a retransmission of seq on
+			// any connection after the advance is suppressed as a
+			// duplicate either way.
+			s.mu.Lock()
+			sess := s.sessions.lookup(cs.sessionID)
+			s.seqBatchesIn++
+			dup := seq <= sess.lastSeq
+			if dup {
+				// Already applied: the previous ack was lost. Ack
+				// again, apply nothing — this is the exactly-once
+				// half of the at-least-once retransmission contract.
+				s.dupBatches++
+			} else {
+				sess.lastSeq = seq
+			}
+			s.mu.Unlock()
+			if !dup {
+				s.applyBatch(cs, updates)
+			}
+			return s.writeReply(cs, w, wire.MsgSeqAck, wire.AppendSeqAck(cs.scratch.ack[:0], seq))
+		}
+		// Inline mode: re-key outside the lock (same as MsgUpdates); for a
+		// duplicate this work is wasted, but duplicates are the rare retry
+		// path and keeping the lock hold identical to the fresh-batch case
+		// keeps sequence handling off the sketch hot path. Holding mu
+		// across the dedup check, the application, and the lastSeq advance
+		// makes replayed-batch suppression atomic with the sketch.
+		keys := rekeyInto(cs.scratch.keys[:0], updates)
+		cs.scratch.keys = keys[:0]
 		s.mu.Lock()
 		sess := s.sessions.lookup(cs.sessionID)
 		s.seqBatchesIn++
 		if seq <= sess.lastSeq {
-			// Already applied: the previous ack was lost. Ack again,
-			// apply nothing — this is the exactly-once half of the
-			// at-least-once retransmission contract.
 			s.dupBatches++
 		} else {
-			s.mon.UpdateBatch(batch)
+			s.mon.UpdateBatch(keys)
 			s.batchesIn++
-			s.updatesIn += uint64(len(batch))
+			s.updatesIn += uint64(len(keys))
 			sess.lastSeq = seq
 		}
 		s.mu.Unlock()
-		return wire.WriteFrame(w, wire.MsgSeqAck, wire.AppendSeqAck(nil, seq))
+		return s.writeReply(cs, w, wire.MsgSeqAck, wire.AppendSeqAck(cs.scratch.ack[:0], seq))
 
 	case wire.MsgTopKQuery:
 		tel := s.tel.Load()
@@ -411,17 +527,18 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		k, err := wire.DecodeTopKQuery(payload)
 		if err != nil {
 			s.noteProtocolError(typ)
-			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
-		s.mu.Lock()
-		ests := s.mon.TopK(k)
-		s.queriesIn++
-		s.mu.Unlock()
+		ests, err := s.topK(k)
+		if err != nil {
+			s.noteProtocolError(typ)
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
+		}
 		entries := make([]wire.TopKEntry, len(ests))
 		for i, e := range ests {
 			entries[i] = wire.TopKEntry{Dest: e.Dest, F: e.F}
 		}
-		err = wire.WriteFrame(w, wire.MsgTopKReply, wire.AppendTopKReply(nil, entries))
+		err = s.writeReply(cs, w, wire.MsgTopKReply, wire.AppendTopKReply(nil, entries))
 		if tel != nil {
 			tel.QueryLatency.Observe(uint64(time.Since(start)))
 		}
@@ -431,7 +548,7 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		edge, err := tdcs.UnmarshalBinary(payload)
 		if err != nil {
 			s.noteProtocolError(typ)
-			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
 		s.mu.Lock()
 		err = s.mon.MergeSketch(edge)
@@ -443,27 +560,59 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		}
 		s.mu.Unlock()
 		if err != nil {
-			return wire.WriteFrame(w, wire.MsgError, []byte(err.Error()))
+			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
-		return wire.WriteFrame(w, wire.MsgAck, nil)
+		return s.writeReply(cs, w, wire.MsgAck, nil)
 
 	default:
 		s.noteProtocolError(typ)
-		return wire.WriteFrame(w, wire.MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
+		return s.writeReply(cs, w, wire.MsgError, []byte(fmt.Sprintf("unknown frame type %d", typ)))
 	}
 }
 
-// rekey converts a decoded wire batch into the monitor's keyed form,
-// dropping no-op zero deltas.
-func rekey(updates []wire.Update) []dcs.KeyDelta {
-	batch := make([]dcs.KeyDelta, 0, len(updates))
+// rekeyInto converts a decoded wire batch into the monitor's keyed form,
+// dropping no-op zero deltas. Results are appended to dst (pass a
+// length-zero slice with retained capacity to reuse a scratch buffer).
+func rekeyInto(dst []dcs.KeyDelta, updates []wire.Update) []dcs.KeyDelta {
 	for _, u := range updates {
 		if u.Delta == 0 {
 			continue
 		}
-		batch = append(batch, dcs.KeyDelta{Key: hashing.PairKey(u.Src, u.Dst), Delta: u.Delta})
+		dst = append(dst, dcs.KeyDelta{Key: hashing.PairKey(u.Src, u.Dst), Delta: u.Delta})
 	}
-	return batch
+	return dst
+}
+
+// applyBatch feeds one decoded update frame into the ingest path: the
+// per-connection pipeline batcher when sharded ingest is configured, the
+// shared monitor otherwise. In pipeline mode the batch is flushed to the
+// shard queues before returning, so the caller's subsequent ack keeps the
+// "acked implies visible to later queries" contract (pipeline folds drain
+// every shard queue before merging).
+func (s *Server) applyBatch(cs *connState, updates []wire.Update) {
+	if cs.batcher != nil {
+		var n uint64
+		for _, u := range updates {
+			if u.Delta == 0 {
+				continue
+			}
+			cs.batcher.UpdateKey(hashing.PairKey(u.Src, u.Dst), u.Delta)
+			n++
+		}
+		cs.batcher.Flush()
+		s.mu.Lock()
+		s.batchesIn++
+		s.updatesIn += n
+		s.mu.Unlock()
+		return
+	}
+	keys := rekeyInto(cs.scratch.keys[:0], updates)
+	cs.scratch.keys = keys[:0]
+	s.mu.Lock()
+	s.mon.UpdateBatch(keys)
+	s.batchesIn++
+	s.updatesIn += uint64(len(keys))
+	s.mu.Unlock()
 }
 
 // noteFrame counts one successfully read frame by type.
@@ -489,11 +638,43 @@ func (s *Server) noteProtocolError(typ wire.MsgType) {
 	s.mu.Unlock()
 }
 
-// TopK answers from the shared monitor (for in-process callers).
-func (s *Server) TopK(k int) []dcs.Estimate {
+// topK answers a top-k query from the configured ingest topology: the shared
+// monitor inline, or a fold of the pipeline shards merged with the monitor's
+// sketch (MsgSketch merges land there) when sharded ingest is on. The folded
+// snapshot is private to this call, so its estimates need no copy.
+func (s *Server) topK(k int) ([]dcs.Estimate, error) {
+	if s.pipe == nil {
+		s.mu.Lock()
+		ests := s.mon.TopK(k)
+		s.queriesIn++
+		s.mu.Unlock()
+		return ests, nil
+	}
+	acc, err := s.pipe.FoldBase()
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mon.TopK(k)
+	err = s.mon.MergeBaseInto(acc)
+	if err == nil {
+		s.queriesIn++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	snap := tdcs.FromBase(acc)
+	return snap.TopK(k), nil
+}
+
+// TopK answers from the configured ingest topology (for in-process callers).
+// In sharded-ingest mode a fold error yields nil.
+func (s *Server) TopK(k int) []dcs.Estimate {
+	ests, err := s.topK(k)
+	if err != nil {
+		return nil
+	}
+	return ests
 }
 
 // Alerting reports the shared monitor's alert state for dest.
@@ -665,4 +846,10 @@ func (s *Server) Shutdown() {
 		s.connMu.Unlock()
 	})
 	s.wg.Wait()
+	// Handlers flush their batchers on the way out (deferred in handle), so
+	// the pipeline workers are only stopped once every handler has exited.
+	// pipeline.Close is idempotent, matching Shutdown's contract.
+	if s.pipe != nil {
+		s.pipe.Close()
+	}
 }

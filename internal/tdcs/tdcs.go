@@ -53,9 +53,11 @@ type Sketch struct {
 	beforeOK   []bool   //lint:scratch
 	bucketIdx  []int    //lint:scratch
 
-	// topScratch holds the heap entries of the last TopK answer, reused
-	// across queries.
-	topScratch []iheap.Entry //lint:scratch
+	// topScratch holds the heap entries of the last TopK answer, and
+	// estScratch the converted estimates handed back to the caller; both are
+	// reused across queries.
+	topScratch []iheap.Entry  //lint:scratch
+	estScratch []dcs.Estimate //lint:scratch
 
 	// queries counts tracked queries (TopK, Threshold,
 	// EstimateDistinctPairs); rebuilds counts tracking-state
@@ -245,6 +247,10 @@ func (t *Sketch) sampleLevel() int {
 // TopK returns the approximate top-k destinations by distinct-source
 // frequency (procedure TrackTopk, Fig. 7) in O(log m + k·log k) time,
 // without mutating the tracking state.
+//
+// The returned slice is owned by the sketch and only valid until the next
+// query; callers that retain it must copy (the public API layer does, via
+// convertEstimates).
 func (t *Sketch) TopK(k int) []dcs.Estimate {
 	if k <= 0 {
 		return nil
@@ -253,11 +259,12 @@ func (t *Sketch) TopK(k int) []dcs.Estimate {
 	b := t.sampleLevel()
 	scale := int64(1) << uint(b)
 	t.topScratch = t.heaps[b].AppendTopK(t.topScratch[:0], k)
-	out := make([]dcs.Estimate, len(t.topScratch))
-	for i, e := range t.topScratch {
-		out[i] = dcs.Estimate{Dest: e.Key, F: e.Priority * scale}
+	out := t.estScratch[:0]
+	for _, e := range t.topScratch {
+		out = append(out, dcs.Estimate{Dest: e.Key, F: e.Priority * scale})
 	}
-	return out
+	t.estScratch = out
+	return out //lint:scratchok documented zero-copy view, valid until the next query
 }
 
 // Threshold returns every destination whose estimated frequency is at least

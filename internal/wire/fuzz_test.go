@@ -85,6 +85,67 @@ func FuzzDecodeHello(f *testing.F) {
 	})
 }
 
+// FuzzDecodeUpdatesInto differentially checks the zero-copy decoder against
+// DecodeUpdates on arbitrary payloads: identical error/no-error outcome and
+// identical records, even when the destination arrives dirty (stale records
+// from a previous frame past its length, as the pooled server scratch does).
+func FuzzDecodeUpdatesInto(f *testing.F) {
+	f.Add(AppendUpdates(nil, []Update{{1, 2, 1}, {3, 4, -1}}))
+	f.Add(AppendUpdates(nil, []Update{{1, 2, 1}, {3, 4, -1}})[:5]) // truncated mid-record
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // oversized count
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := DecodeUpdates(data)
+		dirty := make([]Update, 0, 8)
+		dirty = append(dirty, Update{9, 9, 9}, Update{8, 8, 8})
+		got, gotErr := DecodeUpdatesInto(data, dirty[:0])
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: DecodeUpdates=%v DecodeUpdatesInto=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("update %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeSeqUpdatesInto is FuzzDecodeUpdatesInto for the sequenced form.
+func FuzzDecodeSeqUpdatesInto(f *testing.F) {
+	f.Add(AppendSeqUpdates(nil, 1, []Update{{1, 2, 1}, {3, 4, -1}}))
+	f.Add(AppendSeqUpdates(nil, 7, []Update{{1, 2, 1}})[:4])                        // truncated mid-record
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // oversized count
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wantSeq, want, wantErr := DecodeSeqUpdates(data)
+		dirty := make([]Update, 0, 8)
+		dirty = append(dirty, Update{9, 9, 9})
+		gotSeq, got, gotErr := DecodeSeqUpdatesInto(data, dirty[:0])
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error mismatch: DecodeSeqUpdates=%v DecodeSeqUpdatesInto=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if gotSeq != wantSeq || len(got) != len(want) {
+			t.Fatalf("(%d, %d records) vs (%d, %d records)", gotSeq, len(got), wantSeq, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("update %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
 func FuzzDecodeSeqUpdates(f *testing.F) {
 	f.Add(AppendSeqUpdates(nil, 1, []Update{{1, 2, 1}, {3, 4, -1}}))
 	f.Add([]byte{0})

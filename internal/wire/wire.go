@@ -148,6 +148,59 @@ func ReadFrame(r *bufio.Reader) (MsgType, []byte, error) {
 	return MsgType(header[4]), payload, nil
 }
 
+// ReadFrameInto is ReadFrame reading the payload into buf, growing it only
+// when the frame exceeds its capacity. It returns the payload as a prefix of
+// the (possibly grown) buffer, which it also returns for reuse: the zero-copy
+// ingest loop passes the same pooled buffer back in on every frame, so steady
+// state reads allocate nothing. The returned payload is only valid until the
+// next call with the same buffer.
+func ReadFrameInto(r *bufio.Reader, buf []byte) (t MsgType, payload, newBuf []byte, err error) {
+	// Peek+Discard instead of io.ReadFull into a local array: the header
+	// bytes are read in place from the bufio buffer, so nothing escapes —
+	// this keeps the steady-state read path at zero allocations per frame.
+	header, err := r.Peek(5)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			if len(header) == 0 {
+				return 0, nil, buf, io.EOF
+			}
+			// Match io.ReadFull's contract for a truncated header.
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(header[:4])
+	t = MsgType(header[4])
+	if _, err := r.Discard(5); err != nil {
+		return 0, nil, buf, fmt.Errorf("wire: read header: %w", err)
+	}
+	if n > MaxFrameSize {
+		return 0, nil, buf, ErrFrameTooLarge
+	}
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return t, payload, buf, nil
+}
+
+// AppendFrame encodes one frame (header plus payload) onto buf and reports
+// whether the payload fit the frame-size bound. Writing the appended bytes
+// with a single Write is the allocation-free counterpart of WriteFrame,
+// whose stack header escapes into the io.Writer interface call; reply paths
+// that reuse buf across frames pay no per-frame allocation at all.
+func AppendFrame(buf []byte, t MsgType, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameSize {
+		return buf, ErrFrameTooLarge
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, byte(t))
+	return append(buf, payload...), nil
+}
+
 // AppendUpdates encodes a batch of updates onto buf.
 func AppendUpdates(buf []byte, updates []Update) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(updates)))
@@ -159,22 +212,36 @@ func AppendUpdates(buf []byte, updates []Update) []byte {
 	return buf
 }
 
-// DecodeUpdates decodes a MsgUpdates payload.
+// DecodeUpdates decodes a MsgUpdates payload into a freshly allocated slice.
 func DecodeUpdates(payload []byte) ([]Update, error) {
+	return DecodeUpdatesInto(payload, nil)
+}
+
+// DecodeUpdatesInto decodes a MsgUpdates payload by appending onto dst
+// (which may be nil or a truncated-to-zero pooled buffer) and returns the
+// extended slice. When dst's capacity covers the batch, decoding performs no
+// allocation — this is the zero-copy ingest path: the server hands the same
+// pooled scratch back in for every frame. On error dst's contents are
+// unspecified and the returned slice must not be used.
+func DecodeUpdatesInto(payload []byte, dst []Update) ([]Update, error) {
 	count, n := binary.Uvarint(payload)
 	if n <= 0 {
-		return nil, fmt.Errorf("%w: truncated count", ErrMalformed)
+		return dst, fmt.Errorf("%w: truncated count", ErrMalformed)
 	}
 	payload = payload[n:]
 	// Each update needs at least 9 bytes; reject counts the payload
 	// cannot possibly hold before allocating.
 	if count > uint64(len(payload)/9+1) {
-		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrMalformed, count)
+		return dst, fmt.Errorf("%w: count %d exceeds payload", ErrMalformed, count)
 	}
-	out := make([]Update, 0, count)
+	if free := uint64(cap(dst) - len(dst)); free < count {
+		grown := make([]Update, len(dst), uint64(len(dst))+count)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := uint64(0); i < count; i++ {
 		if len(payload) < 8 {
-			return nil, fmt.Errorf("%w: truncated update %d", ErrMalformed, i)
+			return dst, fmt.Errorf("%w: truncated update %d", ErrMalformed, i)
 		}
 		u := Update{
 			Src: binary.LittleEndian.Uint32(payload),
@@ -183,16 +250,16 @@ func DecodeUpdates(payload []byte) ([]Update, error) {
 		payload = payload[8:]
 		delta, dn := binary.Varint(payload)
 		if dn <= 0 {
-			return nil, fmt.Errorf("%w: truncated delta %d", ErrMalformed, i)
+			return dst, fmt.Errorf("%w: truncated delta %d", ErrMalformed, i)
 		}
 		payload = payload[dn:]
 		u.Delta = delta
-		out = append(out, u)
+		dst = append(dst, u)
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(payload))
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(payload))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // AppendTopKQuery encodes a top-k query payload.
@@ -306,18 +373,26 @@ func AppendSeqUpdates(buf []byte, seq uint64, updates []Update) []byte {
 	return AppendUpdates(buf, updates)
 }
 
-// DecodeSeqUpdates decodes a MsgSeqUpdates payload.
+// DecodeSeqUpdates decodes a MsgSeqUpdates payload into a freshly allocated
+// slice.
 func DecodeSeqUpdates(payload []byte) (uint64, []Update, error) {
+	return DecodeSeqUpdatesInto(payload, nil)
+}
+
+// DecodeSeqUpdatesInto is DecodeSeqUpdates appending the decoded updates
+// onto dst, with the same reuse contract as DecodeUpdatesInto. On error the
+// returned slice's contents are unspecified.
+func DecodeSeqUpdatesInto(payload []byte, dst []Update) (uint64, []Update, error) {
 	seq, n := binary.Uvarint(payload)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("%w: truncated sequence", ErrMalformed)
+		return 0, dst, fmt.Errorf("%w: truncated sequence", ErrMalformed)
 	}
 	if seq == 0 {
-		return 0, nil, fmt.Errorf("%w: zero batch sequence", ErrMalformed)
+		return 0, dst, fmt.Errorf("%w: zero batch sequence", ErrMalformed)
 	}
-	updates, err := DecodeUpdates(payload[n:])
+	updates, err := DecodeUpdatesInto(payload[n:], dst)
 	if err != nil {
-		return 0, nil, err
+		return 0, updates, err
 	}
 	return seq, updates, nil
 }

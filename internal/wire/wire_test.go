@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -231,5 +232,118 @@ func TestEmptyBatches(t *testing.T) {
 	entries, err := DecodeTopKReply(AppendTopKReply(nil, nil))
 	if err != nil || len(entries) != 0 {
 		t.Fatalf("empty reply: (%v,%v)", entries, err)
+	}
+}
+
+// TestReadFrameIntoMatchesReadFrame replays random byte streams — valid
+// frame sequences, truncations, and garbage — through both readers and
+// requires identical frame sequences and error outcomes. The Into reader
+// reuses one arena across the whole stream, the way the server's ingest
+// loop does.
+func TestReadFrameIntoMatchesReadFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		var stream []byte
+		for i := rng.Intn(5); i > 0; i-- {
+			payload := make([]byte, rng.Intn(300))
+			for j := range payload {
+				payload[j] = byte(rng.Intn(256))
+			}
+			var err error
+			stream, err = AppendFrame(stream, MsgType(1+rng.Intn(MsgTypeCount-1)), payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch trial % 3 {
+		case 1: // truncate
+			if len(stream) > 0 {
+				stream = stream[:rng.Intn(len(stream))]
+			}
+		case 2: // append garbage
+			for i := rng.Intn(8); i > 0; i-- {
+				stream = append(stream, byte(rng.Intn(256)))
+			}
+		}
+
+		ref := bufio.NewReader(bytes.NewReader(stream))
+		into := bufio.NewReader(bytes.NewReader(stream))
+		var arena []byte
+		for {
+			wantTyp, wantPayload, wantErr := ReadFrame(ref)
+			var gotTyp MsgType
+			var gotPayload []byte
+			var gotErr error
+			gotTyp, gotPayload, arena, gotErr = ReadFrameInto(into, arena)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d: errors diverge: %v vs %v", trial, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if errors.Is(wantErr, io.EOF) != errors.Is(gotErr, io.EOF) {
+					t.Fatalf("trial %d: EOF-ness diverges: %v vs %v", trial, wantErr, gotErr)
+				}
+				break
+			}
+			if gotTyp != wantTyp || !bytes.Equal(gotPayload, wantPayload) {
+				t.Fatalf("trial %d: frame diverges: (%v, %d bytes) vs (%v, %d bytes)",
+					trial, gotTyp, len(gotPayload), wantTyp, len(wantPayload))
+			}
+		}
+	}
+}
+
+// TestAppendFrameMatchesWriteFrame checks the two framers emit identical
+// bytes and agree on the size bound.
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	check := func(typ byte, payload []byte) bool {
+		var buf bytes.Buffer
+		wErr := WriteFrame(&buf, MsgType(typ), payload)
+		appended, aErr := AppendFrame(nil, MsgType(typ), payload)
+		if (wErr == nil) != (aErr == nil) {
+			return false
+		}
+		if wErr != nil {
+			return true
+		}
+		return bytes.Equal(buf.Bytes(), appended)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendFrame(nil, MsgSketch, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized append err = %v", err)
+	}
+	// Appending onto an existing prefix must leave it intact.
+	out, err := AppendFrame([]byte("prefix"), MsgAck, []byte{1, 2})
+	if err != nil || !bytes.HasPrefix(out, []byte("prefix")) {
+		t.Fatalf("prefix clobbered: %q (%v)", out, err)
+	}
+}
+
+// TestDecodeUpdatesIntoReusesCapacity pins the zero-allocation contract the
+// server's pooled scratch relies on: decoding into a slice with sufficient
+// capacity must not allocate and must return the same backing array.
+func TestDecodeUpdatesIntoReusesCapacity(t *testing.T) {
+	batch := make([]Update, 100)
+	for i := range batch {
+		batch[i] = Update{Src: uint32(i), Dst: uint32(i * 7), Delta: int64(i%5 - 2)}
+	}
+	payload := AppendUpdates(nil, batch)
+	scratch := make([]Update, 0, len(batch))
+	allocs := testing.AllocsPerRun(100, func() {
+		got, err := DecodeUpdatesInto(payload, scratch[:0])
+		if err != nil || len(got) != len(batch) {
+			panic("bad decode")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeUpdatesInto allocates %.1f times with warm scratch", allocs)
+	}
+	got, err := DecodeUpdatesInto(payload, scratch[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("warm decode moved to a new backing array")
 	}
 }
