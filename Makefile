@@ -11,21 +11,7 @@ test:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sketchlint ./...
-	$(GO) run ./cmd/escapecheck \
-		-require 'dcsketch/internal/dcs:(*Sketch).updateKernel' \
-		-require 'dcsketch/internal/dcs:(*Sketch).applySig' \
-		-require 'dcsketch/internal/dcs:(*Sketch).UpdateLocated' \
-		-require 'dcsketch/internal/vec:BuildMaskedAddends' \
-		-require 'dcsketch/internal/vec:AddInt64Lanes' \
-		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
-		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
-		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
-		-require 'dcsketch/internal/iheap:(*Heap).Adjust' \
-		-require 'dcsketch/internal/telemetry:(*Counter).Inc' \
-		-require 'dcsketch/internal/telemetry:(*Counter).Add' \
-		-require 'dcsketch/internal/telemetry:(*Gauge).Set' \
-		-require 'dcsketch/internal/telemetry:(*Gauge).Add' \
-		-require 'dcsketch/internal/telemetry:(*Histogram).Observe'
+	$(GO) run ./cmd/perfcheck -require-file perfpins.txt
 
 race:
 	$(GO) test -race ./...

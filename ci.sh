@@ -2,9 +2,11 @@
 # CI entry points for the dcsketch repo.
 #
 #   ./ci.sh tier1   build + unit tests (the always-green floor)
-#   ./ci.sh check   tier1 plus vet, sketchlint, the escapecheck
-#                   allocation gate, -race tests, dcsdebug assertion
-#                   tests, and a fuzz smoke pass
+#   ./ci.sh check   tier1 plus vet, sketchlint, the perfcheck compiler
+#                   contract gate (allocfree/bce/inline pins from
+#                   perfpins.txt), -race tests, a forced-generic vec
+#                   pass, dcsdebug assertion tests, and a concurrent
+#                   fuzz smoke pass
 #   ./ci.sh bench   run the Table-2 update/query benchmarks plus the
 #                   pipeline ingest benchmark with -benchmem, record
 #                   medians to BENCH_2.json, and fail if any ns/op or
@@ -31,32 +33,27 @@ check() {
 	# (lockorder acquisition cycles, goroleak goroutine joins,
 	# atomicfield atomics discipline, msgexhaustive wire coverage).
 	# See DESIGN.md. The run must be self-clean: zero unsuppressed
-	# diagnostics over the whole module.
-	go run ./cmd/sketchlint ./...
-	# Suppression inventory: per-analyzer finding/suppression counts and
-	# timings from the -json trailer, so every //lint: escape hatch in
-	# the tree stays visible in the CI log instead of rotting silently.
-	echo "sketchlint suppression inventory (findings/suppressed/elapsed per analyzer):"
-	go run ./cmd/sketchlint -json ./... | grep '"summary":true'
-	# escapecheck ground-truths //lint:allocfree against the compiler's
-	# escape analysis, and -require pins the annotations on the update
-	# kernels so deleting one fails here instead of shrinking the proof.
-	go run ./cmd/escapecheck \
-		-require 'dcsketch/internal/dcs:(*Sketch).updateKernel' \
-		-require 'dcsketch/internal/dcs:(*Sketch).applySig' \
-		-require 'dcsketch/internal/dcs:(*Sketch).UpdateLocated' \
-		-require 'dcsketch/internal/vec:BuildMaskedAddends' \
-		-require 'dcsketch/internal/vec:AddInt64Lanes' \
-		-require 'dcsketch/internal/dcs:(*Sketch).UpdateBatch' \
-		-require 'dcsketch/internal/tdcs:(*Sketch).update1' \
-		-require 'dcsketch/internal/tdcs:(*Sketch).UpdateBatch' \
-		-require 'dcsketch/internal/iheap:(*Heap).Adjust' \
-		-require 'dcsketch/internal/telemetry:(*Counter).Inc' \
-		-require 'dcsketch/internal/telemetry:(*Counter).Add' \
-		-require 'dcsketch/internal/telemetry:(*Gauge).Set' \
-		-require 'dcsketch/internal/telemetry:(*Gauge).Add' \
-		-require 'dcsketch/internal/telemetry:(*Histogram).Observe'
+	# diagnostics over the whole module. -inventory makes the same single
+	# run also print the per-analyzer finding/suppression/timing trailers,
+	# so every //lint: escape hatch in the tree stays visible in the CI
+	# log instead of rotting silently. The suite includes asmabi, which
+	# cross-checks the internal/vec assembly against its Go stubs (NOSPLIT,
+	# ABI0 frame offsets, fallback signature parity, differential tests).
+	go run ./cmd/sketchlint -inventory ./...
+	# perfcheck ground-truths the perf contracts against the compiler
+	# itself: //lint:allocfree vs escape analysis, //lint:bce vs residual
+	# ssa/check_bce sites, //lint:inline vs inlining decisions. The pin
+	# list lives in perfpins.txt (shared with `make lint`); deleting an
+	# annotation or misspelling a pinned symbol fails here instead of
+	# silently shrinking the proof surface.
+	go run ./cmd/perfcheck -require-file perfpins.txt
 	go test -race ./...
+	# Forced-generic pass: DCSKETCH_FORCE_GENERIC pins the portable vec
+	# kernels even on AVX2 hardware, so the generic fallback — otherwise
+	# exercised only on non-amd64 builders — gets the same differential
+	# and race coverage as the SIMD path, plus the gate assertion in
+	# TestForceGenericPinsFallback.
+	DCSKETCH_FORCE_GENERIC=1 go test -race ./internal/vec ./internal/dcs ./internal/tdcs
 	# Chaos pass: the seeded faultnet e2e — connections cut mid-batch
 	# while the exporter streams into a live daemon — must reproduce the
 	# fault-free top-k byte-for-byte with exact ledger accounting.
@@ -72,19 +69,59 @@ check() {
 	# on a counter cannot masquerade as an invariant violation.
 	go test -race -tags dcsdebug ./internal/dcs ./internal/tdcs
 	# Fuzz smoke: a short budget per representative target catches
-	# decoder and routing regressions without holding CI hostage.
-	go test -fuzz='^FuzzUnmarshalBinary$' -fuzztime=10s ./internal/dcs
-	go test -fuzz='^FuzzShardRouting$' -fuzztime=10s ./internal/pipeline
-	go test -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzDecodeHello$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzDecodeUpdates$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzDecodeUpdatesInto$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzDecodeTopKReply$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzDecodeSeqUpdates$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzDecodeSeqUpdatesInto$' -fuzztime=10s ./internal/wire
-	go test -fuzz='^FuzzParseRecord$' -fuzztime=10s ./internal/trace
-	go test -fuzz='^FuzzDirectiveParse$' -fuzztime=10s ./internal/analysis
-	go test -fuzz='^FuzzWritePrometheus$' -fuzztime=10s ./internal/telemetry
+	# decoder and routing regressions without holding CI hostage. The
+	# thirteen targets are split into six groups; each group runs its
+	# targets sequentially in one background job and the groups run
+	# concurrently (-fuzztime is wall-clock, so overlapping the waits
+	# keeps the whole smoke pass under ~60s instead of 13 x 10s).
+	# fuzz_group's quiet logs surface only on failure.
+	FUZZDIR="$(mktemp -d)"
+	fuzz_group sketch \
+		FuzzUnmarshalBinary ./internal/dcs \
+		FuzzShardRouting ./internal/pipeline &
+	fuzz_group wire-frame \
+		FuzzReadFrame ./internal/wire \
+		FuzzDecodeHello ./internal/wire \
+		FuzzDecodeUpdates ./internal/wire &
+	fuzz_group wire-into \
+		FuzzDecodeUpdatesInto ./internal/wire \
+		FuzzDecodeTopKReply ./internal/wire &
+	fuzz_group wire-seq \
+		FuzzDecodeSeqUpdates ./internal/wire \
+		FuzzDecodeSeqUpdatesInto ./internal/wire &
+	fuzz_group tooling \
+		FuzzParseRecord ./internal/trace \
+		FuzzDirectiveParse ./internal/analysis &
+	fuzz_group diag \
+		FuzzWritePrometheus ./internal/telemetry \
+		FuzzParseCompilerDiag ./internal/perfdiag &
+	wait
+	if [ -e "$FUZZDIR/FAILED" ]; then
+		echo "fuzz smoke failures:" >&2
+		cat "$FUZZDIR/FAILED" >&2
+		cat "$FUZZDIR"/*.log >&2
+		rm -rf "$FUZZDIR"
+		exit 1
+	fi
+	rm -rf "$FUZZDIR"
+}
+
+# fuzz_group <name> [<FuzzTarget> <package>]...: run each target for 10s,
+# sequentially within the group, appending output to one per-group log that
+# is printed only when a target fails. Groups are launched in the background
+# from check() and joined with a single wait.
+fuzz_group() {
+	_fg_name="$1"
+	shift
+	_fg_log="$FUZZDIR/$_fg_name.log"
+	while [ "$#" -gt 0 ]; do
+		_fg_target="$1"
+		_fg_pkg="$2"
+		shift 2
+		if ! go test -fuzz="^${_fg_target}\$" -fuzztime=10s "$_fg_pkg" >>"$_fg_log" 2>&1; then
+			echo "  $_fg_target in $_fg_pkg (group $_fg_name)" >>"$FUZZDIR/FAILED"
+		fi
+	done
 }
 
 bench() {

@@ -1,47 +1,28 @@
-// Command escapecheck ground-truths the //lint:allocfree annotations against
-// the compiler's own escape analysis. The allocfree analyzer (cmd/sketchlint)
-// proves the annotated hot paths free of allocation-inducing *constructs* at
-// the AST level; escapecheck closes the gap the AST cannot see — a &local
-// outliving its frame, a value the compiler decides to heap-allocate — by
-// running
-//
-//	go build -gcflags='-m -m' <annotated packages>
-//
-// and failing when any escape-analysis diagnostic ("escapes to heap",
-// "moved to heap") lands inside the line span of a //lint:allocfree function.
-// Build-cache replays include these diagnostics, so the gate holds on warm
-// caches too.
-//
-// The -require flag (repeatable) names functions that MUST carry the
-// //lint:allocfree annotation, as pkgpath:name with methods written
-// (*Recv).name. It pins the coverage: silently deleting the annotation from
-// a hot-path kernel fails CI instead of silently shrinking the proof.
-//
-// A "//lint:allocok <reason>" on the escaping line acknowledges a reviewed
-// escape, mirroring the analyzer's suppression vocabulary.
-//
-// Usage:
+// Command escapecheck is the legacy entry point for the //lint:allocfree
+// ground-truth gate, kept as a thin wrapper over cmd/perfcheck restricted to
+// the allocfree contract. It accepts the historical flag syntax
 //
 //	escapecheck [-require pkg:func ...]
+//
+// where each -require names a function that must carry //lint:allocfree
+// (methods written (*Recv).name), and runs the same compiler-diagnostics
+// check perfcheck runs: go build -gcflags='-m -m' over the annotated
+// packages, failing on any in-span heap escape not acknowledged by a
+// same-line "//lint:allocok <reason>". New callers (and CI) should use
+// perfcheck directly, which adds the //lint:bce and //lint:inline contracts
+// and the -require-file pins format.
 //
 // Exit status: 0 clean, 1 violations, 2 operational errors.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"go/ast"
 	"io"
 	"os"
-	"os/exec"
-	"path/filepath"
-	"regexp"
-	"sort"
-	"strconv"
 	"strings"
 
-	"dcsketch/internal/analysis"
+	"dcsketch/internal/perfcheck"
 )
 
 func main() {
@@ -51,22 +32,6 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(code)
-}
-
-// span is the source extent of one annotated function.
-type span struct {
-	pkg        string // import path
-	name       string // receiver-qualified, e.g. (*Sketch).updateKernel
-	file       string // absolute path
-	start, end int    // inclusive line range (doc comment excluded)
-}
-
-// escape is one escape-analysis diagnostic at a source position.
-type escape struct {
-	file string
-	line int
-	col  int
-	msg  string
 }
 
 func run(args []string, w io.Writer) (int, error) {
@@ -80,64 +45,34 @@ func run(args []string, w io.Writer) (int, error) {
 	if fs.NArg() > 0 {
 		return 2, fmt.Errorf("unexpected arguments %q (escapecheck always checks the enclosing module)", fs.Args())
 	}
+	pins, err := legacyPins(required)
+	if err != nil {
+		return 2, err
+	}
+	return perfcheck.Main(perfcheck.Options{
+		Pins:      pins,
+		Contracts: map[perfcheck.Contract]bool{perfcheck.Allocfree: true},
+		Tool:      "escapecheck",
+	}, w)
+}
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		return 2, err
-	}
-	root, err := analysis.FindModuleRoot(cwd)
-	if err != nil {
-		return 2, err
-	}
-	pkgs, err := analysis.LoadModule(root)
-	if err != nil {
-		return 2, err
-	}
-	spans := annotatedSpans(pkgs)
-
-	violations := 0
-	for _, miss := range missingRequired(spans, required) {
-		violations++
-		fmt.Fprintf(w, "escapecheck: required function %s is not annotated //lint:allocfree\n", miss)
-	}
-	if len(spans) == 0 {
-		if violations > 0 {
-			return 1, nil
+// legacyPins converts historical "pkg:func" -require values into allocfree
+// pins.
+func legacyPins(required []string) ([]perfcheck.Pin, error) {
+	var pins []perfcheck.Pin
+	for i, req := range required {
+		pkg, sym, ok := strings.Cut(req, ":")
+		if !ok || pkg == "" || sym == "" {
+			return nil, fmt.Errorf("-require %q: want <pkgpath>:<func>", req)
 		}
-		fmt.Fprintln(w, "escapecheck: no //lint:allocfree annotations found; nothing to check")
-		return 0, nil
+		pins = append(pins, perfcheck.Pin{
+			Contract: perfcheck.Allocfree,
+			Pkg:      pkg,
+			Name:     sym,
+			Source:   fmt.Sprintf("-require[%d]", i),
+		})
 	}
-
-	out, err := compileDiagnostics(root, spanPackages(spans))
-	if err != nil {
-		return 2, err
-	}
-	escapes := parseEscapes(strings.NewReader(out))
-	// -m -m repeats an escape at the same position with and without the
-	// flow trace suffix; report each position once.
-	seen := map[string]bool{}
-	for _, e := range escapes {
-		sp := matchSpan(spans, e)
-		if sp == nil {
-			continue
-		}
-		key := fmt.Sprintf("%s:%d:%d", e.file, e.line, e.col)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		if lineSuppressed(sp.file, e.line) {
-			continue
-		}
-		violations++
-		fmt.Fprintf(w, "%s:%d:%d: heap allocation in //lint:allocfree function %s: %s\n",
-			e.file, e.line, e.col, sp.name, e.msg)
-	}
-	if violations > 0 {
-		fmt.Fprintf(w, "escapecheck: %d violation(s) across %d annotated function(s)\n", violations, len(spans))
-		return 1, nil
-	}
-	return 0, nil
+	return pins, nil
 }
 
 // multiFlag collects repeated -require values.
@@ -147,172 +82,4 @@ func (m *multiFlag) String() string { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(s string) error {
 	*m = append(*m, s)
 	return nil
-}
-
-// annotatedSpans collects the line spans of every //lint:allocfree function
-// in the module.
-func annotatedSpans(pkgs []*analysis.Package) []span {
-	var spans []span
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				if _, annotated := analysis.DocDirective(fn.Doc, "allocfree"); !annotated {
-					continue
-				}
-				start := pkg.Fset.Position(fn.Pos()) // excludes the doc comment
-				end := pkg.Fset.Position(fn.End())
-				spans = append(spans, span{
-					pkg:   pkg.Path,
-					name:  qualifiedName(fn),
-					file:  start.Filename,
-					start: start.Line,
-					end:   end.Line,
-				})
-			}
-		}
-	}
-	return spans
-}
-
-// qualifiedName renders a FuncDecl as name, (Recv).name or (*Recv).name.
-func qualifiedName(fn *ast.FuncDecl) string {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return fn.Name.Name
-	}
-	t := fn.Recv.List[0].Type
-	ptr := false
-	if st, ok := t.(*ast.StarExpr); ok {
-		ptr = true
-		t = st.X
-	}
-	base := "?"
-	switch t := t.(type) {
-	case *ast.Ident:
-		base = t.Name
-	case *ast.IndexExpr: // generic receiver
-		if id, ok := t.X.(*ast.Ident); ok {
-			base = id.Name
-		}
-	}
-	if ptr {
-		return "(*" + base + ")." + fn.Name.Name
-	}
-	return "(" + base + ")." + fn.Name.Name
-}
-
-// missingRequired returns the -require entries (pkgpath:func) with no
-// matching annotated span, sorted.
-func missingRequired(spans []span, required []string) []string {
-	have := map[string]bool{}
-	for _, sp := range spans {
-		have[sp.pkg+":"+sp.name] = true
-	}
-	var missing []string
-	for _, req := range required {
-		if !have[req] {
-			missing = append(missing, req)
-		}
-	}
-	sort.Strings(missing)
-	return missing
-}
-
-// spanPackages returns the sorted set of import paths containing annotations.
-func spanPackages(spans []span) []string {
-	set := map[string]bool{}
-	for _, sp := range spans {
-		set[sp.pkg] = true
-	}
-	out := make([]string, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// compileDiagnostics builds the given packages with escape analysis
-// diagnostics enabled and returns the compiler's combined output. The -m
-// flags apply to the packages named on the command line; the build cache
-// replays their diagnostics on unchanged rebuilds.
-func compileDiagnostics(root string, pkgPaths []string) (string, error) {
-	args := append([]string{"build", "-gcflags=-m -m"}, pkgPaths...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = root
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		return "", fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, out)
-	}
-	return string(out), nil
-}
-
-// diagLine matches one compiler diagnostic: file.go:line:col: message.
-var diagLine = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (.*)$`)
-
-// parseEscapes extracts heap-allocation diagnostics from -m -m output:
-// "escapes to heap" and "moved to heap" lines. Indented escape-flow
-// explanations, "# package" headers, inlining notes and "does not escape"
-// lines are skipped.
-func parseEscapes(r io.Reader) []escape {
-	var out []escape
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") ||
-			strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
-			continue
-		}
-		m := diagLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		msg := m[4]
-		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
-			continue
-		}
-		ln, _ := strconv.Atoi(m[2])
-		col, _ := strconv.Atoi(m[3])
-		out = append(out, escape{file: m[1], line: ln, col: col, msg: msg})
-	}
-	return out
-}
-
-// matchSpan finds the annotated function whose line span contains the
-// diagnostic. Compiler paths are package-relative or absolute depending on
-// invocation; spans hold absolute paths, so match on path suffix.
-func matchSpan(spans []span, e escape) *span {
-	for i := range spans {
-		sp := &spans[i]
-		if e.line < sp.start || e.line > sp.end {
-			continue
-		}
-		if sp.file == e.file || strings.HasSuffix(sp.file, "/"+filepath.ToSlash(e.file)) {
-			return sp
-		}
-	}
-	return nil
-}
-
-// lineSuppressed reports whether the named source line carries a
-// "//lint:allocok" acknowledgment. file is the span's absolute path (the
-// compiler may emit module-relative paths).
-func lineSuppressed(file string, line int) bool {
-	f, err := os.Open(file)
-	if err != nil {
-		return false
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for n := 1; sc.Scan(); n++ {
-		if n == line {
-			return strings.Contains(sc.Text(), "//lint:allocok")
-		}
-	}
-	return false
 }

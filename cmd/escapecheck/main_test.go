@@ -1,131 +1,56 @@
 package main
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"strings"
 	"testing"
+
+	"dcsketch/internal/perfcheck"
 )
 
-const sampleOutput = `# dcsketch/internal/dcs
-internal/dcs/dcs.go:320:7: can inline (*Sketch).updateKernel with cost 70
-internal/dcs/dcs.go:321:2: s does not escape
-internal/dcs/dcs.go:330:12: key escapes to heap:
-internal/dcs/dcs.go:330:12:   flow: {heap} = key:
-internal/dcs/dcs.go:330:12:     from key (spill) at internal/dcs/dcs.go:330:12
-	escapes because of loop depth
-internal/dcs/dcs.go:335:9: moved to heap: fp
-internal/dcs/other.go:12:3: make([]int64, n) escapes to heap
-internal/dcs/dcs.go:400:2: leaking param: buckets
-`
-
-func TestParseEscapes(t *testing.T) {
-	got := parseEscapes(strings.NewReader(sampleOutput))
-	want := []escape{
-		{file: "internal/dcs/dcs.go", line: 330, col: 12, msg: "key escapes to heap:"},
-		{file: "internal/dcs/dcs.go", line: 335, col: 9, msg: "moved to heap: fp"},
-		{file: "internal/dcs/other.go", line: 12, col: 3, msg: "make([]int64, n) escapes to heap"},
-	}
-	if len(got) != len(want) {
-		t.Fatalf("parseEscapes = %+v, want %+v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("parseEscapes[%d] = %+v, want %+v", i, got[i], want[i])
-		}
-	}
-}
-
-func TestMatchSpan(t *testing.T) {
-	spans := []span{
-		{pkg: "dcsketch/internal/dcs", name: "(*Sketch).updateKernel",
-			file: "/root/repo/internal/dcs/dcs.go", start: 318, end: 332},
-		{pkg: "dcsketch/internal/dcs", name: "(*Sketch).addSig",
-			file: "/root/repo/internal/dcs/dcs.go", start: 340, end: 366},
-	}
-	tests := []struct {
-		e    escape
-		want string // matched span name, "" for no match
-	}{
-		{escape{file: "internal/dcs/dcs.go", line: 330}, "(*Sketch).updateKernel"},
-		{escape{file: "/root/repo/internal/dcs/dcs.go", line: 345}, "(*Sketch).addSig"},
-		{escape{file: "internal/dcs/dcs.go", line: 335}, ""},   // between spans
-		{escape{file: "internal/dcs/other.go", line: 330}, ""}, // other file
-		{escape{file: "dcs.go", line: 330}, ""},                // suffix must align on a path boundary... but "/dcs.go" matches
-	}
-	for _, tt := range tests {
-		sp := matchSpan(spans, tt.e)
-		name := ""
-		if sp != nil {
-			name = sp.name
-		}
-		if tt.e.file == "dcs.go" {
-			// "/dcs.go" is a suffix of the absolute path, so this matches;
-			// compiler output never emits bare basenames for module files,
-			// so the looseness is acceptable. Document it.
-			if name != "(*Sketch).updateKernel" {
-				t.Errorf("matchSpan(%+v) = %q; bare basename expected to suffix-match", tt.e, name)
-			}
-			continue
-		}
-		if name != tt.want {
-			t.Errorf("matchSpan(%+v) = %q, want %q", tt.e, name, tt.want)
-		}
-	}
-}
-
-func TestMissingRequired(t *testing.T) {
-	spans := []span{
-		{pkg: "dcsketch/internal/dcs", name: "(*Sketch).updateKernel"},
-		{pkg: "dcsketch/internal/iheap", name: "(*Heap).Adjust"},
-	}
-	missing := missingRequired(spans, []string{
-		"dcsketch/internal/dcs:(*Sketch).updateKernel",
-		"dcsketch/internal/dcs:(*Sketch).gone",
-		"dcsketch/internal/iheap:(*Heap).Adjust",
+func TestLegacyPins(t *testing.T) {
+	pins, err := legacyPins([]string{
+		"dcsketch/internal/dcs:(*Sketch).applySig",
+		"dcsketch/internal/vec:BuildMaskedAddends",
 	})
-	if len(missing) != 1 || missing[0] != "dcsketch/internal/dcs:(*Sketch).gone" {
-		t.Errorf("missingRequired = %v, want [dcsketch/internal/dcs:(*Sketch).gone]", missing)
-	}
-	if got := missingRequired(spans, nil); len(got) != 0 {
-		t.Errorf("missingRequired(no requirements) = %v, want none", got)
-	}
-}
-
-func TestQualifiedName(t *testing.T) {
-	src := `package p
-func plain() {}
-func (s *Sketch) ptr() {}
-func (h Heap) val() {}
-`
-	f, err := parser.ParseFile(token.NewFileSet(), "p.go", src, 0)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("legacyPins: %v", err)
 	}
-	want := []string{"plain", "(*Sketch).ptr", "(Heap).val"}
-	i := 0
-	for _, d := range f.Decls {
-		fn, ok := d.(*ast.FuncDecl)
-		if !ok {
-			continue
-		}
-		if got := qualifiedName(fn); got != want[i] {
-			t.Errorf("qualifiedName #%d = %q, want %q", i, got, want[i])
-		}
-		i++
+	if len(pins) != 2 {
+		t.Fatalf("got %d pins, want 2", len(pins))
 	}
-	if i != len(want) {
-		t.Fatalf("parsed %d FuncDecls, want %d", i, len(want))
+	for i, p := range pins {
+		if p.Contract != perfcheck.Allocfree {
+			t.Errorf("pin[%d].Contract = %v, want Allocfree", i, p.Contract)
+		}
+	}
+	if pins[0].Pkg != "dcsketch/internal/dcs" || pins[0].Name != "(*Sketch).applySig" {
+		t.Errorf("pin[0] = %+v", pins[0])
+	}
+	if pins[1].Source != "-require[1]" {
+		t.Errorf("pin[1].Source = %q, want -require[1]", pins[1].Source)
 	}
 }
 
-func TestSpanPackages(t *testing.T) {
-	spans := []span{
-		{pkg: "b"}, {pkg: "a"}, {pkg: "b"},
+func TestLegacyPinsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"nofunc", ":f", "pkg:"} {
+		if _, err := legacyPins([]string{bad}); err == nil {
+			t.Errorf("legacyPins(%q) accepted a malformed pin", bad)
+		}
 	}
-	got := spanPackages(spans)
-	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
-		t.Errorf("spanPackages = %v, want [a b]", got)
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"./..."}, &b)
+	if code != 2 || err == nil {
+		t.Fatalf("run(positional) = %d, %v; want exit 2", code, err)
+	}
+}
+
+func TestRunRejectsBadRequire(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-require", "nosuchformat"}, &b)
+	if code != 2 || err == nil || !strings.Contains(err.Error(), "want <pkgpath>:<func>") {
+		t.Fatalf("run(bad -require) = %d, %v; want exit 2 with format hint", code, err)
 	}
 }

@@ -1,0 +1,102 @@
+// Command perfcheck ground-truths the repository's performance annotations
+// against the compiler's own diagnostics. It compiles every package carrying
+// a //lint:allocfree, //lint:bce or //lint:inline function with
+//
+//	go build -gcflags='-m -m -d=ssa/check_bce/debug=1' <packages>
+//
+// and fails when the compiler disagrees with an annotation: a heap escape
+// inside an allocfree span, a residual IsInBounds/IsSliceInBounds inside a
+// bce span, or a "cannot inline" decision on an inline-pinned function. See
+// internal/perfcheck for the contract semantics, including the same-line
+// //lint:allocok / //lint:bceok acknowledgments and the stale-suppression
+// sweep.
+//
+// Coverage pins keep the proof surface explicit. The committed pins file
+// (one "<contract> <pkgpath>:<symbol>" per line, # comments) is passed via
+// -require-file; ad-hoc pins via repeatable -require flags in the same
+// format. A pin on a function that lost its annotation is a source-located
+// violation; a pin naming no function in the module is an operational error.
+//
+// Usage:
+//
+//	perfcheck [-require-file pins.txt] [-require '<contract> <pkg>:<sym>' ...]
+//	          [-contracts allocfree,bce,inline] [-json]
+//
+// Exit status: 0 clean, 1 violations, 2 operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dcsketch/internal/perfcheck"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfcheck:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("perfcheck", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var requireFiles, requires multiFlag
+	fs.Var(&requireFiles, "require-file", "pins file: one '<contract> <pkgpath>:<symbol>' per line (repeatable)")
+	fs.Var(&requires, "require", "inline pin in the pins-file line format (repeatable)")
+	contracts := fs.String("contracts", "", "comma-separated contract subset (allocfree,bce,inline); empty = all")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding plus a summary trailer")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() > 0 {
+		return 2, fmt.Errorf("unexpected arguments %q (perfcheck always checks the enclosing module)", fs.Args())
+	}
+
+	opts := perfcheck.Options{JSON: *jsonOut}
+	for _, path := range requireFiles {
+		f, err := os.Open(path)
+		if err != nil {
+			return 2, err
+		}
+		pins, err := perfcheck.ParsePins(f, path)
+		f.Close()
+		if err != nil {
+			return 2, err
+		}
+		opts.Pins = append(opts.Pins, pins...)
+	}
+	for i, req := range requires {
+		pins, err := perfcheck.ParsePins(strings.NewReader(req), fmt.Sprintf("-require[%d]", i))
+		if err != nil {
+			return 2, err
+		}
+		opts.Pins = append(opts.Pins, pins...)
+	}
+	if *contracts != "" {
+		opts.Contracts = map[perfcheck.Contract]bool{}
+		for _, word := range strings.Split(*contracts, ",") {
+			c, ok := perfcheck.ParseContract(strings.TrimSpace(word))
+			if !ok {
+				return 2, fmt.Errorf("-contracts: unknown contract %q (want allocfree, bce or inline)", word)
+			}
+			opts.Contracts[c] = true
+		}
+	}
+	return perfcheck.Main(opts, w)
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"./..."}, &b)
+	if code != 2 || err == nil {
+		t.Fatalf("run(positional) = %d, %v; want exit 2", code, err)
+	}
+}
+
+func TestRunRejectsUnknownContract(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-contracts", "bce,asm"}, &b)
+	if code != 2 || err == nil || !strings.Contains(err.Error(), `unknown contract "asm"`) {
+		t.Fatalf("run(bad -contracts) = %d, %v; want exit 2 naming the word", code, err)
+	}
+}
+
+func TestRunRejectsMissingPinsFile(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-require-file", filepath.Join(t.TempDir(), "nope.txt")}, &b)
+	if code != 2 || err == nil {
+		t.Fatalf("run(missing pins file) = %d, %v; want exit 2", code, err)
+	}
+}
+
+func TestRunRejectsMalformedPinsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pins.txt")
+	if err := os.WriteFile(path, []byte("# ok\nescape pkg:f\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	code, err := run([]string{"-require-file", path}, &b)
+	if code != 2 || err == nil || !strings.Contains(err.Error(), `unknown contract "escape"`) {
+		t.Fatalf("run(malformed pins) = %d, %v; want exit 2 with contract error", code, err)
+	}
+}
+
+func TestRunRejectsMalformedRequireFlag(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-require", "bce missingcolon"}, &b)
+	if code != 2 || err == nil || !strings.Contains(err.Error(), "malformed symbol") {
+		t.Fatalf("run(bad -require) = %d, %v; want exit 2", code, err)
+	}
+}

@@ -1,5 +1,5 @@
 // Command sketchlint is the project's static-analysis driver: a
-// multichecker running the eleven dcsketch invariant analyzers over the
+// multichecker running the twelve dcsketch invariant analyzers over the
 // whole module.
 //
 //	seedcompat     sketch Merge/Subtract/Fold operands must share one Config/seed
@@ -13,12 +13,14 @@
 //	goroleak       every go spawn needs a provable join or shutdown path
 //	atomicfield    sync/atomic fields are never accessed plainly and stay aligned
 //	msgexhaustive  every wire MsgType is encoded, decoded, tested, printed, routed
+//	asmabi         assembly kernels match their Go stubs: NOSPLIT, ABI0 offsets, parity
 //
 // Usage:
 //
 //	sketchlint ./...
 //	sketchlint -analyzers seedcompat,wireerr ./...
 //	sketchlint -json ./...
+//	sketchlint -inventory ./...
 //
 // Diagnostics print as file:line:col: analyzer: message, and the exit status
 // is 1 when any unsuppressed diagnostic is reported (the CI `check` target
@@ -26,7 +28,10 @@
 // included, flagged "suppressed": true — is emitted as one JSON object per
 // line, keeping the module's suppression inventory machine-auditable; after
 // the diagnostics, one summary object per analyzer ("summary": true) reports
-// its package count, finding and suppression tallies, and elapsed time. The
+// its package count, finding and suppression tallies, and elapsed time.
+// -inventory combines both in a single pass: text diagnostics for humans,
+// then the per-analyzer JSON summary trailers plus one total line, so CI
+// gets the gate and the suppression inventory from one module load. The
 // //lint: escape hatches and markers are documented in DESIGN.md and the
 // internal/analysis package doc.
 package main
@@ -43,6 +48,7 @@ import (
 
 	"dcsketch/internal/analysis"
 	"dcsketch/internal/analysis/allocfree"
+	"dcsketch/internal/analysis/asmabi"
 	"dcsketch/internal/analysis/atomicfield"
 	"dcsketch/internal/analysis/deltasign"
 	"dcsketch/internal/analysis/goroleak"
@@ -68,6 +74,7 @@ var analyzers = []*analysis.Analyzer{
 	goroleak.Analyzer,
 	atomicfield.Analyzer,
 	msgexhaustive.Analyzer,
+	asmabi.Analyzer,
 }
 
 func main() {
@@ -111,13 +118,17 @@ type analyzerStats struct {
 func run(args []string, w io.Writer) (int, error) {
 	fs := flag.NewFlagSet("sketchlint", flag.ContinueOnError)
 	var (
-		names    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-		list     = fs.Bool("list", false, "list available analyzers and exit")
-		jsonMode = fs.Bool("json", false, "emit one JSON object per diagnostic (suppressed ones included) instead of text")
+		names     = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
+		jsonMode  = fs.Bool("json", false, "emit one JSON object per diagnostic (suppressed ones included) instead of text")
+		inventory = fs.Bool("inventory", false, "text diagnostics plus the JSON summary trailers and elapsed totals in one pass")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *jsonMode && *inventory {
+		return 2, fmt.Errorf("-json and -inventory are mutually exclusive (-inventory already emits the JSON trailers)")
 	}
 	if *list {
 		for _, a := range analyzers {
@@ -185,9 +196,13 @@ func run(args []string, w io.Writer) (int, error) {
 			}
 		}
 	}
-	if *jsonMode {
+	if *jsonMode || *inventory {
+		var totalSuppressed int
+		var totalElapsed time.Duration
 		for _, a := range suite {
 			st := stats[a.Name]
+			totalSuppressed += st.suppressed
+			totalElapsed += st.elapsed
 			if err := enc.Encode(jsonSummary{
 				Summary:    true,
 				Analyzer:   a.Name,
@@ -198,6 +213,11 @@ func run(args []string, w io.Writer) (int, error) {
 			}); err != nil {
 				return 2, err
 			}
+		}
+		if *inventory {
+			fmt.Fprintf(w, "sketchlint inventory: %d analyzer(s) over %d package(s): %d finding(s), %d suppressed, %.1fms total\n",
+				len(suite), len(pkgs), actionable, totalSuppressed,
+				float64(totalElapsed.Microseconds())/1000)
 		}
 	}
 	if actionable > 0 {

@@ -45,6 +45,17 @@ func TestSelectAnalyzers(t *testing.T) {
 	}
 }
 
+func TestInventoryExcludesJSON(t *testing.T) {
+	var sb strings.Builder
+	code, err := run([]string{"-json", "-inventory"}, &sb)
+	if code != 2 || err == nil {
+		t.Fatalf("run(-json -inventory) = %d, %v; want 2 and an error", code, err)
+	}
+	if !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("error should explain the flag conflict, got: %v", err)
+	}
+}
+
 func TestUnsupportedPattern(t *testing.T) {
 	var sb strings.Builder
 	code, err := run([]string{"./internal/..."}, &sb)

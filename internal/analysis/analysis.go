@@ -6,8 +6,8 @@
 // An Analyzer inspects one type-checked package at a time through a Pass and
 // reports Diagnostics. The project analyzers live in subpackages (seedcompat,
 // lockcheck, wireerr, deltasign, allocfree, scratchsafe, poolcheck,
-// lockorder, goroleak, atomicfield, msgexhaustive) and are driven over the
-// whole module by cmd/sketchlint; each is unit-tested against golden
+// lockorder, goroleak, atomicfield, msgexhaustive, asmabi) and are driven
+// over the whole module by cmd/sketchlint; each is unit-tested against golden
 // packages with the analysistest subpackage. Analyzers that reason across
 // package boundaries (allocfree's call-graph proofs, lockorder's
 // acquisition graph, goroleak's join search, atomicfield's module-wide
@@ -26,7 +26,13 @@
 //	//lint:lockok    <reason>   suppress a lockcheck diagnostic
 //	//lint:wireok    <reason>   suppress a wireerr diagnostic
 //	//lint:deltaok   <reason>   suppress a deltasign diagnostic
-//	//lint:allocok   <reason>   suppress an allocfree diagnostic
+//	//lint:allocok   <reason>   suppress an allocfree diagnostic (also
+//	                            acknowledges a reviewed escape to
+//	                            cmd/perfcheck)
+//	//lint:bceok     <reason>   acknowledge a reviewed residual bounds
+//	                            check to cmd/perfcheck; stale bceok
+//	                            comments are themselves diagnosed
+//	//lint:asmok     <reason>   suppress an asmabi diagnostic
 //	//lint:scratchok <reason>   suppress a scratchsafe diagnostic
 //	//lint:poolok    <reason>   suppress a poolcheck diagnostic
 //	//lint:orderok   <reason>   suppress a lockorder diagnostic
@@ -46,8 +52,15 @@
 //	//lint:allocfree          the function (and, transitively, every
 //	                          module-internal function it calls) must
 //	                          contain no allocation-inducing construct
-//	                          (proven by allocfree and ground-truthed by
-//	                          cmd/escapecheck)
+//	                          (proven by allocfree and ground-truthed
+//	                          against escape analysis by cmd/perfcheck)
+//	//lint:bce                every bounds check in the function must be
+//	                          eliminated by the compiler or acknowledged
+//	                          with a same-line //lint:bceok (verified
+//	                          against ssa/check_bce by cmd/perfcheck)
+//	//lint:inline             the compiler must report the function as
+//	                          inlinable ("can inline", budget 80)
+//	                          (verified against -m by cmd/perfcheck)
 //	//lint:poolown <reason>   the function intentionally retains a
 //	                          sync.Pool buffer past its return — ownership
 //	                          is handed off (consumed by poolcheck)

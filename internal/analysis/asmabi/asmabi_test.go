@@ -1,0 +1,76 @@
+package asmabi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlagsHaveNosplit(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"NOSPLIT", true},
+		{"NOSPLIT|NOFRAME", true},
+		{"WRAPPER|NOSPLIT", true},
+		{"4", true},
+		{"7", true},
+		{"NOFRAME", false},
+		{"RODATA", false},
+		{"0", false},
+	}
+	for _, c := range cases {
+		if got := flagsHaveNosplit(c.in); got != c.want {
+			t.Errorf("flagsHaveNosplit(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAsmFiles(t *testing.T) {
+	dir := t.TempDir()
+	src := `#include "textflag.h"
+DATA tab<>+0x00(SB)/8, $1
+DATA tab<>+0x08(SB)/8, $2
+GLOBL tab<>(SB), RODATA|NOPTR, $16
+
+// func f(x int64) int64
+TEXT ·f(SB), NOSPLIT, $0-16
+	MOVQ x+0(FP), AX // comment with y+8(FP) must not count
+	LEAQ tab<>(SB), SI
+	MOVQ AX, ret+8(FP)
+	RET
+
+TEXT ·bare(SB), $8-0
+	RET
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.s"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := parseAsmFiles(dir, []string{"x.s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := idx.texts["f"]
+	if f == nil {
+		t.Fatal("TEXT ·f not indexed")
+	}
+	if !f.nosplit || f.argSize != 16 || f.line != 7 {
+		t.Errorf("f = %+v, want nosplit, argSize 16, line 7", f)
+	}
+	if len(f.fpRefs) != 2 || f.fpRefs[0].name != "x" || f.fpRefs[0].off != 0 ||
+		f.fpRefs[1].name != "ret" || f.fpRefs[1].off != 8 {
+		t.Errorf("f.fpRefs = %+v, want x+0 and ret+8 only (comments stripped)", f.fpRefs)
+	}
+	if len(f.staticRefs) != 1 || f.staticRefs[0].name != "tab" {
+		t.Errorf("f.staticRefs = %+v, want tab", f.staticRefs)
+	}
+	bare := idx.texts["bare"]
+	if bare == nil || bare.nosplit || bare.argSize != 0 {
+		t.Errorf("bare = %+v, want no NOSPLIT, argSize 0", bare)
+	}
+	tab := idx.statics["tab"]
+	if tab == nil || tab.globlSize != 16 || tab.dataEnd != 16 {
+		t.Errorf("tab = %+v, want globlSize 16, dataEnd 16", tab)
+	}
+}

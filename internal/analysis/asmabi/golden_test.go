@@ -1,0 +1,12 @@
+package asmabi_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/asmabi"
+)
+
+func TestAsmABI(t *testing.T) {
+	analysistest.Run(t, asmabi.Analyzer, "asmabi")
+}

@@ -1,0 +1,13 @@
+//go:build fallbackonly
+
+package asmabi
+
+// Parity disagrees with gcfile.go on the parameter type.
+func Parity(x int32) int64 { return int64(x) }
+
+// Matched mirrors gcfile.go exactly.
+func Matched(a, b int64) int64 { return a + b }
+
+// OnlyFallback exists only in this never-satisfied build, a skew the host
+// build would ship without.
+func OnlyFallback() {}

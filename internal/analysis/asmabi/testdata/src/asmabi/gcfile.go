@@ -1,0 +1,14 @@
+//go:build gc
+
+package asmabi
+
+// Parity's fallback declaration (fallback.go) disagrees on the parameter
+// type.
+func Parity(x int64) int64 { return x } // want `signature of Parity differs from its fallback declaration in fallback.go`
+
+// MissingFallback has no declaration in the ignored complement, so the
+// non-host build would lack it.
+func MissingFallback() {} // want `no fallback declaration`
+
+// Matched is cleanly mirrored in fallback.go.
+func Matched(a, b int64) int64 { return a + b }

@@ -284,6 +284,7 @@ func (s *Sketch) Update(src, dst uint32, delta int64) {
 // UpdateKey is Update on a pre-packed 64-bit pair key.
 //
 //lint:allocfree
+//lint:inline
 func (s *Sketch) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return
@@ -307,6 +308,7 @@ func (s *Sketch) UpdateKey(key uint64, delta int64) {
 // with no hash-table traffic interleaved.
 //
 //lint:allocfree
+//lint:bce
 func (s *Sketch) UpdateBatch(batch []KeyDelta) {
 	r := len(s.bucketHash)
 	for len(batch) > 0 {
@@ -314,7 +316,7 @@ func (s *Sketch) UpdateBatch(batch []KeyDelta) {
 		if len(chunk) > batchChunk {
 			chunk = chunk[:batchChunk]
 		}
-		batch = batch[len(chunk):]
+		batch = batch[len(chunk):] //lint:bceok len(chunk) <= len(batch) by construction two lines up
 
 		// Phase 1: hash precomputation. Zero-delta records are compacted
 		// away here so phase 2 sees only live updates.
@@ -326,32 +328,32 @@ func (s *Sketch) UpdateBatch(batch []KeyDelta) {
 				continue
 			}
 			key := u.Key
-			keys[n] = key
-			deltas[n] = u.Delta
+			keys[n] = key       //lint:bceok n < batchChunk, the scratch capacity; not provable from the range bound
+			deltas[n] = u.Delta //lint:bceok n < batchChunk scratch capacity
 			level := s.levelHash.Level(key, s.cfg.Levels)
-			levels[n] = int32(level)
+			levels[n] = int32(level) //lint:bceok n < batchChunk scratch capacity
 			if s.layout.Fingerprint {
-				fps[n] = s.fpHash.Fingerprint(key)
+				fps[n] = s.fpHash.Fingerprint(key) //lint:bceok n < batchChunk scratch capacity
 			} else {
-				fps[n] = 0
+				fps[n] = 0 //lint:bceok n < batchChunk scratch capacity
 			}
 			base := level * s.levelStride
 			for j, h := range s.bucketHash {
-				idx[n*r+j] = base + j*s.tableStride + h.Bucket(key, s.cfg.Buckets)*s.width
+				idx[n*r+j] = base + j*s.tableStride + h.Bucket(key, s.cfg.Buckets)*s.width //lint:bceok n*r+j < batchChunk*r, the idx scratch capacity
 			}
 			n++
 		}
 
 		// Phase 2: apply. One addend build per record, r vector adds.
 		for i := 0; i < n; i++ {
-			delta := deltas[i]
-			vec.BuildMaskedAddends(&s.addends, keys[i], delta)
-			fp := fps[i]
+			delta := deltas[i]                                 //lint:bceok i < n <= batchChunk scratch length
+			vec.BuildMaskedAddends(&s.addends, keys[i], delta) //lint:bceok i < n <= batchChunk scratch length
+			fp := fps[i]                                       //lint:bceok i < n <= batchChunk scratch length
 			occ := int32(0)
 			for j := 0; j < r; j++ {
-				occ += s.applySig(idx[i*r+j], delta, fp)
+				occ += s.applySig(idx[i*r+j], delta, fp) //lint:bceok i*r+j < batchChunk*r idx capacity
 			}
-			s.occupied[levels[i]] += occ
+			s.occupied[levels[i]] += occ //lint:bceok levels[i] < cfg.Levels from the level hash; i < n scratch length
 			if debugAssertions && delta < 0 {
 				s.assertKeyBuckets(keys[i], "delete")
 			}
@@ -380,6 +382,7 @@ func (s *Sketch) Locate(key uint64, buckets []int) (level int) {
 // output for key; anything else corrupts the sketch.
 //
 //lint:allocfree
+//lint:bce
 func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int) {
 	if delta == 0 {
 		return
@@ -398,7 +401,7 @@ func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int
 	for j, b := range buckets {
 		occ += s.applySig(base+j*s.tableStride+b*s.width, delta, fp)
 	}
-	s.occupied[level] += occ
+	s.occupied[level] += occ //lint:bceok level < cfg.Levels by the Locate contract
 	if debugAssertions && delta < 0 {
 		s.assertKeyBuckets(key, "delete")
 	}
@@ -411,6 +414,7 @@ func (s *Sketch) UpdateLocated(key uint64, delta int64, level int, buckets []int
 // through the vec lane kernels (AVX2 where available).
 //
 //lint:allocfree
+//lint:bce
 func (s *Sketch) updateKernel(key uint64, delta int64) {
 	s.updates++
 	level := s.levelHash.Level(key, s.cfg.Levels)
@@ -425,7 +429,7 @@ func (s *Sketch) updateKernel(key uint64, delta int64) {
 		b := h.Bucket(key, s.cfg.Buckets)
 		occ += s.applySig(base+j*s.tableStride+b*s.width, delta, fp)
 	}
-	s.occupied[level] += occ
+	s.occupied[level] += occ //lint:bceok level < cfg.Levels from the level hash
 }
 
 // applySig adds the prebuilt masked addend vector (s.addends, see
@@ -439,8 +443,9 @@ func (s *Sketch) updateKernel(key uint64, delta int64) {
 // made the masked-add loop (~78% of the PR 2 update profile) disappear.
 //
 //lint:allocfree
+//lint:bce
 func (s *Sketch) applySig(i int, delta, fp int64) int32 {
-	c := (*[1 + sig.KeyBits]int64)(s.counters[i:])
+	c := (*[1 + sig.KeyBits]int64)(s.counters[i:]) //lint:bceok one check for the whole 65-counter signature; i is a trusted flat index
 	old := c[0]
 	tot := old + delta
 	c[0] = tot
@@ -454,7 +459,7 @@ func (s *Sketch) applySig(i int, delta, fp int64) int32 {
 	}
 	vec.AddInt64Lanes((*[vec.Lanes]int64)(c[1:]), &s.addends)
 	if s.layout.Fingerprint {
-		s.counters[i+1+sig.KeyBits] += delta * fp
+		s.counters[i+1+sig.KeyBits] += delta * fp //lint:bceok fingerprint counter sits one past the array-pointer window
 	}
 	return occ
 }

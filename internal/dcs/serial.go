@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"dcsketch/internal/sig"
 )
 
 // Serialization format (little-endian, varint-based):
@@ -116,9 +118,17 @@ func UnmarshalBinary(data []byte) (*Sketch, error) {
 	}
 
 	// Bound the parameters before allocating: Tables*Buckets*Levels*width
-	// is the counter count; reject anything implying > 1 GiB.
+	// is the counter count; reject anything implying > 1 GiB. The product
+	// check matters, not just the per-dimension caps — individually-plausible
+	// dimensions can still multiply out to a multi-hundred-GiB allocation
+	// inside New (fuzz corpus fc7aeaf238eae7e2). The factors are capped at
+	// 2^10 * 2^24 * 2^6 * width, so the uint64 product cannot overflow.
 	if tables == 0 || tables > 1024 || buckets < 2 || buckets > 1<<24 || levels == 0 || levels > 64 {
 		return nil, fmt.Errorf("%w: implausible parameters (r=%d s=%d L=%d)", ErrCorrupt, tables, buckets, levels)
+	}
+	width := uint64(sig.Layout{Fingerprint: fpFlag != 1}.Width())
+	if counterCount := tables * buckets * levels * width; counterCount > (1<<30)/8 {
+		return nil, fmt.Errorf("%w: counter array too large (%d counters)", ErrCorrupt, counterCount)
 	}
 
 	if sampleTarget > 1<<30 {
@@ -135,9 +145,6 @@ func UnmarshalBinary(data []byte) (*Sketch, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dcs: decode config: %w", err)
-	}
-	if len(s.counters) > (1<<30)/8 {
-		return nil, fmt.Errorf("%w: counter array too large", ErrCorrupt)
 	}
 	s.updates = updates
 

@@ -2,6 +2,7 @@ package dcs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"dcsketch/internal/hashing"
@@ -127,6 +128,23 @@ func TestUnmarshalRejectsImplausibleParameters(t *testing.T) {
 	buf = append(buf, make([]byte, 17)...)         // seed+eps+flag
 	if _, err := UnmarshalBinary(buf); err == nil {
 		t.Fatal("implausible parameters accepted")
+	}
+}
+
+func TestUnmarshalRejectsOversizedProduct(t *testing.T) {
+	// Every dimension is individually inside its cap, but the product
+	// implies a ~270 GiB counter array; the decoder must reject it before
+	// New allocates (regression for fuzz corpus fc7aeaf238eae7e2).
+	buf := []byte("DCS1")
+	buf = appendUvarintForTest(buf, 48)     // tables
+	buf = appendUvarintForTest(buf, 425983) // buckets
+	buf = appendUvarintForTest(buf, 25)     // levels
+	buf = append(buf, make([]byte, 17)...)  // seed+eps+flag
+	buf = appendUvarintForTest(buf, 0)      // sample target
+	buf = appendUvarintForTest(buf, 0)      // updates
+	_, err := UnmarshalBinary(buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized counter product: got %v, want ErrCorrupt", err)
 	}
 }
 

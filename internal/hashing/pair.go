@@ -4,6 +4,8 @@ package hashing
 // pair-domain key used throughout the sketch: the source occupies the high 32
 // bits and the destination the low 32 bits. This is the paper's
 // "concatenating the two addresses" encoding of [m^2].
+//
+//lint:inline
 func PairKey(src, dst uint32) uint64 {
 	return uint64(src)<<32 | uint64(dst)
 }
@@ -14,6 +16,8 @@ func SplitPair(key uint64) (src, dst uint32) {
 }
 
 // PairDest extracts the destination address from a pair key.
+//
+//lint:inline
 func PairDest(key uint64) uint32 {
 	return uint32(key)
 }

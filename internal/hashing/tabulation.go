@@ -31,6 +31,8 @@ func NewTab64(seed uint64) *Tab64 {
 }
 
 // Hash returns the 64-bit hash of x.
+//
+//lint:inline
 func (t *Tab64) Hash(x uint64) uint64 {
 	return t.tables[0][byte(x)] ^
 		t.tables[1][byte(x>>8)] ^

@@ -207,6 +207,8 @@ func (h *Heap) removeAt(i int) {
 
 // less orders entries by descending priority, then ascending key, giving the
 // heap a deterministic total order.
+//
+//lint:inline
 func (h *Heap) less(a, b Entry) bool {
 	if a.Priority != b.Priority {
 		return a.Priority > b.Priority
@@ -243,6 +245,7 @@ func (h *Heap) siftDown(i int) {
 	}
 }
 
+//lint:inline
 func (h *Heap) swap(i, j int) {
 	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
 	h.pos[h.entries[i].Key] = i //lint:allocok overwrite of an existing key; no bucket growth

@@ -1,0 +1,209 @@
+package perfcheck
+
+import (
+	"strings"
+	"testing"
+
+	"dcsketch/internal/perfdiag"
+)
+
+func TestParsePins(t *testing.T) {
+	in := `# perf contract pins
+allocfree dcsketch/internal/dcs:(*Sketch).applySig
+
+bce dcsketch/internal/vec:addInt64LanesGeneric
+inline dcsketch/internal/telemetry:(*Counter).Inc
+`
+	pins, err := ParsePins(strings.NewReader(in), "pins.txt")
+	if err != nil {
+		t.Fatalf("ParsePins: %v", err)
+	}
+	want := []Pin{
+		{Contract: Allocfree, Pkg: "dcsketch/internal/dcs", Name: "(*Sketch).applySig", Source: "pins.txt:2"},
+		{Contract: BCE, Pkg: "dcsketch/internal/vec", Name: "addInt64LanesGeneric", Source: "pins.txt:4"},
+		{Contract: Inline, Pkg: "dcsketch/internal/telemetry", Name: "(*Counter).Inc", Source: "pins.txt:5"},
+	}
+	if len(pins) != len(want) {
+		t.Fatalf("got %d pins, want %d: %+v", len(pins), len(want), pins)
+	}
+	for i := range want {
+		if pins[i] != want[i] {
+			t.Errorf("pin[%d] = %+v, want %+v", i, pins[i], want[i])
+		}
+	}
+}
+
+func TestParsePinsRejectsMalformed(t *testing.T) {
+	cases := []struct{ in, wantErr string }{
+		{"allocfree\n", "malformed pin"},
+		{"escape pkg:f\n", `unknown contract "escape"`},
+		{"bce nosymbol\n", "malformed symbol"},
+		{"bce :f\n", "malformed symbol"},
+		{"inline pkg:\n", "malformed symbol"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePins(strings.NewReader(c.in), "p.txt"); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParsePins(%q) err = %v, want containing %q", c.in, err, c.wantErr)
+		} else if !strings.Contains(err.Error(), "p.txt:1") {
+			t.Errorf("ParsePins(%q) err = %v, want file:line prefix", c.in, err)
+		}
+	}
+}
+
+func TestParseContract(t *testing.T) {
+	for _, c := range []Contract{Allocfree, BCE, Inline} {
+		got, ok := ParseContract(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseContract(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseContract("asm"); ok {
+		t.Error("ParseContract accepted an unknown word")
+	}
+}
+
+func TestUnknownPins(t *testing.T) {
+	decls := map[string]Decl{"pkg:F": {File: "f.go", Line: 3}}
+	pins := []Pin{
+		{Contract: BCE, Pkg: "pkg", Name: "F"},
+		{Contract: BCE, Pkg: "pkg", Name: "Missp", Source: "p.txt:7"},
+	}
+	unknown := UnknownPins(pins, decls)
+	if len(unknown) != 1 || unknown[0].Name != "Missp" {
+		t.Fatalf("UnknownPins = %+v, want the misspelled pin only", unknown)
+	}
+}
+
+// mapReader backs Evaluate's suppression probes with an in-memory file.
+func mapReader(lines map[string]map[int]string) LineReader {
+	return func(file string, line int) string { return lines[file][line] }
+}
+
+func TestEvaluateEscapeAndSuppression(t *testing.T) {
+	spans := []Span{{Pkg: "p", Name: "F", File: "/abs/f.go", Start: 10, End: 20, Contract: Allocfree}}
+	diags := []perfdiag.Diag{
+		{File: "f.go", Line: 12, Col: 3, Kind: perfdiag.KindEscape, Msg: "moved to heap: v"},
+		{File: "f.go", Line: 12, Col: 3, Kind: perfdiag.KindEscape, Msg: "moved to heap: v:"}, // -m -m repeat
+		{File: "f.go", Line: 15, Col: 3, Kind: perfdiag.KindEscape, Msg: "x escapes to heap"},
+		{File: "f.go", Line: 25, Col: 1, Kind: perfdiag.KindEscape, Msg: "outside the span"},
+	}
+	src := mapReader(map[string]map[int]string{"/abs/f.go": {15: "\tx := y //lint:allocok reviewed"}})
+	got := Evaluate(spans, nil, nil, diags, src)
+	if len(got) != 2 {
+		t.Fatalf("Evaluate = %+v, want 2 findings (dedup + span filter)", got)
+	}
+	if got[0].Line != 12 || got[0].Suppressed || got[0].Contract != Allocfree {
+		t.Errorf("finding 0 = %+v, want unsuppressed escape at line 12", got[0])
+	}
+	if got[1].Line != 15 || !got[1].Suppressed {
+		t.Errorf("finding 1 = %+v, want suppressed escape at line 15", got[1])
+	}
+}
+
+func TestEvaluateBCEDedupAndStale(t *testing.T) {
+	spans := []Span{{Pkg: "p", Name: "F", File: "/abs/f.go", Start: 10, End: 20, Contract: BCE}}
+	diags := []perfdiag.Diag{
+		{File: "f.go", Line: 11, Col: 9, Kind: perfdiag.KindBoundsCheck, Msg: "Found IsInBounds"},
+		{File: "f.go", Line: 11, Col: 9, Kind: perfdiag.KindBoundsCheck, Msg: "Found IsInBounds"},
+		{File: "/usr/local/go/src/slices/sort.go", Line: 12, Col: 1, Kind: perfdiag.KindBoundsCheck, Msg: "Found IsInBounds"},
+	}
+	src := mapReader(map[string]map[int]string{"/abs/f.go": {
+		11: "\t_ = xs[i]",
+		14: "\t_ = xs[j] //lint:bceok stale now",
+	}})
+	got := Evaluate(spans, nil, nil, diags, src)
+	if len(got) != 2 {
+		t.Fatalf("Evaluate = %+v, want residual check + stale suppression", got)
+	}
+	if got[0].Line != 11 || got[0].Suppressed {
+		t.Errorf("finding 0 = %+v, want unsuppressed bounds check at 11", got[0])
+	}
+	if got[1].Line != 14 || !strings.Contains(got[1].Msg, "stale //lint:bceok") {
+		t.Errorf("finding 1 = %+v, want stale bceok at 14", got[1])
+	}
+}
+
+func TestEvaluateLiveSuppressionIsNotStale(t *testing.T) {
+	spans := []Span{{Pkg: "p", Name: "F", File: "/abs/f.go", Start: 10, End: 20, Contract: BCE}}
+	diags := []perfdiag.Diag{
+		{File: "f.go", Line: 11, Col: 9, Kind: perfdiag.KindBoundsCheck, Msg: "Found IsInBounds"},
+	}
+	src := mapReader(map[string]map[int]string{"/abs/f.go": {11: "\t_ = xs[i] //lint:bceok data-dependent"}})
+	got := Evaluate(spans, nil, nil, diags, src)
+	if len(got) != 1 || !got[0].Suppressed {
+		t.Fatalf("Evaluate = %+v, want exactly one suppressed finding", got)
+	}
+}
+
+func TestEvaluateInlineDecisions(t *testing.T) {
+	spans := []Span{
+		{Pkg: "p", Name: "Good", File: "/abs/f.go", Start: 5, End: 8, Contract: Inline},
+		{Pkg: "p", Name: "Bad", File: "/abs/f.go", Start: 12, End: 30, Contract: Inline},
+		{Pkg: "p", Name: "Silent", File: "/abs/f.go", Start: 40, End: 44, Contract: Inline},
+	}
+	diags := []perfdiag.Diag{
+		{File: "f.go", Line: 5, Col: 6, Kind: perfdiag.KindCanInline, Name: "Good", Msg: "can inline Good"},
+		{File: "f.go", Line: 12, Col: 6, Kind: perfdiag.KindCannotInline, Name: "Bad",
+			Msg: "cannot inline Bad: function too complex: cost 203 exceeds budget 80"},
+	}
+	got := Evaluate(spans, nil, nil, diags, mapReader(nil))
+	if len(got) != 2 {
+		t.Fatalf("Evaluate = %+v, want cannot-inline + no-decision findings", got)
+	}
+	if got[0].Func != "Bad" || !strings.Contains(got[0].Msg, "cost 203") {
+		t.Errorf("finding 0 = %+v, want the compiler's cannot-inline reason", got[0])
+	}
+	if got[1].Func != "Silent" || !strings.Contains(got[1].Msg, "no inlining decision") {
+		t.Errorf("finding 1 = %+v, want missing-decision violation", got[1])
+	}
+}
+
+func TestEvaluatePinOnDeannotatedFunction(t *testing.T) {
+	decls := map[string]Decl{"p:F": {File: "/abs/f.go", Line: 3}}
+	pins := []Pin{{Contract: Inline, Pkg: "p", Name: "F", Source: "pins.txt:9"}}
+	got := Evaluate(nil, pins, decls, nil, mapReader(nil))
+	if len(got) != 1 {
+		t.Fatalf("Evaluate = %+v, want one pin violation", got)
+	}
+	f := got[0]
+	if f.File != "/abs/f.go" || f.Line != 3 || f.Contract != Inline ||
+		!strings.Contains(f.Msg, "pinned in pins.txt:9") || !strings.Contains(f.Msg, "//lint:inline") {
+		t.Errorf("pin violation = %+v, want source-located message naming the pin", f)
+	}
+}
+
+func TestEvaluatePinSatisfiedBySpan(t *testing.T) {
+	spans := []Span{{Pkg: "p", Name: "F", File: "/abs/f.go", Start: 5, End: 8, Contract: BCE}}
+	decls := map[string]Decl{"p:F": {File: "/abs/f.go", Line: 5}}
+	pins := []Pin{
+		{Contract: BCE, Pkg: "p", Name: "F"},
+		{Contract: Inline, Pkg: "p", Name: "F", Source: "pins.txt:2"}, // different contract: still missing
+	}
+	got := Evaluate(spans, pins, decls, nil, mapReader(nil))
+	if len(got) != 1 || got[0].Contract != Inline {
+		t.Fatalf("Evaluate = %+v, want only the inline pin to fail", got)
+	}
+}
+
+func TestSpanPackages(t *testing.T) {
+	spans := []Span{
+		{Pkg: "b", Contract: BCE}, {Pkg: "a", Contract: Inline}, {Pkg: "b", Contract: Allocfree},
+	}
+	got := SpanPackages(spans)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("SpanPackages = %v, want [a b]", got)
+	}
+}
+
+func TestGcflags(t *testing.T) {
+	all := []Span{{Contract: Allocfree}, {Contract: BCE}, {Contract: Inline}}
+	if got := gcflags(all); got != "-m -m -d=ssa/check_bce/debug=1" {
+		t.Errorf("gcflags(all) = %q", got)
+	}
+	if got := gcflags([]Span{{Contract: Allocfree}}); got != "-m -m" {
+		t.Errorf("gcflags(allocfree) = %q", got)
+	}
+	if got := gcflags([]Span{{Contract: BCE}}); got != "-d=ssa/check_bce/debug=1" {
+		t.Errorf("gcflags(bce) = %q", got)
+	}
+}

@@ -1,0 +1,28 @@
+// Package clean holds contract-satisfying functions for the perfcheck
+// end-to-end test: every annotation below is provable by the compiler.
+package clean
+
+// Sum is a bounds-check-free, inlinable reduction.
+//
+//lint:bce i < len(xs) proves every access
+//lint:inline pinned hot helper
+func Sum(xs []int64) int64 {
+	var t int64
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// Fill writes v to every element without allocating.
+//
+//lint:allocfree fixture hot path
+func Fill(dst []int64, v int64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// Helper is deliberately unannotated; the pin tests point at it to prove a
+// pinned-but-deannotated function fails the gate with a located diagnostic.
+func Helper(x int64) int64 { return x + 1 }

@@ -1,0 +1,3 @@
+module fixtureclean
+
+go 1.24

@@ -1,0 +1,56 @@
+// Package dirty seeds one violation of every perfcheck contract, plus a live
+// and a stale suppression, for the end-to-end test.
+package dirty
+
+// Box leaks its local through the return — an unacknowledged escape.
+//
+//lint:allocfree seeded violation
+func Box(x int64) *int64 {
+	v := x
+	return &v
+}
+
+// BoxOK carries a reviewed, acknowledged escape.
+//
+//lint:allocfree live suppression case
+func BoxOK(x int64) *int64 {
+	v := x //lint:allocok reviewed boxing for the fixture
+	return &v
+}
+
+// At indexes without a provable bound — a residual check.
+//
+//lint:bce seeded violation
+func At(xs []int64, i int) int64 {
+	return xs[i]
+}
+
+// AtOK acknowledges its data-dependent residual check.
+//
+//lint:bce live suppression case
+func AtOK(xs []int64, i int) int64 {
+	return xs[i] //lint:bceok data-dependent index in fixture
+}
+
+// Stale carries a bceok on a line whose bounds check the compiler
+// eliminates (the len guard proves the index), so the acknowledgment is
+// rotted. allocok comments are exempt from the stale sweep — they may be
+// suppressing AST-analyzer diagnostics invisible to the compiler — so the
+// fixture uses the bce contract here.
+//
+//lint:bce stale suppression case
+func Stale(dst []int64) {
+	if len(dst) > 0 {
+		dst[0] = 1 //lint:bceok no residual check actually survives here
+	}
+}
+
+// Recurse cannot be inlined (recursion), violating its pin.
+//
+//lint:inline seeded violation
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + Recurse(n-1)
+}

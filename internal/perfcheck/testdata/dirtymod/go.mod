@@ -1,0 +1,3 @@
+module fixturedirty
+
+go 1.24

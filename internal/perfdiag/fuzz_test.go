@@ -1,0 +1,53 @@
+package perfdiag
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCompilerDiag feeds arbitrary build output through Parse and checks
+// the structural invariants every returned diagnostic must satisfy: a .go
+// file, positive line, non-negative column, a known kind, a name exactly for
+// inlining decisions, and a non-empty message. Seeds cover each real line
+// format including multi-line nested -m -m escape flows.
+func FuzzParseCompilerDiag(f *testing.F) {
+	f.Add(sampleOutput)
+	f.Add("internal/vec/vec.go:37:6: can inline buildMaskedAddendsGeneric\n")
+	f.Add("x.go:1:2: cannot inline f: function too complex: cost 376 exceeds budget 80\n")
+	f.Add("x.go:9:4: Found IsInBounds\nx.go:9:4: Found IsSliceInBounds\n")
+	f.Add("x.go:3:7: v escapes to heap:\nx.go:3:7:   flow: {heap} = v:\n\tfrom v (spill)\n")
+	f.Add("x.go:5:2: moved to heap: fp\n# dcsketch/internal/dcs\n")
+	f.Add("x.go:5:2: inlining call to slices.SortFunc[go.shape.struct { A int }]\n")
+	f.Add("x.go:1:1: can inline f with cost 7 as: func() { x.go:2:2: Found IsInBounds }\n")
+	f.Add(":::\nx.go:: broken\nx.go:-1:-1: Found IsInBounds\n\x00\xff\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		diags := Parse(strings.NewReader(input))
+		for i, d := range diags {
+			if !strings.HasSuffix(d.File, ".go") || strings.ContainsAny(d.File, " \t") {
+				t.Errorf("diag %d: impossible file %q", i, d.File)
+			}
+			if d.Line <= 0 || d.Col <= 0 {
+				t.Errorf("diag %d: non-positive position %d:%d", i, d.Line, d.Col)
+			}
+			if d.Kind.String() == "unknown" {
+				t.Errorf("diag %d: unclassified kind %d leaked out", i, d.Kind)
+			}
+			hasName := d.Name != ""
+			wantName := d.Kind == KindCanInline || d.Kind == KindCannotInline || d.Kind == KindInlineCall
+			if wantName != hasName {
+				// Inline decisions for anonymous subjects can parse to an
+				// empty name only if the compiler printed one, which it
+				// never does; treat both directions as invariant breaks.
+				t.Errorf("diag %d: kind %v with name %q", i, d.Kind, d.Name)
+			}
+			if d.Msg == "" {
+				t.Errorf("diag %d: empty message", i)
+			}
+		}
+		// Parsing must be deterministic.
+		again := Parse(strings.NewReader(input))
+		if len(again) != len(diags) {
+			t.Errorf("Parse not deterministic: %d then %d diags", len(diags), len(again))
+		}
+	})
+}

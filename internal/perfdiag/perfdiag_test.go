@@ -1,0 +1,105 @@
+package perfdiag
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleOutput exercises every line shape the parser must handle: section
+// headers, -m -m nested escape flows (indented), single- and double-m inline
+// decisions, inlined call sites, BCE findings (including stdlib positions
+// from inlined generic bodies), and non-diagnostic chatter.
+const sampleOutput = `# dcsketch/internal/dcs
+internal/dcs/dcs.go:287:6: can inline (*Sketch).UpdateKey
+internal/dcs/dcs.go:290:7: can inline (*Sketch).bucketSig with cost 24 as: method(*Sketch) func(int, int, int) []int64 { i := ((level * s.cfg.Tables + table) * s.cfg.Buckets + bucket) * s.width; return s.counters[i:i + s.width] }
+internal/dcs/dcs.go:442:6: cannot inline (*Sketch).applySig: function too complex: cost 137 exceeds budget 80
+internal/dcs/dcs.go:321:2: s does not escape
+internal/dcs/dcs.go:330:12: key escapes to heap:
+internal/dcs/dcs.go:330:12:   flow: {heap} = key:
+internal/dcs/dcs.go:330:12:     from key (spill) at internal/dcs/dcs.go:330:12
+	escapes because of loop depth
+internal/dcs/dcs.go:335:9: moved to heap: fp
+internal/dcs/dcs.go:400:2: leaking param: buckets
+internal/dcs/dcs.go:291:2: inlining call to vec.BuildMaskedAddends
+internal/dcs/dcs.go:443:43: Found IsSliceInBounds
+internal/dcs/dcs.go:457:13: Found IsInBounds
+/usr/local/go/src/slices/zsortanyfunc.go:12:33: Found IsInBounds
+internal/dcs/dcs.go:609:6: can inline (*Sketch).EstimateDistinctPairs with cost 11 as: method(*Sketch) func() int64 { return estimateDistinct(s.counters, s.cfg, s.layout) }
+internal/dcs/serial.go:81:17: inlining call to slices.SortFunc[go.shape.[]dcsketch/internal/dcs.Estimate,go.shape.struct { Dest uint32; F int64 }]
+not a diagnostic at all
+internal/dcs/dcs.go:12:1: some future compiler note
+`
+
+func TestParseClassifiesEveryShape(t *testing.T) {
+	got := Parse(strings.NewReader(sampleOutput))
+	want := []Diag{
+		{File: "internal/dcs/dcs.go", Line: 287, Col: 6, Kind: KindCanInline, Name: "(*Sketch).UpdateKey", Msg: "can inline (*Sketch).UpdateKey"},
+		{File: "internal/dcs/dcs.go", Line: 290, Col: 7, Kind: KindCanInline, Name: "(*Sketch).bucketSig"},
+		{File: "internal/dcs/dcs.go", Line: 442, Col: 6, Kind: KindCannotInline, Name: "(*Sketch).applySig", Msg: "cannot inline (*Sketch).applySig: function too complex: cost 137 exceeds budget 80"},
+		{File: "internal/dcs/dcs.go", Line: 330, Col: 12, Kind: KindEscape, Msg: "key escapes to heap:"},
+		{File: "internal/dcs/dcs.go", Line: 335, Col: 9, Kind: KindEscape, Msg: "moved to heap: fp"},
+		{File: "internal/dcs/dcs.go", Line: 291, Col: 2, Kind: KindInlineCall, Name: "vec.BuildMaskedAddends"},
+		{File: "internal/dcs/dcs.go", Line: 443, Col: 43, Kind: KindBoundsCheck, Msg: "Found IsSliceInBounds"},
+		{File: "internal/dcs/dcs.go", Line: 457, Col: 13, Kind: KindBoundsCheck, Msg: "Found IsInBounds"},
+		{File: "/usr/local/go/src/slices/zsortanyfunc.go", Line: 12, Col: 33, Kind: KindBoundsCheck, Msg: "Found IsInBounds"},
+		{File: "internal/dcs/dcs.go", Line: 609, Col: 6, Kind: KindCanInline, Name: "(*Sketch).EstimateDistinctPairs"},
+		{File: "internal/dcs/serial.go", Line: 81, Col: 17, Kind: KindInlineCall,
+			Name: "slices.SortFunc[go.shape.[]dcsketch/internal/dcs.Estimate,go.shape.struct { Dest uint32; F int64 }]"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Parse returned %d diags, want %d:\n%+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].File != want[i].File || got[i].Line != want[i].Line ||
+			got[i].Col != want[i].Col || got[i].Kind != want[i].Kind || got[i].Name != want[i].Name {
+			t.Errorf("Parse[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+		if want[i].Msg != "" && got[i].Msg != want[i].Msg {
+			t.Errorf("Parse[%d].Msg = %q, want %q", i, got[i].Msg, want[i].Msg)
+		}
+	}
+}
+
+func TestParseSkipsIndentedFlowAndHeaders(t *testing.T) {
+	in := "# pkg\n  internal/x.go:1:1: Found IsInBounds\n\tinternal/x.go:2:1: moved to heap: v\n"
+	if got := Parse(strings.NewReader(in)); got != nil {
+		t.Errorf("indented lines must be skipped, got %+v", got)
+	}
+}
+
+func TestParseDoesNotEscapeIsNotAnEscape(t *testing.T) {
+	in := "x.go:3:7: buckets does not escape\nx.go:4:2: leaking param: b\n"
+	if got := Parse(strings.NewReader(in)); got != nil {
+		t.Errorf("non-escape notes must be skipped, got %+v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindEscape:       "escape",
+		KindCanInline:    "can-inline",
+		KindCannotInline: "cannot-inline",
+		KindInlineCall:   "inline-call",
+		KindBoundsCheck:  "bounds-check",
+		Kind(99):         "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestInlineSubject(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"f", "f"},
+		{"(*Sketch).applySig", "(*Sketch).applySig"},
+		{"f with cost 57 as: func(a int) int { return a }", "f"},
+		{"g[go.shape.struct { A int; B int }] with cost 3 as: func() {}", "g[go.shape.struct { A int; B int }]"},
+	}
+	for _, tt := range tests {
+		if got := inlineSubject(tt.in); got != tt.want {
+			t.Errorf("inlineSubject(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

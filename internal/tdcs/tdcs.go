@@ -137,6 +137,7 @@ func (t *Sketch) Update(src, dst uint32, delta int64) {
 // UpdateKey is Update on a pre-packed 64-bit pair key.
 //
 //lint:allocfree
+//lint:inline
 func (t *Sketch) UpdateKey(key uint64, delta int64) {
 	if delta == 0 {
 		return

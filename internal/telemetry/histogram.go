@@ -30,6 +30,7 @@ type Histogram struct {
 // Observe records one observation.
 //
 //lint:allocfree
+//lint:inline
 func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 	h.buckets[bits.Len64(v)].Add(1)

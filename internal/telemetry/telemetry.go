@@ -47,11 +47,13 @@ type Counter struct {
 // Inc adds 1.
 //
 //lint:allocfree
+//lint:inline
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
 //
 //lint:allocfree
+//lint:inline
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Load returns the current value.
@@ -69,11 +71,13 @@ type Gauge struct {
 // Set stores v.
 //
 //lint:allocfree
+//lint:inline
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adds d (negative to decrease).
 //
 //lint:allocfree
+//lint:inline
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Load returns the current value.

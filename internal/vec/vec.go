@@ -34,6 +34,8 @@ func Fast() bool { return fastLanes }
 // when bit j of key is set, else 0, branch-free.
 //
 //lint:allocfree
+//lint:bce
+//lint:inline
 func buildMaskedAddendsGeneric(add *[Lanes]int64, key uint64, delta int64) {
 	for j := 0; j < Lanes; j += 4 {
 		k := key >> uint(j)
@@ -47,6 +49,8 @@ func buildMaskedAddendsGeneric(add *[Lanes]int64, key uint64, delta int64) {
 // addInt64LanesGeneric is the portable lane-wise add: dst[j] += add[j].
 //
 //lint:allocfree
+//lint:bce
+//lint:inline
 func addInt64LanesGeneric(dst, add *[Lanes]int64) {
 	for j := 0; j < Lanes; j += 4 {
 		dst[j] += add[j]

@@ -2,10 +2,15 @@
 
 package vec
 
+import "os"
+
 // fastLanes gates the AVX2 kernels. It is written once by init-time feature
 // detection and read-only afterwards, so the hot-path branch predicts
-// perfectly and needs no synchronization.
-var fastLanes = detectAVX2()
+// perfectly and needs no synchronization. Setting DCSKETCH_FORCE_GENERIC to
+// any non-empty value pins the portable kernels even on AVX2 hardware — CI
+// uses it to run the whole differential and race suite against the generic
+// fallback, which otherwise only executes on non-amd64 builders.
+var fastLanes = detectAVX2() && os.Getenv("DCSKETCH_FORCE_GENERIC") == ""
 
 // BuildMaskedAddends fills add with the masked addend vector for one update:
 // add[j] = delta when bit j of key is set, else 0. The result is applied to
