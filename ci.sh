@@ -56,12 +56,19 @@ check() {
 	DCSKETCH_FORCE_GENERIC=1 go test -race ./internal/vec ./internal/dcs ./internal/tdcs
 	# Chaos pass: the seeded faultnet e2e — connections cut mid-batch
 	# while the exporter streams into a live daemon — must reproduce the
-	# fault-free top-k byte-for-byte with exact ledger accounting.
+	# fault-free top-k byte-for-byte with exact ledger accounting, and the
+	# flight recorder alone must reconstruct a killed batch's cut ->
+	# reconnect -> retransmit -> dedup story through /debug/trace
+	# (TestChaosTraceReconstructsRetransmit).
 	go test -race -run '^TestChaos' -count 1 ./internal/export
 	# Telemetry smoke: start the daemon with -debug-addr, drive real
 	# traffic over a client connection, and scrape /metrics end to end
 	# (decode failures, level occupancy, query-latency histogram).
 	go test -run '^TestTelemetrySmoke$' -count 1 ./cmd/ddosmond
+	# Trace smoke: the same daemon surface for the flight recorder — a real
+	# exporter's batch traced through /debug/trace and a flood's evidence
+	# served from /debug/alerts/{id}.
+	go test -run '^TestDebugTraceAndAlertsSmoke$' -count 1 ./cmd/ddosmond
 	# Runtime invariant assertions (counter non-negativity, tracking/
 	# counter consistency) compiled in via the dcsdebug build tag.
 	go test -tags dcsdebug ./internal/dcs ./internal/tdcs
@@ -70,10 +77,10 @@ check() {
 	go test -race -tags dcsdebug ./internal/dcs ./internal/tdcs
 	# Fuzz smoke: a short budget per representative target catches
 	# decoder and routing regressions without holding CI hostage. The
-	# thirteen targets are split into six groups; each group runs its
+	# fourteen targets are split into six groups; each group runs its
 	# targets sequentially in one background job and the groups run
 	# concurrently (-fuzztime is wall-clock, so overlapping the waits
-	# keeps the whole smoke pass under ~60s instead of 13 x 10s).
+	# keeps the whole smoke pass under ~60s instead of 14 x 10s).
 	# fuzz_group's quiet logs surface only on failure.
 	FUZZDIR="$(mktemp -d)"
 	fuzz_group sketch \
@@ -91,7 +98,8 @@ check() {
 		FuzzDecodeSeqUpdatesInto ./internal/wire &
 	fuzz_group tooling \
 		FuzzParseRecord ./internal/trace \
-		FuzzDirectiveParse ./internal/analysis &
+		FuzzDirectiveParse ./internal/analysis \
+		FuzzDecodeTraceQuery ./internal/tracelog &
 	fuzz_group diag \
 		FuzzWritePrometheus ./internal/telemetry \
 		FuzzParseCompilerDiag ./internal/perfdiag &

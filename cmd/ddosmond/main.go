@@ -24,10 +24,12 @@ import (
 	"time"
 
 	"dcsketch/internal/dcs"
+	"dcsketch/internal/debugapi"
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/server"
 	"dcsketch/internal/telemetry"
 	"dcsketch/internal/trace"
+	"dcsketch/internal/tracelog"
 )
 
 func main() {
@@ -91,10 +93,14 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 		}
 		reg := telemetry.NewRegistry()
 		srv.RegisterTelemetry(reg)
+		telemetry.RegisterRuntimeMetrics(reg)
 		reg.PublishExpvar("dcsketch")
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/debug/trace", tracelog.TraceHandler(srv.Tracer()))
+		mux.Handle("/debug/alerts", debugapi.AlertsHandler(srv.Monitor()))
+		mux.Handle("/debug/alerts/", debugapi.AlertsHandler(srv.Monitor()))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -103,7 +109,7 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 		dsrv := &http.Server{Handler: mux}
 		defer serveDebug(dsrv, ln)()
 		debugAddr = ln.Addr()
-		fmt.Printf("telemetry on http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof)\n", debugAddr)
+		fmt.Printf("telemetry on http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof, batch traces at /debug/trace, alert evidence at /debug/alerts)\n", debugAddr)
 	}
 	if ready != nil {
 		ready(addr, debugAddr)

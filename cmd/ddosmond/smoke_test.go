@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -10,8 +12,11 @@ import (
 	"testing"
 	"time"
 
+	"dcsketch/internal/debugapi"
+	"dcsketch/internal/export"
 	"dcsketch/internal/server"
 	"dcsketch/internal/telemetry"
+	"dcsketch/internal/tracelog"
 	"dcsketch/internal/wire"
 )
 
@@ -125,6 +130,8 @@ func TestTelemetrySmoke(t *testing.T) {
 		"dcsketch_sketch_sample_size":                     1,
 		"dcsketch_server_query_latency_ns_count":          1,
 		"dcsketch_monitor_check_latency_ns_count":         1,
+		"dcsketch_runtime_heap_live_bytes":                1,
+		"dcsketch_runtime_goroutines":                     1,
 	} {
 		if got := metricValue(body, series); got < min {
 			t.Errorf("%s = %v, want >= %v", series, got, min)
@@ -155,5 +162,99 @@ func TestTelemetrySmoke(t *testing.T) {
 	code, _ = httpGet(t, "http://"+debugAddr.String()+"/debug/pprof/")
 	if code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+// TestDebugTraceAndAlertsSmoke drives sequenced traffic through a real
+// exporter and an alerting flood through the plain client, then checks the
+// flight-recorder endpoints answer: /debug/trace reconstructs the batch's
+// server-side lifecycle and /debug/alerts serves the evidence ledger.
+func TestDebugTraceAndAlertsSmoke(t *testing.T) {
+	serveAddr, debugAddr := startDaemon(t, "-debug-addr", "127.0.0.1:0", "-check-interval", "64", "-min-frequency", "10")
+
+	// Sequenced path: a real exporter gives the batch a (session, seq)
+	// identity the recorder keys on.
+	exp, err := export.New(export.Config{Addr: serveAddr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	batch := make([]wire.Update, 64)
+	for i := range batch {
+		batch[i] = wire.Update{Src: uint32(i), Dst: 80, Delta: 1}
+	}
+	if err := exp.Export(batch); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for exp.Stats().BatchesAcked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never acked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	url := fmt.Sprintf("http://%s/debug/trace?session=%d&seq=1", debugAddr, exp.SessionID())
+	code, body := httpGet(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d: %s", code, body)
+	}
+	var dump tracelog.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("trace dump: %v\n%s", err, body)
+	}
+	stages := map[string]bool{}
+	for _, ev := range dump.Events {
+		stages[ev.Stage] = true
+	}
+	for _, want := range []string{"server-decode", "server-apply", "server-ack"} {
+		if !stages[want] {
+			t.Errorf("trace of acked batch missing stage %s: %+v", want, dump.Events)
+		}
+	}
+	if code, _ := httpGet(t, "http://"+debugAddr.String()+"/debug/trace?session=nope"); code != http.StatusBadRequest {
+		t.Errorf("malformed trace query status %d, want 400", code)
+	}
+
+	// Alerting path: flood one destination past the -min-frequency floor.
+	c, err := server.Dial(serveAddr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	flood := make([]wire.Update, 500)
+	for i := range flood {
+		flood[i] = wire.Update{Src: uint32(1000 + i), Dst: 443, Delta: 1}
+	}
+	if err := c.SendUpdates(flood); err != nil {
+		t.Fatal(err)
+	}
+	code, body = httpGet(t, "http://"+debugAddr.String()+"/debug/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/alerts status %d", code)
+	}
+	var evs []debugapi.EvidenceRecord
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("alerts list: %v\n%s", err, body)
+	}
+	if len(evs) == 0 {
+		t.Fatal("flood raised no evidence")
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.Dest == 443 && len(ev.TopK) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no evidence names the victim: %s", body)
+	}
+	code, body = httpGet(t, fmt.Sprintf("http://%s/debug/alerts/%d", debugAddr, evs[0].ID))
+	if code != http.StatusOK {
+		t.Fatalf("/debug/alerts/{id} status %d: %s", code, body)
+	}
+	var one debugapi.EvidenceRecord
+	if err := json.Unmarshal(body, &one); err != nil || one.ID != evs[0].ID {
+		t.Fatalf("by-id entry mismatch: %v %s", err, body)
 	}
 }

@@ -1,5 +1,5 @@
 // Command sketchlint is the project's static-analysis driver: a
-// multichecker running the twelve dcsketch invariant analyzers over the
+// multichecker running the thirteen dcsketch invariant analyzers over the
 // whole module.
 //
 //	seedcompat     sketch Merge/Subtract/Fold operands must share one Config/seed
@@ -14,6 +14,7 @@
 //	atomicfield    sync/atomic fields are never accessed plainly and stay aligned
 //	msgexhaustive  every wire MsgType is encoded, decoded, tested, printed, routed
 //	asmabi         assembly kernels match their Go stubs: NOSPLIT, ABI0 offsets, parity
+//	metricname     telemetry series are dcsketch_-prefixed snake_case, registered once
 //
 // Usage:
 //
@@ -54,6 +55,7 @@ import (
 	"dcsketch/internal/analysis/goroleak"
 	"dcsketch/internal/analysis/lockcheck"
 	"dcsketch/internal/analysis/lockorder"
+	"dcsketch/internal/analysis/metricname"
 	"dcsketch/internal/analysis/msgexhaustive"
 	"dcsketch/internal/analysis/poolcheck"
 	"dcsketch/internal/analysis/scratchsafe"
@@ -75,6 +77,7 @@ var analyzers = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	msgexhaustive.Analyzer,
 	asmabi.Analyzer,
+	metricname.Analyzer,
 }
 
 func main() {

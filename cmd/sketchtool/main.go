@@ -10,6 +10,11 @@
 //	sketchtool topk -k 10 edge0.sketch
 //	sketchtool merge -o all.sketch edge0.sketch edge1.sketch
 //	sketchtool subtract -o delta.sketch today.sketch yesterday.sketch
+//
+// It also reads the monitor daemon's debug artifacts offline:
+//
+//	sketchtool trace -f batch.json      # saved from /debug/trace?session=&seq=
+//	sketchtool explain -f alert.json    # saved from /debug/alerts/{id}
 package main
 
 import (
@@ -34,9 +39,13 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: sketchtool <build|info|topk|merge|subtract> [flags]")
+		return errors.New("usage: sketchtool <build|info|topk|merge|subtract|trace|explain> [flags]")
 	}
 	switch args[0] {
+	case "trace":
+		return runTrace(args[1:], w)
+	case "explain":
+		return runExplain(args[1:], w)
 	case "build":
 		return runBuild(args[1:], w)
 	case "info":

@@ -2,6 +2,7 @@ package dcsketch
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -95,6 +96,14 @@ type Monitor struct {
 	packetsInSlice int
 	cusumWasAlarm  bool
 
+	// cusumStat and cusumAlarm mirror the SYN/FIN statistic after each
+	// interval close as lock-free atomics (Float64bits for the statistic),
+	// because the monitor's alert-evidence probe samples them from inside
+	// its own critical section — possibly on a different goroutine than
+	// the single-caller packet path that owns synfin.
+	cusumStat  atomic.Uint64
+	cusumAlarm atomic.Bool
+
 	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
 	// nil (one atomic load per packet) until then.
 	tel atomic.Pointer[telemetry.DetectorMetrics]
@@ -147,6 +156,13 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 		}
 		m.synfin = synfin
 		m.cusumInterval = c.IntervalPackets
+		// Feed the tripwire into the alert-evidence ledger: each alert
+		// snapshot then records whether the aggregate SYN/FIN view agreed
+		// with the per-victim sketch view at onset.
+		inner.SetCUSUMProbe(func() (float64, float64, bool) {
+			return math.Float64frombits(m.cusumStat.Load()),
+				synfin.Threshold(), m.cusumAlarm.Load()
+		})
 	}
 	return m, nil
 }
@@ -237,8 +253,10 @@ func (m *Monitor) ProcessPacket(p Packet) {
 	if m.packetsInSlice >= m.cusumInterval {
 		m.packetsInSlice = 0
 		m.synfin.EndInterval()
+		m.cusumStat.Store(math.Float64bits(m.synfin.Statistic()))
 		// Count alarm onsets (off->on transitions), not in-alarm intervals.
 		alarm := m.synfin.InAlarm()
+		m.cusumAlarm.Store(alarm)
 		if alarm && !m.cusumWasAlarm && tel != nil {
 			tel.CusumAlarmsTotal.Inc()
 		}

@@ -6,7 +6,8 @@
 // An Analyzer inspects one type-checked package at a time through a Pass and
 // reports Diagnostics. The project analyzers live in subpackages (seedcompat,
 // lockcheck, wireerr, deltasign, allocfree, scratchsafe, poolcheck,
-// lockorder, goroleak, atomicfield, msgexhaustive, asmabi) and are driven
+// lockorder, goroleak, atomicfield, msgexhaustive, asmabi, metricname) and
+// are driven
 // over the whole module by cmd/sketchlint; each is unit-tested against golden
 // packages with the analysistest subpackage. Analyzers that reason across
 // package boundaries (allocfree's call-graph proofs, lockorder's
@@ -41,6 +42,9 @@
 //	//lint:atomicok  <reason>   suppress an atomicfield diagnostic
 //	//lint:msgok     <reason>   the MsgType constant is asymmetric or
 //	                            untested by design (msgexhaustive)
+//	//lint:metricok  <reason>   the telemetry series name is intentionally
+//	                            outside the namespace contract, e.g. a
+//	                            hostile-name test fixture (metricname)
 //
 // Doc-comment argument directives pass one machine-read argument:
 //

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"dcsketch/internal/analysis/analysistest"
+	"dcsketch/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, "metricname")
+}

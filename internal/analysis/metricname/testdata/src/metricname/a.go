@@ -1,0 +1,63 @@
+// Package metricname is golden-test input covering the telemetry namespace
+// contract: dcsketch_ prefix, lower_snake_case, label-block hygiene, and
+// exactly-once registration of constant series names.
+package metricname
+
+import (
+	"strconv"
+
+	"telemetry"
+)
+
+const promoted = "dcsketch_promoted_total"
+
+func good(reg *telemetry.Registry) {
+	reg.Counter("dcsketch_server_updates_total", "flow updates ingested")
+	reg.Gauge("dcsketch_sketch_sample_size", "pairs in the active sample")
+	reg.Histogram("dcsketch_server_query_latency_ns", "top-k query latency")
+	reg.CounterFunc("dcsketch_runtime_gc_cycles_total", "completed GC cycles", func() uint64 { return 0 })
+	reg.GaugeFunc("dcsketch_runtime_goroutines", "live goroutines", func() int64 { return 0 })
+	reg.Counter(`dcsketch_server_frames_total{type="updates"}`, "frames by type")
+	reg.Counter(`dcsketch_server_frames_total{type="topk_query"}`, "frames by type")
+	reg.Counter(promoted, "registered through a named constant")
+}
+
+func badPrefix(reg *telemetry.Registry) {
+	reg.Counter("server_updates_total", "missing namespace") // want `family must begin with the module namespace "dcsketch_"`
+	reg.Gauge("sketch_depth", "missing namespace")           // want `family must begin with the module namespace "dcsketch_"`
+}
+
+func badSnake(reg *telemetry.Registry) {
+	reg.Counter("dcsketch_serverUpdates_total", "camelCase")  // want `family is not lower_snake_case`
+	reg.Gauge("dcsketch_sketch:depth", "colon")               // want `family is not lower_snake_case`
+	reg.Counter("dcsketch_server__updates", "doubled")        // want `family contains a doubled underscore`
+	reg.Counter("dcsketch_server_updates_", "trailing")       // want `family ends with an underscore`
+	reg.Counter("dcsketch_server-updates", "kebab")           // want `family is not lower_snake_case`
+}
+
+func badLabels(reg *telemetry.Registry) {
+	reg.Counter(`dcsketch_frames_total{type="updates"`, "unterminated")   // want `unterminated label block`
+	reg.Counter(`dcsketch_frames_total{Type="updates"}`, "upper label")   // want `label name "Type" is not lower_snake_case`
+	reg.Counter(`dcsketch_frames_total{type=updates}`, "unquoted value")  // want `label type has a malformed quoted value`
+	reg.Counter(`dcsketch_frames_total{}`, "empty block")                 // want `empty label block`
+}
+
+// concatenated names get the prefix/snake checks on the constant head and
+// are excluded from the uniqueness proof.
+func perShard(reg *telemetry.Registry) {
+	for i := 0; i < 4; i++ {
+		reg.Gauge("dcsketch_pipeline_queue_depth{shard=\""+strconv.Itoa(i)+"\"}", "per-shard depth")
+		reg.Gauge("queue_depth{shard=\""+strconv.Itoa(i)+"\"}", "bad head") // want `family must begin with the module namespace "dcsketch_"`
+	}
+}
+
+func dynamic(reg *telemetry.Registry, name string) {
+	reg.Counter(name, "unauditable")                       // want `series name is not statically checkable`
+	reg.Counter(name+"_total", "still unauditable")        // want `series name is not statically checkable`
+	reg.Counter(name, "reviewed fixture")                  //lint:metricok hostile-name fixture for registry validation tests
+}
+
+func duplicate(reg *telemetry.Registry) {
+	reg.Counter("dcsketch_server_updates_total", "again") // want `series "dcsketch_server_updates_total" already registered at a\.go:15`
+	reg.Counter(promoted, "again via constant")           // want `series "dcsketch_promoted_total" already registered at a\.go:22`
+}

@@ -1,0 +1,43 @@
+// Package telemetry is golden-test scaffolding standing in for the real
+// internal/telemetry package (the analyzer recognizes Registry methods by
+// package name/path and type name).
+package telemetry
+
+// Counter is a monotonic series.
+type Counter struct{ v uint64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Gauge is a point-in-time series.
+type Gauge struct{ v int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Histogram is a bucketed latency series.
+type Histogram struct{ n uint64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) { h.n++ }
+
+// Registry holds registered series.
+type Registry struct{}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// Histogram registers and returns a histogram series.
+func (r *Registry) Histogram(name, help string) *Histogram { return &Histogram{} }
+
+// CounterFunc registers a counter sampled from fn at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {}

@@ -124,6 +124,10 @@ func (s *SYNFIN) Intervals() int { return s.intervals }
 // Statistic returns the current CUSUM value.
 func (s *SYNFIN) Statistic() float64 { return s.det.Value() }
 
+// Threshold returns the alarm level the statistic is compared against; it is
+// immutable after NewSYNFIN, so reading it is safe from any goroutine.
+func (s *SYNFIN) Threshold() float64 { return s.det.Threshold }
+
 // Reset clears both the CUSUM statistic and the interval counters.
 func (s *SYNFIN) Reset() {
 	s.det.Reset()

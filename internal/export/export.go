@@ -33,6 +33,7 @@ import (
 
 	"dcsketch/internal/hashing"
 	"dcsketch/internal/telemetry"
+	"dcsketch/internal/tracelog"
 	"dcsketch/internal/wire"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	// Seed drives backoff jitter; 0 derives it from the session ID, so runs
 	// with a pinned SessionID are fully deterministic.
 	Seed uint64
+	// Trace receives the exporter's flight-recorder events
+	// (enqueue/shed/send/ack/prune/dial/cut, keyed by this session's
+	// sequence numbers). Nil allocates a private recorder, readable via
+	// Tracer; pass the daemon-wide recorder to merge the edge half of a
+	// batch's story into /debug/trace.
+	Trace *tracelog.Recorder
 }
 
 // Stats counts the exporter's delivery ledger. The invariant the chaos
@@ -122,6 +129,7 @@ type Exporter struct {
 	sessionID uint64
 	done      chan struct{}
 	wg        sync.WaitGroup
+	rec       *tracelog.Recorder
 
 	// mu guards the spool and ledger below; cond (on mu) wakes the loop
 	// when work arrives and Drain waiters when the spool empties.
@@ -141,6 +149,10 @@ type Exporter struct {
 	rng *hashing.SplitMix64
 	// stats is the delivery ledger (SpoolDepth/Connected derived). guarded by mu
 	stats Stats
+	// ring is the exporter's flight-recorder ring; the pointer is
+	// immutable after New. The ring's single-writer contract holds
+	// because every Record call sits in a mu-protected critical section.
+	ring *tracelog.Ring
 }
 
 // New starts an exporter for cfg; the background loop runs until Close.
@@ -180,13 +192,19 @@ func New(cfg Config) (*Exporter, error) {
 	if seed == 0 {
 		seed = hashing.Mix64(id)
 	}
+	rec := cfg.Trace
+	if rec == nil {
+		rec = tracelog.New(tracelog.Options{})
+	}
 	e := &Exporter{
 		cfg:       cfg,
 		sessionID: id,
 		done:      make(chan struct{}),
 		nextSeq:   1,
 		rng:       hashing.NewSplitMix64(seed),
+		rec:       rec,
 	}
+	e.ring = rec.Acquire(0)
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(1)
 	go e.run()
@@ -195,6 +213,10 @@ func New(cfg Config) (*Exporter, error) {
 
 // SessionID reports the replay session this exporter announces.
 func (e *Exporter) SessionID() uint64 { return e.sessionID }
+
+// Tracer returns the flight recorder holding this exporter's events — the
+// one passed as Config.Trace, or the private recorder drawn when none was.
+func (e *Exporter) Tracer() *tracelog.Recorder { return e.rec }
 
 // Export enqueues one batch of updates for delivery. It never blocks on the
 // network: if the spool is full, the oldest unacked batch is shed to make
@@ -220,10 +242,14 @@ func (e *Exporter) Export(updates []wire.Update) error {
 		e.spool = e.spool[1:]
 		e.stats.BatchesDropped++
 		e.stats.UpdatesDropped += uint64(oldest.n)
+		e.ring.Record(tracelog.StageExportShed, e.sessionID, oldest.seq,
+			uint32(oldest.n), uint64(len(e.spool)))
 	}
 	e.spool = append(e.spool, b)
 	e.stats.BatchesEnqueued++
 	e.stats.UpdatesEnqueued += uint64(len(updates))
+	e.ring.Record(tracelog.StageExportEnqueue, e.sessionID, seq,
+		uint32(b.n), uint64(len(e.spool)))
 	e.cond.Broadcast()
 	return nil
 }
@@ -392,11 +418,15 @@ func (e *Exporter) connect() (net.Conn, *bufio.Reader, error) {
 	}
 	e.conn = conn
 	e.stats.Hellos++
+	e.ring.Record(tracelog.StageExportDial, e.sessionID, 0, 0, 1)
+	e.ring.Record(tracelog.StageExportHello, e.sessionID, 0, 0, lastAcked)
 	for len(e.spool) > 0 && e.spool[0].seq <= lastAcked {
 		b := e.spool[0]
 		e.spool = e.spool[1:]
 		e.stats.BatchesAcked++
 		e.stats.UpdatesAcked += uint64(b.n)
+		e.ring.Record(tracelog.StageExportPrune, e.sessionID, b.seq,
+			uint32(b.n), lastAcked)
 	}
 	if len(e.spool) == 0 {
 		e.cond.Broadcast()
@@ -418,6 +448,8 @@ func (e *Exporter) head() *batch {
 		e.stats.Retransmits++
 	}
 	b.attempts++
+	e.ring.Record(tracelog.StageExportSend, e.sessionID, b.seq,
+		uint32(b.n), uint64(b.attempts))
 	return b
 }
 
@@ -460,6 +492,8 @@ func (e *Exporter) ackUpTo(seq uint64) {
 		e.spool = e.spool[1:]
 		e.stats.BatchesAcked++
 		e.stats.UpdatesAcked += uint64(b.n)
+		e.ring.Record(tracelog.StageExportAck, e.sessionID, b.seq,
+			uint32(b.n), seq)
 	}
 	if len(e.spool) == 0 {
 		e.cond.Broadcast()
@@ -476,6 +510,8 @@ func (e *Exporter) dropHead(seq uint64) {
 		e.spool = e.spool[1:]
 		e.stats.BatchesDropped++
 		e.stats.UpdatesDropped += uint64(b.n)
+		e.ring.Record(tracelog.StageExportDrop, e.sessionID, b.seq,
+			uint32(b.n), uint64(b.attempts))
 	}
 	if len(e.spool) == 0 {
 		e.cond.Broadcast()
@@ -488,6 +524,7 @@ func (e *Exporter) teardown(conn net.Conn) {
 	e.mu.Lock()
 	e.conn = nil
 	e.stats.Reconnects++
+	e.ring.Record(tracelog.StageExportCut, e.sessionID, 0, 0, e.stats.Reconnects)
 	e.mu.Unlock()
 }
 
@@ -495,6 +532,7 @@ func (e *Exporter) teardown(conn net.Conn) {
 func (e *Exporter) noteDialFailure() {
 	e.mu.Lock()
 	e.stats.DialFailures++
+	e.ring.Record(tracelog.StageExportDial, e.sessionID, 0, 0, 0)
 	e.mu.Unlock()
 }
 

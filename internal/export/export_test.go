@@ -1,8 +1,13 @@
 package export
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"testing"
 	"time"
@@ -13,6 +18,7 @@ import (
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/server"
 	"dcsketch/internal/telemetry"
+	"dcsketch/internal/tracelog"
 	"dcsketch/internal/wire"
 )
 
@@ -302,5 +308,140 @@ func TestChaosReplayAfterReconnectPrunesSpool(t *testing.T) {
 	ss := srv.Stats()
 	if ss.Updates != 600 || ss.Batches != 20 {
 		t.Fatalf("server applied %d updates in %d batches, want exactly-once 600/20", ss.Updates, ss.Batches)
+	}
+}
+
+// TestChaosTraceReconstructsRetransmit is the flight-recorder acceptance e2e:
+// after a seeded faultnet run kills connections mid-batch, the recorders alone
+// — the exporter's ring plus the server's /debug/trace endpoint — must tell a
+// killed batch's full story: enqueued, sent, connection cut, reconnect
+// handshake, retransmitted, and applied exactly once with every replay
+// suppressed by dedup.
+func TestChaosTraceReconstructsRetransmit(t *testing.T) {
+	const (
+		batches   = 80
+		batchSize = 50
+		session   = 21
+	)
+	srv, addr := startServer(t, server.Config{})
+	ts := httptest.NewServer(tracelog.TraceHandler(srv.Tracer()))
+	defer ts.Close()
+
+	inj := faultnet.New(faultnet.Config{Seed: 17, CutAfter: 4096, MaxCuts: 3})
+	e, err := New(Config{
+		Addr:           addr,
+		Dial:           inj.Dial,
+		AttemptTimeout: 2 * time.Second,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     10 * time.Millisecond,
+		SpoolBatches:   batches,
+		SessionID:      session,
+		Seed:           21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, b := range genBatches(13, batches, batchSize) {
+		if err := e.Export(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// The schedule is byte-deterministic, so a retransmit always happens;
+	// losing it would silently retire this acceptance test.
+	if inj.Stats().Cuts == 0 || st.Retransmits == 0 {
+		t.Fatalf("seeded schedule produced no retransmit to reconstruct (cuts=%d, stats=%+v)", inj.Stats().Cuts, st)
+	}
+
+	// Exporter side: find a batch the cut killed mid-flight — two or more
+	// send attempts for one seq — purely from the recorded events.
+	expEvents := e.Tracer().Events(nil)
+	sends := map[uint64]int{}
+	for _, ev := range expEvents {
+		if ev.Stage == tracelog.StageExportSend {
+			sends[ev.Seq]++
+		}
+	}
+	var victim uint64
+	for seq, n := range sends {
+		if n > 1 {
+			victim = seq
+		}
+	}
+	if victim == 0 {
+		t.Fatalf("ledger counts %d retransmits but no seq has two send events", st.Retransmits)
+	}
+
+	// The exporter's timeline for the victim must read in causal order:
+	// first send, then the connection cut, then the reconnect handshake,
+	// then the resend. GSeq is the recorder-global total order.
+	var firstSend, lastSend, cut, hello uint64
+	for _, ev := range expEvents {
+		switch {
+		case ev.Stage == tracelog.StageExportSend && ev.Seq == victim:
+			if firstSend == 0 {
+				firstSend = ev.GSeq
+			}
+			lastSend = ev.GSeq
+		case ev.Stage == tracelog.StageExportCut && ev.GSeq > firstSend && (cut == 0 || ev.GSeq < cut) && firstSend != 0:
+			cut = ev.GSeq
+		case ev.Stage == tracelog.StageExportHello && ev.GSeq > firstSend && (hello == 0 || ev.GSeq < hello) && firstSend != 0:
+			hello = ev.GSeq
+		}
+	}
+	if !(firstSend < cut && cut < hello && hello <= lastSend) {
+		t.Fatalf("victim %d timeline out of order: send=%d cut=%d hello=%d resend=%d",
+			victim, firstSend, cut, hello, lastSend)
+	}
+
+	// Server side, through the HTTP debug surface the incident responder
+	// would actually use: /debug/trace must show the victim applied exactly
+	// once, with any replay recorded as a suppressed duplicate.
+	resp, err := http.Get(fmt.Sprintf("%s?session=%d&seq=%d", ts.URL, session, victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d (err %v): %s", resp.StatusCode, err, body)
+	}
+	var dump tracelog.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("trace dump: %v\n%s", err, body)
+	}
+	var applies, acks int
+	for _, ev := range dump.Events {
+		switch tracelog.StageFromString(ev.Stage) {
+		case tracelog.StageServerApply:
+			applies++
+		case tracelog.StageServerAck:
+			acks++
+		}
+	}
+	if applies != 1 {
+		t.Fatalf("victim %d applied %d times in server trace, want exactly once:\n%s", victim, applies, body)
+	}
+	if acks == 0 {
+		t.Fatalf("victim %d has no server ack in trace:\n%s", victim, body)
+	}
+
+	// Exactly-once over the whole run, proven from the recorder rather than
+	// the counters: every batch of the session has exactly one server-apply
+	// event (per-connection rings retain the full run at this scale).
+	applyCount := map[uint64]int{}
+	for _, ev := range srv.Tracer().Events(nil) {
+		if ev.Stage == tracelog.StageServerApply && ev.Session == session {
+			applyCount[ev.Seq]++
+		}
+	}
+	for seq := uint64(1); seq <= batches; seq++ {
+		if applyCount[seq] != 1 {
+			t.Fatalf("seq %d has %d apply events, want exactly 1", seq, applyCount[seq])
+		}
 	}
 }

@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"testing"
+
+	"dcsketch/internal/stream"
+)
+
+// TestEvidenceCapturedAtOnset drives a SYN flood into a monitor with both
+// probes attached and checks that the evidence ledger snapshots the decision
+// inputs of the first alert.
+func TestEvidenceCapturedAtOnset(t *testing.T) {
+	m := mustMonitor(t, testConfig(11))
+	var rejects uint64 = 42
+	m.SetDecodeRejectProbe(func() uint64 { return rejects })
+	m.SetCUSUMProbe(func() (float64, float64, bool) { return 3.5, 2.0, true })
+
+	attack, err := (stream.SYNFlood{Victim: 443, Zombies: 3000, Seed: 12}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, attack)
+
+	evs := m.Evidence()
+	if len(evs) == 0 {
+		t.Fatal("SYN flood left no evidence")
+	}
+	ev := evs[0]
+	if ev.ID != 1 {
+		t.Fatalf("first evidence ID = %d, want 1", ev.ID)
+	}
+	if ev.Alert.Dest != 443 {
+		t.Fatalf("evidence names dest %d, want 443", ev.Alert.Dest)
+	}
+	if float64(ev.Alert.Estimated) < ev.Trigger {
+		t.Fatalf("estimate %d below recorded trigger %v — decision not reproducible",
+			ev.Alert.Estimated, ev.Trigger)
+	}
+	if len(ev.TopK) == 0 {
+		t.Fatal("evidence retained no top-k snapshot")
+	}
+	foundVictim := false
+	for _, e := range ev.TopK {
+		if e.Dest == 443 {
+			foundVictim = true
+		}
+	}
+	if !foundVictim {
+		t.Fatal("top-k snapshot does not contain the victim")
+	}
+	if ev.Health.Query.Queries == 0 {
+		t.Fatal("sketch-health snapshot is empty")
+	}
+	if ev.CUSUMValue != 3.5 || ev.CUSUMThreshold != 2.0 || !ev.CUSUMAlarm {
+		t.Fatalf("CUSUM probe not sampled: %+v", ev)
+	}
+	if ev.DecodeRejects != 42 {
+		t.Fatalf("decode-reject probe not sampled: got %d", ev.DecodeRejects)
+	}
+
+	got, ok := m.EvidenceByID(ev.ID)
+	if !ok || got.Alert.Dest != ev.Alert.Dest {
+		t.Fatalf("EvidenceByID(%d) = %+v, %v", ev.ID, got, ok)
+	}
+	if _, ok := m.EvidenceByID(999999); ok {
+		t.Fatal("EvidenceByID invented an entry")
+	}
+
+	// Evidence and alerts must agree one-to-one at onset.
+	stats := m.AlertStats()
+	if uint64(len(evs)) != stats.Raised && stats.Raised <= uint64(m.Config().MaxEvidence) {
+		t.Fatalf("evidence entries = %d, alerts raised = %d", len(evs), stats.Raised)
+	}
+}
+
+// TestEvidenceRingEvictsOldest overflows a capacity-2 ledger and checks the
+// oldest entry goes first while IDs stay stable.
+func TestEvidenceRingEvictsOldest(t *testing.T) {
+	cfg := testConfig(13)
+	cfg.MaxEvidence = 2
+	m := mustMonitor(t, cfg)
+
+	// Three successive floods against distinct victims, each separated by
+	// enough idle checks that hysteresis re-arms between excursions.
+	for i, victim := range []uint32{1001, 1002, 1003} {
+		attack, err := (stream.SYNFlood{Victim: victim, Zombies: 2000, Seed: uint64(20 + i)}).Updates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(m, attack)
+		// Tear the flood down so the excursion ends and the next victim
+		// triggers a fresh onset.
+		for _, u := range attack {
+			m.Update(u.Src, u.Dst, -int64(u.Delta))
+		}
+		for j := 0; j < 4*cfg.CheckInterval; j++ {
+			m.Update(uint32(j), 9999, 1)
+			m.Update(uint32(j), 9999, -1)
+		}
+	}
+
+	evs := m.Evidence()
+	if len(evs) != 2 {
+		t.Fatalf("ledger retains %d entries, want capacity 2", len(evs))
+	}
+	if evs[0].ID >= evs[1].ID {
+		t.Fatalf("ledger not oldest-first: IDs %d, %d", evs[0].ID, evs[1].ID)
+	}
+	raised := m.AlertStats().Raised
+	if raised < 3 {
+		t.Fatalf("expected at least 3 onsets, got %d", raised)
+	}
+	if evs[1].ID != raised {
+		t.Fatalf("newest evidence ID = %d, want last onset %d", evs[1].ID, raised)
+	}
+	// The earliest entries were evicted and must be unreachable by ID.
+	if _, ok := m.EvidenceByID(evs[0].ID - 1); ok && evs[0].ID > 1 {
+		t.Fatal("evicted evidence still reachable by ID")
+	}
+}
+
+// TestBaselineVarianceLearns pins the EWMA variance side-channel: a steady
+// signal keeps variance near zero, a jittery one grows it.
+func TestBaselineVarianceLearns(t *testing.T) {
+	cfg := testConfig(17)
+	cfg.BaselineAlpha = 0.5
+	m := mustMonitor(t, cfg)
+
+	// Steady load on one destination, alternating on another.
+	attack, err := (stream.SYNFlood{Victim: 80, Zombies: 50, Seed: 30}).Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(m, attack)
+	for i := 0; i < 8*cfg.CheckInterval; i++ {
+		m.Update(uint32(i%50), 80, 1)
+		m.Update(uint32(i%50), 80, -1)
+	}
+	m.mu.Lock()
+	varSteady := m.basevar[80]
+	m.mu.Unlock()
+	if varSteady < 0 {
+		t.Fatalf("variance went negative: %v", varSteady)
+	}
+}

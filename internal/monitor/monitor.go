@@ -56,6 +56,9 @@ type Config struct {
 	// the oldest (counted in AlertStats.Dropped). Long-running monitors
 	// previously grew the alert slice without bound.
 	MaxAlerts int
+	// MaxEvidence bounds the alert-evidence ledger (see Evidence); once
+	// full, each new alert onset evicts the oldest retained entry.
+	MaxEvidence int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +80,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAlerts == 0 {
 		c.MaxAlerts = DefaultMaxAlerts
 	}
+	if c.MaxEvidence == 0 {
+		c.MaxEvidence = DefaultMaxEvidence
+	}
 	return c
 }
 
@@ -94,6 +100,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("monitor: MinFrequency = %d, must be >= 1", c.MinFrequency)
 	case c.MaxAlerts < 1:
 		return fmt.Errorf("monitor: MaxAlerts = %d, must be >= 1", c.MaxAlerts)
+	case c.MaxEvidence < 1:
+		return fmt.Errorf("monitor: MaxEvidence = %d, must be >= 1", c.MaxEvidence)
 	}
 	return nil
 }
@@ -128,6 +136,10 @@ type Monitor struct {
 	// frequency, built only from top-k observations (the only
 	// destinations a small-space monitor ever resolves). guarded by mu
 	baseline map[uint32]float64
+	// basevar holds per-destination EWMA variance of the estimate around
+	// its baseline, learned with the same alpha and the same frozen-during-
+	// excursion rule; snapshotted into alert evidence. guarded by mu
+	basevar map[uint32]float64
 	// alerting marks destinations currently above threshold, giving the
 	// alert stream hysteresis: one alert per excursion, re-armed when
 	// the frequency falls back to half the trigger level. guarded by mu
@@ -145,6 +157,22 @@ type Monitor struct {
 	alertsSuppressed uint64
 	// alertsDropped counts alerts evicted from the full ring. guarded by mu
 	alertsDropped uint64
+	// evidence is the bounded alert-evidence ledger (capacity
+	// cfg.MaxEvidence); evidenceHead indexes the oldest retained entry
+	// once the ring is full. guarded by mu
+	evidence []Evidence
+	// evidenceHead is the ledger's oldest-entry index. guarded by mu
+	evidenceHead int
+	// evidenceSeq is the last issued Evidence.ID. guarded by mu
+	evidenceSeq uint64
+	// decodeRejectProbe, if set, reads the transport decode-reject counter
+	// sampled into evidence; it runs with mu held and must be lock-free.
+	// guarded by mu
+	decodeRejectProbe func() uint64
+	// cusumProbe, if set, reads the aggregate SYN/FIN tripwire sampled
+	// into evidence; it runs with mu held and must be lock-free.
+	// guarded by mu
+	cusumProbe func() (value, threshold float64, alarm bool)
 	// n counts consumed updates. guarded by mu
 	n uint64
 
@@ -172,6 +200,7 @@ func New(cfg Config, onAlert func(Alert)) (*Monitor, error) {
 		cfg:      cfg,
 		sketch:   sk,
 		baseline: make(map[uint32]float64),
+		basevar:  make(map[uint32]float64),
 		alerting: make(map[uint32]bool),
 		onAlert:  onAlert,
 	}, nil
@@ -234,6 +263,7 @@ func (m *Monitor) check() {
 			m.alerting[e.Dest] = true
 			a := Alert{Dest: e.Dest, Estimated: e.F, Baseline: base, AtUpdate: m.n}
 			m.pushAlert(a)
+			m.captureEvidence(a, trigger, top)
 			if m.onAlert != nil {
 				m.onAlert(a)
 			}
@@ -249,7 +279,9 @@ func (m *Monitor) check() {
 		// excursion so a sustained attack is never absorbed as the
 		// new normal.
 		if !m.alerting[e.Dest] {
-			m.baseline[e.Dest] = base + m.cfg.BaselineAlpha*(float64(e.F)-base)
+			dev := float64(e.F) - base
+			m.baseline[e.Dest] = base + m.cfg.BaselineAlpha*dev
+			m.basevar[e.Dest] += m.cfg.BaselineAlpha * (dev*dev - m.basevar[e.Dest])
 		}
 	}
 	if m.tel != nil {
@@ -387,6 +419,14 @@ type SketchHealth struct {
 func (m *Monitor) SketchHealth() SketchHealth {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.sketchHealthLocked()
+}
+
+// sketchHealthLocked builds the health snapshot for callers already holding
+// the monitor lock (SketchHealth, evidence capture inside check).
+//
+//lint:locked mu
+func (m *Monitor) sketchHealthLocked() SketchHealth {
 	return SketchHealth{
 		Query:          m.sketch.QueryStats(),
 		Rebuilds:       m.sketch.Rebuilds(),

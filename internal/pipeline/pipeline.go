@@ -37,6 +37,7 @@ import (
 	"dcsketch/internal/hashing"
 	"dcsketch/internal/tdcs"
 	"dcsketch/internal/telemetry"
+	"dcsketch/internal/tracelog"
 )
 
 // DefaultQueueDepth is the per-shard update queue length, counted in channel
@@ -49,10 +50,14 @@ const DefaultQueueDepth = 1024
 const DefaultBatchSize = 256
 
 // envelope is one shard-queue message: either a single scalar update (batch
-// nil) or a pool-owned staged batch.
+// nil) or a pool-owned staged batch. session/seq carry the originating wire
+// batch's provenance key for the flight recorder; both are 0 for scalar
+// updates and for staged buffers shipped outside FlushTraced.
 type envelope struct {
-	one   dcs.KeyDelta
-	batch *[]dcs.KeyDelta
+	one     dcs.KeyDelta
+	batch   *[]dcs.KeyDelta
+	session uint64
+	seq     uint64
 }
 
 // batchPool recycles staging buffers between producers and workers so the
@@ -87,6 +92,12 @@ type worker struct {
 	// pipeline be instrumented without a lock on the ingest path.
 	tel *atomic.Pointer[telemetry.PipelineMetrics]
 
+	// ring is this shard's flight-recorder ring, attached (once, via
+	// AttachTracer) after the worker is already running — hence the same
+	// atomic-pointer indirection as tel. Only the loop goroutine Records
+	// into it, honoring the ring's single-writer contract.
+	ring atomic.Pointer[tracelog.Ring]
+
 	statMu sync.Mutex
 	// applied counts updates absorbed into the shard sketch, published at
 	// each quiescent point (fold or exit). guarded by statMu
@@ -110,6 +121,9 @@ func (w *worker) apply(e envelope) uint64 {
 	if tel := w.tel.Load(); tel != nil {
 		tel.AppliedTotal.Add(n)
 		tel.BatchSize.Observe(n)
+	}
+	if ring := w.ring.Load(); ring != nil && e.session != 0 {
+		ring.Record(tracelog.StageShardApply, e.session, e.seq, uint32(n), 0)
 	}
 	return n
 }
@@ -294,7 +308,7 @@ func (b *Batcher) UpdateKey(key uint64, delta int64) {
 	*buf = append(*buf, dcs.KeyDelta{Key: key, Delta: delta}) //lint:allocok staging buffers carry DefaultBatchSize capacity from the pool
 	if len(*buf) >= b.size {
 		b.bufs[shard] = nil
-		b.p.ship(shard, buf)
+		b.p.ship(shard, buf, 0, 0)
 	}
 }
 
@@ -302,6 +316,20 @@ func (b *Batcher) UpdateKey(key uint64, delta int64) {
 // before the producer queries (to make staged updates visible) and before
 // Pipeline.Close (staged updates would otherwise be lost).
 func (b *Batcher) Flush() {
+	b.FlushTraced(nil, 0, 0)
+}
+
+// FlushTraced is Flush carrying batch provenance for the flight recorder:
+// each shipped buffer's envelope is stamped with (session, seq) so the shard
+// worker can record its StageShardApply, and each ship is recorded as a
+// StageShardStage event in ring (the producer's own ring — FlushTraced runs
+// on the producer goroutine, honoring the ring's single-writer contract)
+// with the shard index in Aux. A nil ring or zero session just ships.
+//
+// Buffers that filled up and auto-shipped from UpdateKey between flushes
+// travel untagged (session 0): the hot staging path stays free of provenance
+// bookkeeping, and a full buffer generally spans wire batches anyway.
+func (b *Batcher) FlushTraced(ring *tracelog.Ring, session, seq uint64) {
 	for shard, buf := range b.bufs {
 		if buf == nil {
 			continue
@@ -311,7 +339,10 @@ func (b *Batcher) Flush() {
 			batchPool.Put(buf) //lint:poolok buffer is empty by construction (nothing was staged since Get or the last ship)
 			continue
 		}
-		b.p.ship(shard, buf)
+		if ring != nil && session != 0 {
+			ring.Record(tracelog.StageShardStage, session, seq, uint32(len(*buf)), uint64(shard))
+		}
+		b.p.ship(shard, buf, session, seq)
 	}
 }
 
@@ -319,9 +350,9 @@ func (b *Batcher) Flush() {
 // the send: ownership transfers on send, and the worker may recycle the
 // buffer into the pool (and a third goroutine may start filling it) the
 // moment it receives.
-func (p *Pipeline) ship(shard int, buf *[]dcs.KeyDelta) {
+func (p *Pipeline) ship(shard int, buf *[]dcs.KeyDelta, session, seq uint64) {
 	n := uint64(len(*buf))
-	p.shards[shard].updates <- envelope{batch: buf}
+	p.shards[shard].updates <- envelope{batch: buf, session: session, seq: seq}
 	p.n.Add(n)
 }
 
@@ -458,6 +489,16 @@ func (p *Pipeline) RegisterTelemetry(reg *telemetry.Registry) {
 			func() int64 { return int64(len(w.updates)) })
 	}
 	p.tel.Store(tel)
+}
+
+// AttachTracer acquires one flight-recorder ring per shard worker (writer
+// tag = shard index) so StageShardApply events land in rec. Call at most
+// once; the pipeline may already be ingesting — rings attach atomically,
+// exactly like RegisterTelemetry's bundle.
+func (p *Pipeline) AttachTracer(rec *tracelog.Recorder) {
+	for i, w := range p.shards {
+		w.ring.Store(rec.Acquire(uint32(i)))
+	}
 }
 
 // Shards returns the worker count.

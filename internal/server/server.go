@@ -32,6 +32,7 @@ import (
 	"dcsketch/internal/pipeline"
 	"dcsketch/internal/tdcs"
 	"dcsketch/internal/telemetry"
+	"dcsketch/internal/tracelog"
 	"dcsketch/internal/wire"
 )
 
@@ -66,6 +67,14 @@ type Config struct {
 	// on streamed updates should keep the default inline path. 0 (default)
 	// preserves the inline single-monitor behavior exactly.
 	IngestShards int
+	// Trace receives the server's flight-recorder events (per-connection
+	// decode/dedup/apply/ack plus shard stage/apply), keyed by the wire
+	// protocol's (session, seq) batch identity. Nil allocates a private
+	// recorder — the recorder is always on; its record path is allocation-
+	// free and a few dozen nanoseconds per frame. Pass a shared recorder to
+	// merge the exporter's half of the story (export.Config.Trace) into the
+	// same /debug/trace timeline.
+	Trace *tracelog.Recorder
 }
 
 // Server is the monitor daemon's network front end.
@@ -129,6 +138,18 @@ type Server struct {
 	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
 	// nil (one atomic load per query frame) until then.
 	tel atomic.Pointer[telemetry.ServerMetrics]
+
+	// rec is the flight recorder; handlers acquire one ring each, so every
+	// Record call stays on its connection's goroutine (the ring
+	// single-writer contract).
+	rec *tracelog.Recorder
+	// connSeq mints the writer tag stamped into each connection ring.
+	connSeq atomic.Uint64
+	// decodeRejects counts frames whose payload was rejected before any
+	// state change; kept as a lock-free mirror of the per-type error
+	// counters so the monitor's alert-evidence ledger can snapshot it from
+	// inside its own critical section without touching mu.
+	decodeRejects atomic.Uint64
 }
 
 // New builds a server.
@@ -165,15 +186,30 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{
+	rec := cfg.Trace
+	if rec == nil {
+		rec = tracelog.New(tracelog.Options{})
+	}
+	if pipe != nil {
+		pipe.AttachTracer(rec)
+	}
+	s := &Server{
 		cfg:      cfg,
 		mon:      mon,
 		pipe:     pipe,
 		sessions: newSessionTable(cfg.MaxSessions),
 		conns:    make(map[net.Conn]struct{}),
 		shutdown: make(chan struct{}),
-	}, nil
+		rec:      rec,
+	}
+	mon.SetDecodeRejectProbe(s.decodeRejects.Load)
+	return s, nil
 }
+
+// Tracer returns the server's flight recorder — the one passed as
+// Config.Trace, or the private recorder drawn when none was. It backs the
+// /debug/trace endpoint and the chaos tests' timeline reconstruction.
+func (s *Server) Tracer() *tracelog.Recorder { return s.rec }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting connections
 // in a background goroutine. The bound address is returned.
@@ -214,6 +250,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	if refuse != nil {
 		return refuse
 	}
+	// Serving is when batches start flowing, so it is when the recorder's
+	// coarse clock starts ticking; Shutdown joins the ticker goroutine.
+	s.rec.StartClock(0)
 	go s.acceptLoop(ln)
 	return nil
 }
@@ -313,6 +352,9 @@ type connState struct {
 	// handshake). It scopes the dedup lookups for MsgSeqUpdates frames on
 	// this connection.
 	sessionID uint64
+	// ring is the connection's flight-recorder ring; only this connection's
+	// handler goroutine Records into it.
+	ring *tracelog.Ring
 	// scratch holds the connection's pooled ingest buffers for the life of
 	// the connection.
 	scratch *ingestScratch
@@ -355,8 +397,20 @@ var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	cs := connState{scratch: ingestScratchPool.Get().(*ingestScratch)}
+	connID := uint32(s.connSeq.Add(1))
+	cs := connState{
+		scratch: ingestScratchPool.Get().(*ingestScratch),
+		ring:    s.rec.Acquire(connID),
+	}
 	defer ingestScratchPool.Put(cs.scratch)
+	cs.ring.Record(tracelog.StageServerConnOpen, 0, 0, 0, uint64(connID))
+	defer func() {
+		// The close event lands keyed to the session the connection last
+		// served, so a cut connection's trace shows where its batches
+		// stopped; the ring itself stays readable after release.
+		cs.ring.Record(tracelog.StageServerConnClose, cs.sessionID, 0, 0, uint64(connID))
+		s.rec.Release(cs.ring)
+	}()
 	if s.pipe != nil {
 		cs.batcher = s.pipe.NewBatcher()
 		// A handler that exits with staged updates (peer vanished between
@@ -438,9 +492,10 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		cs.scratch.ups = updates[:0]
 		if err != nil {
 			s.noteProtocolError(typ)
+			cs.ring.Record(tracelog.StageServerDecodeReject, cs.sessionID, 0, 0, tracelog.RejectDecode)
 			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
-		s.applyBatch(cs, updates)
+		s.applyBatch(cs, cs.sessionID, 0, updates)
 		return s.writeReply(cs, w, wire.MsgAck, nil)
 
 	case wire.MsgHello:
@@ -465,12 +520,15 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		cs.scratch.ups = updates[:0]
 		if err != nil {
 			s.noteProtocolError(typ)
+			cs.ring.Record(tracelog.StageServerDecodeReject, cs.sessionID, 0, 0, tracelog.RejectDecode)
 			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
 		if cs.sessionID == 0 {
 			s.noteProtocolError(typ)
+			cs.ring.Record(tracelog.StageServerDecodeReject, 0, seq, 0, tracelog.RejectNoHello)
 			return wire.WriteFrame(w, wire.MsgError, []byte("sequenced batch before MsgHello handshake"))
 		}
+		cs.ring.Record(tracelog.StageServerDecode, cs.sessionID, seq, uint32(len(updates)), 0)
 		if cs.batcher != nil {
 			// Pipeline mode: the dedup decision (and lastSeq advance)
 			// happens under mu, the staging outside it. The ack is
@@ -482,6 +540,7 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 			sess := s.sessions.lookup(cs.sessionID)
 			s.seqBatchesIn++
 			dup := seq <= sess.lastSeq
+			horizon := sess.lastSeq
 			if dup {
 				// Already applied: the previous ack was lost. Ack
 				// again, apply nothing — this is the exactly-once
@@ -491,10 +550,16 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 				sess.lastSeq = seq
 			}
 			s.mu.Unlock()
-			if !dup {
-				s.applyBatch(cs, updates)
+			if dup {
+				cs.ring.Record(tracelog.StageServerDup, cs.sessionID, seq, 0, horizon)
+			} else {
+				s.applyBatch(cs, cs.sessionID, seq, updates)
 			}
-			return s.writeReply(cs, w, wire.MsgSeqAck, wire.AppendSeqAck(cs.scratch.ack[:0], seq))
+			err := s.writeReply(cs, w, wire.MsgSeqAck, wire.AppendSeqAck(cs.scratch.ack[:0], seq))
+			if err == nil {
+				cs.ring.Record(tracelog.StageServerAck, cs.sessionID, seq, 0, seq)
+			}
+			return err
 		}
 		// Inline mode: re-key outside the lock (same as MsgUpdates); for a
 		// duplicate this work is wasted, but duplicates are the rare retry
@@ -507,7 +572,9 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		s.mu.Lock()
 		sess := s.sessions.lookup(cs.sessionID)
 		s.seqBatchesIn++
-		if seq <= sess.lastSeq {
+		dup := seq <= sess.lastSeq
+		horizon := sess.lastSeq
+		if dup {
 			s.dupBatches++
 		} else {
 			s.mon.UpdateBatch(keys)
@@ -516,7 +583,16 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 			sess.lastSeq = seq
 		}
 		s.mu.Unlock()
-		return s.writeReply(cs, w, wire.MsgSeqAck, wire.AppendSeqAck(cs.scratch.ack[:0], seq))
+		if dup {
+			cs.ring.Record(tracelog.StageServerDup, cs.sessionID, seq, 0, horizon)
+		} else {
+			cs.ring.Record(tracelog.StageServerApply, cs.sessionID, seq, uint32(len(keys)), 0)
+		}
+		err = s.writeReply(cs, w, wire.MsgSeqAck, wire.AppendSeqAck(cs.scratch.ack[:0], seq))
+		if err == nil {
+			cs.ring.Record(tracelog.StageServerAck, cs.sessionID, seq, 0, seq)
+		}
+		return err
 
 	case wire.MsgTopKQuery:
 		tel := s.tel.Load()
@@ -539,6 +615,9 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 			entries[i] = wire.TopKEntry{Dest: e.Dest, F: e.F}
 		}
 		err = s.writeReply(cs, w, wire.MsgTopKReply, wire.AppendTopKReply(nil, entries))
+		if err == nil {
+			cs.ring.Record(tracelog.StageServerQuery, cs.sessionID, 0, uint32(k), 0)
+		}
 		if tel != nil {
 			tel.QueryLatency.Observe(uint64(time.Since(start)))
 		}
@@ -589,7 +668,7 @@ func rekeyInto(dst []dcs.KeyDelta, updates []wire.Update) []dcs.KeyDelta {
 // shard queues before returning, so the caller's subsequent ack keeps the
 // "acked implies visible to later queries" contract (pipeline folds drain
 // every shard queue before merging).
-func (s *Server) applyBatch(cs *connState, updates []wire.Update) {
+func (s *Server) applyBatch(cs *connState, session, seq uint64, updates []wire.Update) {
 	if cs.batcher != nil {
 		var n uint64
 		for _, u := range updates {
@@ -599,11 +678,12 @@ func (s *Server) applyBatch(cs *connState, updates []wire.Update) {
 			cs.batcher.UpdateKey(hashing.PairKey(u.Src, u.Dst), u.Delta)
 			n++
 		}
-		cs.batcher.Flush()
+		cs.batcher.FlushTraced(cs.ring, session, seq)
 		s.mu.Lock()
 		s.batchesIn++
 		s.updatesIn += n
 		s.mu.Unlock()
+		cs.ring.Record(tracelog.StageServerApply, session, seq, uint32(n), 0)
 		return
 	}
 	keys := rekeyInto(cs.scratch.keys[:0], updates)
@@ -613,6 +693,7 @@ func (s *Server) applyBatch(cs *connState, updates []wire.Update) {
 	s.batchesIn++
 	s.updatesIn += uint64(len(keys))
 	s.mu.Unlock()
+	cs.ring.Record(tracelog.StageServerApply, session, seq, uint32(len(keys)), 0)
 }
 
 // noteFrame counts one successfully read frame by type.
@@ -636,6 +717,8 @@ func (s *Server) noteProtocolError(typ wire.MsgType) {
 		s.errorsByType[typ]++
 	}
 	s.mu.Unlock()
+	// Lock-free mirror for the alert-evidence ledger (see decodeRejects).
+	s.decodeRejects.Add(1)
 }
 
 // topK answers a top-k query from the configured ingest topology: the shared
@@ -852,4 +935,5 @@ func (s *Server) Shutdown() {
 	if s.pipe != nil {
 		s.pipe.Close()
 	}
+	s.rec.StopClock()
 }

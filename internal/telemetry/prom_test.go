@@ -134,3 +134,16 @@ func TestValidatePrometheusTextRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestHandlerContentTypeExact pins the exact exposition-format content type:
+// Prometheus scrapers key the text-parser version off this header, so the
+// charset parameter is part of the contract, not decoration.
+func TestHandlerContentTypeExact(t *testing.T) {
+	reg := NewRegistry()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if ct := rec.Header().Get("Content-Type"); ct != want {
+		t.Fatalf("Content-Type = %q, want %q", ct, want)
+	}
+}

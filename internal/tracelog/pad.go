@@ -1,0 +1,18 @@
+package tracelog
+
+import "sync/atomic"
+
+// atomicU64pad is an atomic.Uint64 padded to a full cache line. The
+// recorder's global sequence and clock words are hammered by every writer in
+// the process; padding keeps them from false-sharing with each other or with
+// the recorder's mutex.
+type atomicU64pad struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// atomicI64pad is the signed sibling of atomicU64pad.
+type atomicI64pad struct {
+	atomic.Int64
+	_ [56]byte
+}
