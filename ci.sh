@@ -54,13 +54,17 @@ check() {
 	# and race coverage as the SIMD path, plus the gate assertion in
 	# TestForceGenericPinsFallback.
 	DCSKETCH_FORCE_GENERIC=1 go test -race ./internal/vec ./internal/dcs ./internal/tdcs
-	# Chaos pass: the seeded faultnet e2e — connections cut mid-batch
-	# while the exporter streams into a live daemon — must reproduce the
-	# fault-free top-k byte-for-byte with exact ledger accounting, and the
-	# flight recorder alone must reconstruct a killed batch's cut ->
-	# reconnect -> retransmit -> dedup story through /debug/trace
-	# (TestChaosTraceReconstructsRetransmit).
-	go test -race -run '^TestChaos' -count 1 ./internal/export
+	# Chaos pass: the seeded faultnet e2es. In export: connections cut
+	# mid-batch while the exporter streams into a live daemon must
+	# reproduce the fault-free top-k byte-for-byte with exact ledger
+	# accounting, and the flight recorder alone must reconstruct a killed
+	# batch's cut -> reconnect -> retransmit -> dedup story through
+	# /debug/trace (TestChaosTraceReconstructsRetransmit). In relay: the
+	# restart chaos — cuts plus a hard process kill and snapshot-file
+	# recovery at BOTH tiers of the edge -> regional -> global fabric —
+	# must keep the global top-k byte-identical to a single-box run with
+	# flight-recorder proof of exactly-one apply per (session, seq).
+	go test -race -run '^TestChaos' -count 1 ./internal/export ./internal/relay
 	# Telemetry smoke: start the daemon with -debug-addr, drive real
 	# traffic over a client connection, and scrape /metrics end to end
 	# (decode failures, level occupancy, query-latency histogram).
@@ -77,15 +81,16 @@ check() {
 	go test -race -tags dcsdebug ./internal/dcs ./internal/tdcs
 	# Fuzz smoke: a short budget per representative target catches
 	# decoder and routing regressions without holding CI hostage. The
-	# fourteen targets are split into six groups; each group runs its
+	# fifteen targets are split into six groups; each group runs its
 	# targets sequentially in one background job and the groups run
 	# concurrently (-fuzztime is wall-clock, so overlapping the waits
-	# keeps the whole smoke pass under ~60s instead of 14 x 10s).
+	# keeps the whole smoke pass under ~60s instead of 15 x 10s).
 	# fuzz_group's quiet logs surface only on failure.
 	FUZZDIR="$(mktemp -d)"
 	fuzz_group sketch \
 		FuzzUnmarshalBinary ./internal/dcs \
-		FuzzShardRouting ./internal/pipeline &
+		FuzzShardRouting ./internal/pipeline \
+		FuzzDecodeSnapshot ./internal/snapshot &
 	fuzz_group wire-frame \
 		FuzzReadFrame ./internal/wire \
 		FuzzDecodeHello ./internal/wire \

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"dcsketch/internal/debugapi"
 	"dcsketch/internal/monitor"
 	"dcsketch/internal/server"
+	"dcsketch/internal/snapshot"
 	"dcsketch/internal/telemetry"
 	"dcsketch/internal/trace"
 	"dcsketch/internal/tracelog"
@@ -56,6 +59,8 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 		tables   = fs.Int("r", 3, "second-level hash tables (r)")
 		status   = fs.Duration("status-every", 10*time.Second, "status line period (0 disables)")
 		debug    = fs.String("debug-addr", "", "telemetry listen address serving /metrics (Prometheus text), /debug/vars (expvar), and /debug/pprof (empty disables)")
+		snapDir  = fs.String("snapshot-dir", "", "directory for crash-safe state snapshots: restored on boot, written periodically and on graceful shutdown (empty disables)")
+		snapSecs = fs.Duration("snapshot-interval", 30*time.Second, "period between crash-safe snapshots when -snapshot-dir is set (0 disables the timer; shutdown still flushes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +81,29 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 	if err != nil {
 		return err
 	}
+
+	// Restore precedes Listen: the replay horizons must be in place before
+	// the first exporter's hello, or a retransmitted batch the dead process
+	// already acked would be applied twice. A missing file is a fresh
+	// start; a corrupt one is a hard error — silently starting empty would
+	// break the very acked⇒durable promise the snapshot exists for.
+	snapPath := ""
+	if *snapDir != "" {
+		snapPath = filepath.Join(*snapDir, "ddosmond.snapshot")
+		st, err := snapshot.ReadFile(snapPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// fresh start
+		case err != nil:
+			return fmt.Errorf("restore %s: %w", snapPath, err)
+		default:
+			if err := srv.RestoreState(st); err != nil {
+				return fmt.Errorf("restore %s: %w", snapPath, err)
+			}
+			fmt.Printf("restored snapshot %s (%d sessions)\n", snapPath, restoredSessions(st))
+		}
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err
@@ -122,17 +150,58 @@ func run(args []string, stop <-chan os.Signal, ready func(serveAddr, debugAddr n
 		defer ticker.Stop()
 		tick = ticker.C
 	}
+	var snapTick <-chan time.Time
+	if snapPath != "" && *snapSecs > 0 {
+		snapTicker := time.NewTicker(*snapSecs)
+		defer snapTicker.Stop()
+		snapTick = snapTicker.C
+	}
 	for {
 		select {
 		case <-stop:
 			fmt.Println("shutting down...")
+			// Shutdown first, snapshot second: Shutdown drains every
+			// connection handler and the shard queues, so the final flush
+			// captures every acked batch — SIGTERM mid-ingest loses
+			// nothing that was acknowledged.
 			srv.Shutdown()
+			if snapPath != "" {
+				if err := writeSnapshot(srv, snapPath); err != nil {
+					fmt.Fprintln(os.Stderr, "ddosmond: final snapshot:", err)
+				} else {
+					fmt.Printf("snapshot flushed to %s\n", snapPath)
+				}
+			}
 			printStatus(srv, *k)
 			return nil
+		case <-snapTick:
+			if err := writeSnapshot(srv, snapPath); err != nil {
+				fmt.Fprintln(os.Stderr, "ddosmond: snapshot:", err)
+			}
 		case <-tick:
 			printStatus(srv, *k)
 		}
 	}
+}
+
+// writeSnapshot captures the server's recovery state and writes it
+// atomically (tmp + rename) so a crash mid-write leaves the previous
+// snapshot intact.
+func writeSnapshot(srv *server.Server, path string) error {
+	st, err := srv.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, st)
+}
+
+// restoredSessions counts the replay horizons in a snapshot, for the boot
+// log line.
+func restoredSessions(st *snapshot.State) int {
+	if st.Sessions == nil {
+		return 0
+	}
+	return len(st.Sessions.Horizons)
 }
 
 // serveDebug serves the telemetry mux on ln in the background and returns a

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dcsketch/internal/dcs"
+	"dcsketch/internal/export"
+	"dcsketch/internal/monitor"
+	"dcsketch/internal/server"
+	"dcsketch/internal/wire"
+)
+
+// startRelay runs the relay command with the given flags and returns its
+// bound downstream address plus a stop function (SIGTERM, wait for exit).
+func startRelay(t *testing.T, extra ...string) (serveAddr net.Addr, stopFn func()) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	readyCh := make(chan net.Addr, 1)
+	args := append([]string{"-listen", "127.0.0.1:0", "-status-every", "0"}, extra...)
+	go func() {
+		done <- run(args, stop, func(sa net.Addr) { readyCh <- sa })
+	}()
+	stopFn = func() {
+		stop <- syscall.SIGTERM
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("relay did not stop")
+		}
+	}
+	select {
+	case addr := <-readyCh:
+		return addr, stopFn
+	case err := <-done:
+		t.Fatalf("relay exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("relay did not become ready")
+	}
+	panic("unreachable")
+}
+
+func TestRunErrors(t *testing.T) {
+	stop := make(chan os.Signal)
+	if err := run([]string{}, stop, nil); err == nil {
+		t.Fatal("missing -upstream accepted")
+	}
+	if err := run([]string{"-bogus"}, stop, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-listen", "not-an-address"}, stop, nil); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if err := run([]string{"-upstream", "127.0.0.1:1", "-s", "1"}, stop, nil); err == nil {
+		t.Fatal("invalid sketch config accepted")
+	}
+}
+
+// TestRelayFansInToGlobal drives an edge exporter through the relay command
+// into a real global server, restarts the relay from its snapshot, and
+// checks the global sketch saw the whole trace exactly once.
+func TestRelayFansInToGlobal(t *testing.T) {
+	global, err := server.New(server.Config{
+		Monitor: monitor.Config{Sketch: dcs.Config{Tables: 3, Buckets: 128, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalAddr, err := global.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(global.Shutdown)
+
+	dir := t.TempDir()
+	flags := []string{
+		"-upstream", globalAddr.String(),
+		"-session", "42",
+		"-snapshot-dir", dir,
+		"-snapshot-interval", "0",
+		"-drain-budget", "5s",
+	}
+	relayAddr, stopRelay := startRelay(t, flags...)
+
+	exp, err := export.New(export.Config{Addr: relayAddr.String(), SessionID: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 20
+	for seq := uint64(1); seq <= batches; seq++ {
+		b := make([]wire.Update, 3)
+		for j := range b {
+			b[j] = wire.Update{Src: uint32(7000 + 3*seq + uint64(j)), Dst: uint32(seq), Delta: 1}
+		}
+		if err := exp.Export(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	exp.Close()
+
+	// Graceful stop drains the upstream spool, then flushes the snapshot.
+	stopRelay()
+	if _, err := os.Stat(filepath.Join(dir, "ddosrelay.snapshot")); err != nil {
+		t.Fatalf("shutdown flushed no snapshot: %v", err)
+	}
+
+	// Every batch reached the global tier through the relay's session.
+	top := global.TopK(batches + 5)
+	seen := map[uint32]bool{}
+	for _, e := range top {
+		if e.Dest == 0 || uint64(e.Dest) > batches {
+			t.Fatalf("global sketch holds unknown dest %d", e.Dest)
+		}
+		seen[e.Dest] = true
+	}
+	if len(seen) != batches {
+		t.Fatalf("global sketch holds %d of %d destinations", len(seen), batches)
+	}
+	gs := global.Stats()
+	if gs.DuplicateBatches != 0 {
+		t.Fatalf("global deduped %d batches on a clean run", gs.DuplicateBatches)
+	}
+
+	// The restarted relay resumes the pinned upstream session: replaying
+	// the edge trace is pruned at the relay (restored horizons), so the
+	// global tier sees nothing new and nothing twice.
+	relayAddr2, stopRelay2 := startRelay(t, flags...)
+	defer stopRelay2()
+	exp2, err := export.New(export.Config{Addr: relayAddr2.String(), SessionID: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp2.Close()
+	for seq := uint64(1); seq <= batches; seq++ {
+		b := make([]wire.Update, 3)
+		for j := range b {
+			b[j] = wire.Update{Src: uint32(7000 + 3*seq + uint64(j)), Dst: uint32(seq), Delta: 1}
+		}
+		if err := exp2.Export(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gs = global.Stats()
+	if gs.Batches != batches {
+		t.Fatalf("global applied %d batches after replay, want %d", gs.Batches, batches)
+	}
+	if gs.DuplicateBatches != 0 {
+		t.Fatalf("replay leaked %d duplicate batches to the global tier", gs.DuplicateBatches)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dcsketch/internal/hashing"
+	"dcsketch/internal/snapshot"
 	"dcsketch/internal/telemetry"
 	"dcsketch/internal/tracelog"
 	"dcsketch/internal/wire"
@@ -80,6 +81,17 @@ type Config struct {
 	// Tracer; pass the daemon-wide recorder to merge the edge half of a
 	// batch's story into /debug/trace.
 	Trace *tracelog.Recorder
+	// Restore seeds the exporter from a crash-safe spool snapshot captured
+	// by SnapshotSpool: the replay session, its next sequence number, and
+	// every still-unacked batch resume exactly where the dead process
+	// stopped, so batches acked downstream by a relay before it crashed are
+	// retransmitted upstream after restart instead of lost. The snapshot's
+	// SessionID wins (it must, or the server's replay horizon would not
+	// apply); setting a different non-zero SessionID alongside it is a
+	// configuration error. Restored batches are counted as enqueued so the
+	// ledger invariant (acked + dropped == enqueued when drained) holds for
+	// the restarted process.
+	Restore *snapshot.SpoolState
 }
 
 // Stats counts the exporter's delivery ledger. The invariant the chaos
@@ -181,6 +193,14 @@ func New(cfg Config) (*Exporter, error) {
 		cfg.SpoolBatches = 1024
 	}
 	id := cfg.SessionID
+	if cfg.Restore != nil {
+		if id != 0 && id != cfg.Restore.SessionID {
+			return nil, fmt.Errorf("export: SessionID %d conflicts with restored session %d", id, cfg.Restore.SessionID)
+		}
+		if id = cfg.Restore.SessionID; id == 0 {
+			return nil, errors.New("export: restored spool has no session id")
+		}
+	}
 	for id == 0 {
 		var b [8]byte
 		if _, err := rand.Read(b[:]); err != nil {
@@ -206,6 +226,11 @@ func New(cfg Config) (*Exporter, error) {
 	}
 	e.ring = rec.Acquire(0)
 	e.cond = sync.NewCond(&e.mu)
+	if cfg.Restore != nil {
+		if err := e.restoreSpool(cfg.Restore); err != nil {
+			return nil, err
+		}
+	}
 	e.wg.Add(1)
 	go e.run()
 	return e, nil

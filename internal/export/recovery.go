@@ -1,0 +1,74 @@
+// Crash-safe spool capture and restore: a relay (or any embedder) snapshots
+// the unacked upstream spool atomically with the replay horizons that
+// promise it, and a restarted process resumes the same session with the
+// same next sequence number and the same spooled payloads — so every batch
+// the dead process acked downstream is still retransmitted upstream. See
+// DESIGN.md §14 for the recovery model.
+package export
+
+import (
+	"fmt"
+
+	"dcsketch/internal/snapshot"
+	"dcsketch/internal/tracelog"
+)
+
+// SnapshotSpool captures the exporter's replay session, next sequence
+// number, and every still-unacked batch (payload bytes copied — the caller
+// owns the result outright). Safe on a live exporter: the capture holds the
+// exporter mutex, so it is atomic with respect to Export, acks, and sheds.
+func (e *Exporter) SnapshotSpool() *snapshot.SpoolState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := &snapshot.SpoolState{SessionID: e.sessionID, NextSeq: e.nextSeq}
+	if len(e.spool) > 0 {
+		st.Batches = make([]snapshot.SpoolBatch, 0, len(e.spool))
+		for _, b := range e.spool {
+			st.Batches = append(st.Batches, snapshot.SpoolBatch{
+				Seq:     b.seq,
+				Updates: uint32(b.n),
+				Payload: append([]byte(nil), b.payload...),
+			})
+		}
+	}
+	return st
+}
+
+// restoreSpool seeds a not-yet-running exporter from a captured spool. It
+// runs from New before the delivery loop starts, so the mutex is
+// uncontended and held purely for the guarded-field discipline; validation
+// is strict because the snapshot file's checksum guards bit rot, not logic
+// errors in whoever assembled the state.
+func (e *Exporter) restoreSpool(st *snapshot.SpoolState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := st.NextSeq
+	if next == 0 {
+		next = 1
+	}
+	var lastSeq uint64
+	for _, sb := range st.Batches {
+		if sb.Seq <= lastSeq {
+			return fmt.Errorf("export: restored spool seq %d out of order", sb.Seq)
+		}
+		if sb.Seq >= next {
+			return fmt.Errorf("export: restored spool seq %d >= next seq %d", sb.Seq, next)
+		}
+		lastSeq = sb.Seq
+		b := &batch{
+			seq:     sb.Seq,
+			payload: append([]byte(nil), sb.Payload...),
+			n:       int(sb.Updates),
+		}
+		e.spool = append(e.spool, b)
+		// Count restored batches as enqueued: the restarted process's
+		// ledger then keeps the drained-spool invariant
+		// (acked + dropped == enqueued) without special cases.
+		e.stats.BatchesEnqueued++
+		e.stats.UpdatesEnqueued += uint64(b.n)
+		e.ring.Record(tracelog.StageExportEnqueue, e.sessionID, b.seq,
+			uint32(b.n), uint64(len(e.spool)))
+	}
+	e.nextSeq = next
+	return nil
+}

@@ -1,0 +1,181 @@
+package export
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcsketch/internal/server"
+)
+
+// flappingDial fails every attempt until recover is flipped, then dials the
+// real address — an outage with a controllable end.
+func flappingDial(addr *atomic.Value, recovered *atomic.Bool) func(string, time.Duration) (net.Conn, error) {
+	return func(_ string, timeout time.Duration) (net.Conn, error) {
+		if !recovered.Load() {
+			return nil, errors.New("outage")
+		}
+		return net.DialTimeout("tcp", addr.Load().(string), timeout)
+	}
+}
+
+// TestSpoolAccountingExactUnderSustainedOutage is the regression test for
+// the drop-oldest wrap edge: a sustained outage keeps the spool pinned at
+// its bound while hundreds of batches wrap through it, and the ledger must
+// balance exactly at every point — during the outage,
+// dropped + spooled == enqueued; after recovery and a full drain,
+// dropped + acked == enqueued, batch- and update-exact, with no batch
+// double-counted at the wrap boundary.
+func TestSpoolAccountingExactUnderSustainedOutage(t *testing.T) {
+	_, realAddr := startServer(t, server.Config{})
+	var addr atomic.Value
+	addr.Store(realAddr)
+	var recovered atomic.Bool
+
+	const (
+		spoolBound = 8
+		batches    = 500
+		perBatch   = 5
+	)
+	e, err := New(Config{
+		Addr:         "example.invalid:1",
+		Dial:         flappingDial(&addr, &recovered),
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+		SpoolBatches: spoolBound,
+		SessionID:    21,
+		Seed:         21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	traffic := genBatches(21, batches, perBatch)
+	for i, b := range traffic {
+		if err := e.Export(b); err != nil {
+			t.Fatal(err)
+		}
+		// The balance must hold mid-outage at every wrap, not just at
+		// the end; check at a few depths including the first wraps.
+		if i < 3*spoolBound || i%97 == 0 {
+			st := e.Stats()
+			if st.BatchesDropped+uint64(st.SpoolDepth) != st.BatchesEnqueued {
+				t.Fatalf("after %d exports: dropped %d + spooled %d != enqueued %d",
+					i+1, st.BatchesDropped, st.SpoolDepth, st.BatchesEnqueued)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.BatchesEnqueued != batches || st.UpdatesEnqueued != batches*perBatch {
+		t.Fatalf("enqueue ledger = %+v", st)
+	}
+	if st.BatchesDropped+uint64(st.SpoolDepth) != batches {
+		t.Fatalf("outage balance: dropped %d + spooled %d != enqueued %d",
+			st.BatchesDropped, st.SpoolDepth, batches)
+	}
+	if st.UpdatesDropped != st.BatchesDropped*perBatch {
+		t.Fatalf("update ledger off: %d dropped updates for %d dropped batches",
+			st.UpdatesDropped, st.BatchesDropped)
+	}
+	if st.BatchesAcked != 0 {
+		t.Fatalf("acked %d batches during a total outage", st.BatchesAcked)
+	}
+
+	// Outage ends; the surviving spool tail must drain completely.
+	recovered.Store(true)
+	if err := e.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.BatchesDropped+st.BatchesAcked != batches {
+		t.Fatalf("drained balance: dropped %d + acked %d != enqueued %d",
+			st.BatchesDropped, st.BatchesAcked, batches)
+	}
+	if st.UpdatesDropped+st.UpdatesAcked != batches*perBatch {
+		t.Fatalf("drained update balance: dropped %d + acked %d != enqueued %d",
+			st.UpdatesDropped, st.UpdatesAcked, batches*perBatch)
+	}
+	if st.SendAttempts != st.BatchesAcked+st.Retransmits {
+		t.Fatalf("attempt ledger: attempts %d != acked %d + retransmits %d",
+			st.SendAttempts, st.BatchesAcked, st.Retransmits)
+	}
+	if st.BatchesAcked < spoolBound {
+		t.Fatalf("acked only %d batches, expected at least the %d spooled at recovery",
+			st.BatchesAcked, spoolBound)
+	}
+}
+
+// TestSpoolSnapshotRestoreResumesSession checks the crash path: an exporter
+// dies mid-outage with unacked batches spooled, a new exporter restores the
+// snapshot, and the server ends up applying exactly the batches the snapshot
+// held — same session, no gap reuse, ledger balanced.
+func TestSpoolSnapshotRestoreResumesSession(t *testing.T) {
+	srv, realAddr := startServer(t, server.Config{})
+	unreachable := func(string, time.Duration) (net.Conn, error) {
+		return nil, errors.New("outage")
+	}
+
+	e, err := New(Config{
+		Addr:        "example.invalid:1",
+		Dial:        unreachable,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		SessionID:   22,
+		Seed:        22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := genBatches(22, 6, 10)
+	for _, b := range traffic {
+		if err := e.Export(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spool := e.SnapshotSpool()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if spool.SessionID != 22 || spool.NextSeq != 7 || len(spool.Batches) != 6 {
+		t.Fatalf("snapshot = session %d nextSeq %d %d batches", spool.SessionID, spool.NextSeq, len(spool.Batches))
+	}
+
+	// "Restart": a fresh exporter seeded from the snapshot, network healthy.
+	e2, err := New(Config{Addr: realAddr, Seed: 22, Restore: spool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.SessionID() != 22 {
+		t.Fatalf("restored session id = %d, want 22", e2.SessionID())
+	}
+	// New traffic after the restore continues the sequence space.
+	extra := genBatches(23, 2, 10)
+	for _, b := range extra {
+		if err := e2.Export(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := e2.Stats()
+	if st.BatchesEnqueued != 8 || st.BatchesAcked != 8 || st.BatchesDropped != 0 {
+		t.Fatalf("restored ledger = %+v", st)
+	}
+	if st.UpdatesAcked != 80 {
+		t.Fatalf("restored updates acked = %d, want 80", st.UpdatesAcked)
+	}
+	ss := srv.Stats()
+	if ss.Batches != 8 || ss.Updates != 80 || ss.DuplicateBatches != 0 {
+		t.Fatalf("server stats = %+v", ss)
+	}
+
+	// A conflicting explicit session id is a configuration error.
+	if _, err := New(Config{Addr: realAddr, SessionID: 99, Restore: spool}); err == nil {
+		t.Fatal("restore with conflicting SessionID did not fail")
+	}
+}

@@ -50,6 +50,16 @@ type Config struct {
 	// injector; 0 means unlimited. Connections created after the budget is
 	// spent, or whose threshold fires after it is spent, are left intact.
 	MaxCuts int
+	// KillAfter, when positive, simulates a whole-process crash: once the
+	// injector-wide transferred-byte total (reads plus writes, summed over
+	// every wrapped connection) crosses a threshold drawn uniformly from
+	// [KillAfter/2, 3*KillAfter/2), every wrapped listener and every live
+	// connection is severed at once, mid-frame — the transport-visible
+	// signature of the wrapped process dying. The kill fires at most once
+	// per injector and closes the Killed channel so the harness knows to
+	// restart the "process"; a restarted incarnation gets a fresh injector
+	// (and thus a fresh kill budget) of its own.
+	KillAfter int
 	// BlackholeWrites converts injected resets into write blackholes: once
 	// a connection's threshold fires, its writes block — consuming nothing —
 	// until the write deadline expires or the connection is closed,
@@ -76,6 +86,8 @@ type Stats struct {
 	// Cuts counts injected resets; Blackholes counts thresholds that
 	// blackholed instead (BlackholeWrites).
 	Cuts, Blackholes uint64
+	// Kills counts KillAfter crashes fired (0 or 1 per injector).
+	Kills uint64
 	// PartialWrites counts Write calls split into more than one underlying
 	// write; ShortReads counts Read calls truncated below the caller's
 	// buffer size.
@@ -89,18 +101,46 @@ type Stats struct {
 type Injector struct {
 	cfg Config
 
+	// killed is closed when the KillAfter crash fires.
+	killed chan struct{}
+
 	// mu guards the schedule and counter state below.
 	mu sync.Mutex
 	// stats accumulates fault counts. guarded by mu
 	stats Stats
 	// spent counts resets and blackholes drawn against MaxCuts. guarded by mu
 	spent int
+	// killBudget is the remaining injector-wide transferred-byte allowance
+	// before the crash fires; negative disables (or: already fired). guarded by mu
+	killBudget int64
+	// conns tracks live wrapped connections so a kill can sever them all;
+	// entries remove themselves on Close. guarded by mu
+	conns map[*conn]struct{}
+	// listeners tracks wrapped listeners for the same reason. guarded by mu
+	listeners []net.Listener
 }
 
 // New returns an injector for cfg.
 func New(cfg Config) *Injector {
-	return &Injector{cfg: cfg}
+	killBudget := int64(-1)
+	if cfg.KillAfter > 0 {
+		// The kill point carries the same [d/2, 3d/2) jitter as CutAfter,
+		// drawn from a stream decorrelated from the per-connection ones.
+		span := uint64(cfg.KillAfter)
+		killBudget = int64(span/2 + hashing.Mix64(cfg.Seed^0x6b696c6c706f696e)%span)
+	}
+	return &Injector{
+		cfg:        cfg,
+		killed:     make(chan struct{}),
+		killBudget: killBudget,
+		conns:      make(map[*conn]struct{}),
+	}
 }
+
+// Killed returns a channel closed when the KillAfter crash has fired — the
+// harness's cue to treat the wrapped process as dead and boot its next
+// incarnation.
+func (in *Injector) Killed() <-chan struct{} { return in.killed }
 
 // Stats returns a snapshot of the fault counters.
 func (in *Injector) Stats() Stats {
@@ -140,13 +180,17 @@ func (in *Injector) WrapConn(c net.Conn) net.Conn {
 		span := uint64(in.cfg.CutAfter)
 		budget = int64(span/2 + rng.Next()%span)
 	}
-	return &conn{
+	fc := &conn{
 		Conn:   c,
 		in:     in,
 		rng:    rng,
 		budget: budget,
 		closed: make(chan struct{}),
 	}
+	in.mu.Lock()
+	in.conns[fc] = struct{}{}
+	in.mu.Unlock()
+	return fc
 }
 
 // Dial connects to addr over TCP and wraps the connection.
@@ -158,9 +202,51 @@ func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	return in.WrapConn(c), nil
 }
 
-// Listen wraps ln so every accepted connection carries the fault schedule.
+// Listen wraps ln so every accepted connection carries the fault schedule
+// and ln itself is closed if the KillAfter crash fires.
 func (in *Injector) Listen(ln net.Listener) net.Listener {
+	in.mu.Lock()
+	in.listeners = append(in.listeners, ln)
+	in.mu.Unlock()
 	return &listener{Listener: ln, in: in}
+}
+
+// chargeKillLocked charges n transferred bytes against the kill budget and
+// reports whether this charge is the one that crossed it. Caller holds mu;
+// only one caller can ever observe true (the budget goes negative with it).
+//
+//lint:locked mu
+func (in *Injector) chargeKillLocked(n int) bool {
+	if in.killBudget < 0 || n <= 0 {
+		return false
+	}
+	if in.killBudget -= int64(n); in.killBudget > 0 {
+		return false
+	}
+	in.killBudget = -1
+	in.stats.Kills++
+	return true
+}
+
+// fireKill severs every wrapped listener and live connection, then closes
+// the Killed channel. Victims are collected under mu but cut outside it:
+// cutting re-enters connection state, and the documented lock order
+// (conn.mu before Injector.mu) forbids touching conn-side locks under mu.
+func (in *Injector) fireKill() {
+	in.mu.Lock()
+	victims := make([]*conn, 0, len(in.conns))
+	for c := range in.conns {
+		victims = append(victims, c)
+	}
+	listeners := append([]net.Listener(nil), in.listeners...)
+	in.mu.Unlock()
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	for _, c := range victims {
+		c.cut()
+	}
+	close(in.killed)
 }
 
 type listener struct {
@@ -201,10 +287,15 @@ type conn struct {
 	closeOnce sync.Once
 }
 
-// Close closes the underlying connection and releases any blackholed
-// writers.
+// Close closes the underlying connection, releases any blackholed writers,
+// and removes the connection from the injector's kill registry.
 func (c *conn) Close() error {
-	c.closeOnce.Do(func() { close(c.closed) })
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.in.mu.Lock()
+		delete(c.in.conns, c)
+		c.in.mu.Unlock()
+	})
 	return c.Conn.Close()
 }
 
@@ -377,7 +468,11 @@ func (c *conn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p[:allowed])
 	c.in.mu.Lock()
 	c.in.stats.BytesRead += uint64(n)
+	kill := c.in.chargeKillLocked(n)
 	c.in.mu.Unlock()
+	if kill {
+		c.in.fireKill()
+	}
 	if fault {
 		c.cut()
 		if err == nil {
@@ -390,5 +485,9 @@ func (c *conn) Read(p []byte) (int, error) {
 func (c *conn) noteWrite(n int) {
 	c.in.mu.Lock()
 	c.in.stats.BytesWritten += uint64(n)
+	kill := c.in.chargeKillLocked(n)
 	c.in.mu.Unlock()
+	if kill {
+		c.in.fireKill()
+	}
 }

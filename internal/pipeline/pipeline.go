@@ -181,6 +181,15 @@ type Pipeline struct {
 	n       atomic.Uint64
 	closing sync.Once
 
+	// shed flips the batched ship path from blocking backpressure to
+	// drop-newest load shedding (see EnableShedding). Set before heavy
+	// traffic; never cleared.
+	shed atomic.Bool
+	// shedBatches and shedUpdates count the whole staged batches, and the
+	// updates inside them, dropped by shedding.
+	shedBatches atomic.Uint64
+	shedUpdates atomic.Uint64
+
 	// tel holds the telemetry bundle once RegisterTelemetry attaches one;
 	// nil (and free of cost beyond one atomic load per envelope/fold)
 	// until then.
@@ -308,7 +317,13 @@ func (b *Batcher) UpdateKey(key uint64, delta int64) {
 	*buf = append(*buf, dcs.KeyDelta{Key: key, Delta: delta}) //lint:allocok staging buffers carry DefaultBatchSize capacity from the pool
 	if len(*buf) >= b.size {
 		b.bufs[shard] = nil
-		b.p.ship(shard, buf, 0, 0)
+		if !b.p.ship(shard, buf, 0, 0) {
+			// Shed: the worker never received the buffer, so this Batcher
+			// still owns it — truncate and keep it staged for the next
+			// updates instead of a pool round trip.
+			*buf = (*buf)[:0]
+			b.bufs[shard] = buf
+		}
 	}
 }
 
@@ -339,21 +354,67 @@ func (b *Batcher) FlushTraced(ring *tracelog.Ring, session, seq uint64) {
 			batchPool.Put(buf) //lint:poolok buffer is empty by construction (nothing was staged since Get or the last ship)
 			continue
 		}
+		n := uint32(len(*buf))
 		if ring != nil && session != 0 {
-			ring.Record(tracelog.StageShardStage, session, seq, uint32(len(*buf)), uint64(shard))
+			ring.Record(tracelog.StageShardStage, session, seq, n, uint64(shard))
 		}
-		b.p.ship(shard, buf, session, seq)
+		if !b.p.ship(shard, buf, session, seq) {
+			*buf = (*buf)[:0]
+			batchPool.Put(buf) //lint:poolok shed path: the worker never received the buffer, so the flusher recycles it
+			if ring != nil && session != 0 {
+				// The stage event above still stands — the batch was
+				// staged, then shed; the pair reads in order in the trace
+				// and keeps StageShardStage strictly before StageShardApply
+				// in GSeq for batches that do land.
+				ring.Record(tracelog.StageShardShed, session, seq, n, uint64(shard))
+			}
+		}
 	}
 }
 
-// ship hands a staged buffer to a shard worker. The length is read before
-// the send: ownership transfers on send, and the worker may recycle the
-// buffer into the pool (and a third goroutine may start filling it) the
-// moment it receives.
-func (p *Pipeline) ship(shard int, buf *[]dcs.KeyDelta, session, seq uint64) {
+// ship hands a staged buffer to a shard worker and reports whether the
+// worker accepted it. On true, ownership transfers on the send: the worker
+// may recycle the buffer into the pool (and a third goroutine may start
+// filling it) the moment it receives — hence the length is read before.
+// On false the caller retains ownership and must truncate before reuse.
+//
+// With shedding enabled (EnableShedding), a full shard queue sheds the
+// whole batch instead of blocking: the shed counters advance and ship
+// reports false. Dropping at whole-batch granularity keeps the sketch
+// linear in what was applied — a batch is either fully in or fully out,
+// never torn.
+func (p *Pipeline) ship(shard int, buf *[]dcs.KeyDelta, session, seq uint64) bool {
 	n := uint64(len(*buf))
+	if p.shed.Load() {
+		select {
+		case p.shards[shard].updates <- envelope{batch: buf, session: session, seq: seq}:
+		default:
+			p.shedBatches.Add(1)
+			p.shedUpdates.Add(n)
+			return false
+		}
+		p.n.Add(n)
+		return true
+	}
 	p.shards[shard].updates <- envelope{batch: buf, session: session, seq: seq}
 	p.n.Add(n)
+	return true
+}
+
+// EnableShedding switches the batched ship path from blocking backpressure
+// to deterministic drop-newest load shedding: when a shard queue is full, a
+// staged batch is dropped whole (counted in Shed and the dcsketch_shed_*
+// series, and recorded as a StageShardShed flight-recorder event on traced
+// flushes) instead of stalling — or, at the extreme, OOMing — the producer.
+// The scalar Update/UpdateKey path always blocks: shedding is a whole-batch
+// policy, matching the wire protocol's batch granularity. Call before heavy
+// traffic; shedding cannot be disabled again.
+func (p *Pipeline) EnableShedding() { p.shed.Store(true) }
+
+// Shed reports the whole batches and the updates inside them dropped by
+// load shedding so far. Both are zero unless EnableShedding was called.
+func (p *Pipeline) Shed() (batches, updates uint64) {
+	return p.shedBatches.Load(), p.shedUpdates.Load()
 }
 
 // fold merges every shard's counters into a fresh accumulator and promotes
@@ -482,6 +543,12 @@ func (p *Pipeline) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("dcsketch_pipeline_submitted_total",
 		"Updates submitted to the pipeline (batches count when shipped).",
 		p.Updates)
+	reg.CounterFunc("dcsketch_shed_batches_total",
+		"Whole staged batches dropped by pipeline load shedding.",
+		p.shedBatches.Load)
+	reg.CounterFunc("dcsketch_shed_updates_total",
+		"Updates inside staged batches dropped by pipeline load shedding.",
+		p.shedUpdates.Load)
 	for i, w := range p.shards {
 		w := w
 		reg.GaugeFunc("dcsketch_pipeline_queue_depth{shard=\""+strconv.Itoa(i)+"\"}",

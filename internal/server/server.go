@@ -75,18 +75,50 @@ type Config struct {
 	// merge the exporter's half of the story (export.Config.Trace) into the
 	// same /debug/trace timeline.
 	Trace *tracelog.Recorder
+	// Forward, if non-nil, receives every accepted update batch before it
+	// is applied locally — the relay tier's upstream tap. For sequenced
+	// batches it runs under the server mutex, atomically with the replay-
+	// horizon advance: the batch is admitted upstream (spooled) before the
+	// horizon moves and before the ack is written, so "acked downstream
+	// implies spooled upstream" holds even across a crash-safe snapshot. A
+	// Forward error aborts the batch without advancing the horizon and
+	// drops the connection unacked, so the exporter retransmits. The slice
+	// is only valid for the duration of the call: implementations must
+	// copy or encode it synchronously and must not call back into the
+	// server.
+	Forward func(updates []wire.Update) error
+	// ShedOnFull, with IngestShards > 0, switches the shard queues from
+	// blocking backpressure to deterministic whole-batch shedding: a batch
+	// arriving at a full shard queue is dropped (newest first), counted in
+	// the pipeline's shed telemetry, and recorded in the flight recorder,
+	// instead of parking the connection handler. Default off: the blocking
+	// path preserves lossless ingest for deployments that prefer
+	// backpressure over loss.
+	ShedOnFull bool
 }
 
 // Server is the monitor daemon's network front end.
 type Server struct {
 	cfg Config
 
+	// snapMu gates batch admission against crash-safe state capture:
+	// handlers hold it shared across dispatch (one uncontended RLock per
+	// frame), SnapshotState takes it exclusively. Without the gate a
+	// sequenced batch could advance its replay horizon under mu and stage
+	// its updates into the shard queues on either side of a live snapshot,
+	// tearing "horizon covers batch" away from "sketch contains batch" —
+	// exactly the invariant a restore must be able to trust.
+	//
+	//lint:lockorder before(mu)
+	snapMu sync.RWMutex
 	// mu serializes monitor access with the counter snapshots so Stats
 	// is consistent with the detection state. Monitor calls made under it
 	// take the monitor's own lock, so that nesting is the sanctioned
-	// order module-wide.
+	// order module-wide. The relay's Forward tap also runs under it, so
+	// the exporter spool lock nests the same way.
 	//
 	//lint:lockorder before(monitor.Monitor.mu)
+	//lint:lockorder before(export.Exporter.mu)
 	mu sync.Mutex
 	// mon is the shared detection state. guarded by mu
 	mon *monitor.Monitor
@@ -115,6 +147,10 @@ type Server struct {
 	// Replay-session counters: handshakes, sequenced batches received, and
 	// duplicates suppressed by the dedup table. guarded by mu
 	hellosIn, seqBatchesIn, dupBatches uint64
+	// forwardErrs counts batches aborted because the Forward tap refused
+	// them (relay shutting down); each also drops its connection unacked.
+	// guarded by mu
+	forwardErrs uint64
 	// framesByType counts dispatched frames per defined type (indexed by
 	// wire.MsgType; index 0 unused). guarded by mu
 	framesByType [wire.MsgTypeCount]uint64
@@ -184,6 +220,9 @@ func New(cfg Config) (*Server, error) {
 		pipe, err = pipeline.New(mon.Config().Sketch, cfg.IngestShards, ingestQueueDepth)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.ShedOnFull {
+			pipe.EnableShedding()
 		}
 	}
 	rec := cfg.Trace
@@ -446,7 +485,13 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
-		if err := s.dispatch(&cs, typ, payload, w); err != nil {
+		// The shared snapshot gate makes each frame's state changes (horizon
+		// advance, local staging, upstream forward) atomic with respect to
+		// crash-safe state capture; see Server.snapMu.
+		s.snapMu.RLock()
+		err = s.dispatch(&cs, typ, payload, w)
+		s.snapMu.RUnlock()
+		if err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -495,6 +540,17 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 			cs.ring.Record(tracelog.StageServerDecodeReject, cs.sessionID, 0, 0, tracelog.RejectDecode)
 			return s.writeReply(cs, w, wire.MsgError, []byte(err.Error()))
 		}
+		if s.cfg.Forward != nil {
+			s.mu.Lock()
+			err := s.cfg.Forward(updates)
+			if err != nil {
+				s.forwardErrs++
+			}
+			s.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("server: forward: %w", err)
+			}
+		}
 		s.applyBatch(cs, cs.sessionID, 0, updates)
 		return s.writeReply(cs, w, wire.MsgAck, nil)
 
@@ -541,15 +597,34 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 			s.seqBatchesIn++
 			dup := seq <= sess.lastSeq
 			horizon := sess.lastSeq
+			var fwdErr error
 			if dup {
 				// Already applied: the previous ack was lost. Ack
 				// again, apply nothing — this is the exactly-once
 				// half of the at-least-once retransmission contract.
 				s.dupBatches++
 			} else {
-				sess.lastSeq = seq
+				// The relay tap admits the batch upstream inside the
+				// same critical section that advances the horizon: a
+				// snapshot can never capture an advanced horizon whose
+				// batch is missing from the upstream spool.
+				if s.cfg.Forward != nil {
+					fwdErr = s.cfg.Forward(updates)
+				}
+				if fwdErr == nil {
+					sess.lastSeq = seq
+				} else {
+					s.forwardErrs++
+				}
 			}
 			s.mu.Unlock()
+			if fwdErr != nil {
+				// Dropping the connection unacked (rather than replying
+				// MsgError, which the exporter treats as a terminal
+				// rejection) leaves the batch in the exporter's spool
+				// for retransmission after reconnect.
+				return fmt.Errorf("server: forward session %d seq %d: %w", cs.sessionID, seq, fwdErr)
+			}
 			if dup {
 				cs.ring.Record(tracelog.StageServerDup, cs.sessionID, seq, 0, horizon)
 			} else {
@@ -574,15 +649,29 @@ func (s *Server) dispatch(cs *connState, typ wire.MsgType, payload []byte, w io.
 		s.seqBatchesIn++
 		dup := seq <= sess.lastSeq
 		horizon := sess.lastSeq
+		var fwdErr error
 		if dup {
 			s.dupBatches++
 		} else {
-			s.mon.UpdateBatch(keys)
-			s.batchesIn++
-			s.updatesIn += uint64(len(keys))
-			sess.lastSeq = seq
+			// Same admission order as the pipeline branch: upstream spool
+			// first, then local apply and horizon advance, all atomic
+			// under mu.
+			if s.cfg.Forward != nil {
+				fwdErr = s.cfg.Forward(updates)
+			}
+			if fwdErr == nil {
+				s.mon.UpdateBatch(keys)
+				s.batchesIn++
+				s.updatesIn += uint64(len(keys))
+				sess.lastSeq = seq
+			} else {
+				s.forwardErrs++
+			}
 		}
 		s.mu.Unlock()
+		if fwdErr != nil {
+			return fmt.Errorf("server: forward session %d seq %d: %w", cs.sessionID, seq, fwdErr)
+		}
 		if dup {
 			cs.ring.Record(tracelog.StageServerDup, cs.sessionID, seq, 0, horizon)
 		} else {
@@ -777,6 +866,9 @@ type Stats struct {
 	// frames received (applied + duplicate); DuplicateBatches counts
 	// retransmissions suppressed by the dedup table (acked, not applied).
 	Hellos, SeqBatches, DuplicateBatches uint64
+	// ForwardErrors counts batches aborted by the Forward tap (each also
+	// dropped its connection unacked, so the batch stays retransmittable).
+	ForwardErrors uint64
 	// SessionsActive is the live dedup-table size; SessionsEvicted counts
 	// LRU evictions past the MaxSessions bound (each eviction reopens a
 	// double-apply window for that session's retransmissions).
@@ -815,6 +907,7 @@ func (s *Server) Stats() Stats {
 		Hellos:           s.hellosIn,
 		SeqBatches:       s.seqBatchesIn,
 		DuplicateBatches: s.dupBatches,
+		ForwardErrors:    s.forwardErrs,
 		SessionsActive:   s.sessions.len(),
 		SessionsEvicted:  s.sessions.evicted,
 		FramesByType:     s.framesByType,
@@ -882,6 +975,9 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("dcsketch_server_duplicate_batches_total",
 		"Retransmitted batches suppressed by the replay dedup table.",
 		func() uint64 { return s.Stats().DuplicateBatches })
+	reg.CounterFunc("dcsketch_server_forward_errors_total",
+		"Batches aborted by the relay forward tap (connection dropped unacked).",
+		func() uint64 { return s.Stats().ForwardErrors })
 	reg.GaugeFunc("dcsketch_server_sessions_active",
 		"Live replay sessions in the dedup table.",
 		func() int64 { return int64(s.Stats().SessionsActive) })
@@ -911,6 +1007,9 @@ func (s *Server) RegisterTelemetry(reg *telemetry.Registry) {
 		func() int64 { return int64(s.Stats().ConnsActive) })
 
 	s.Monitor().RegisterTelemetry(reg)
+	if s.pipe != nil {
+		s.pipe.RegisterTelemetry(reg)
+	}
 	s.tel.Store(tel)
 }
 

@@ -1,6 +1,10 @@
 package server
 
-import "container/list"
+import (
+	"container/list"
+
+	"dcsketch/internal/snapshot"
+)
 
 // session is one exporter replay session's dedup state: the highest batch
 // sequence already applied into the shared sketch. A MsgSeqUpdates frame
@@ -66,3 +70,38 @@ func (t *sessionTable) lookup(id uint64) *session {
 
 // len returns the number of live sessions.
 func (t *sessionTable) len() int { return t.ll.Len() }
+
+// export captures every live session's replay horizon, most-recently-used
+// first, for a crash-safe snapshot. The caller holds the server mutex, so
+// the horizons are atomic with the sketch state captured alongside them.
+func (t *sessionTable) export() []snapshot.SessionHorizon {
+	if t.ll.Len() == 0 {
+		return nil
+	}
+	out := make([]snapshot.SessionHorizon, 0, t.ll.Len())
+	for el := t.ll.Front(); el != nil; el = el.Next() {
+		s := el.Value.(*session)
+		out = append(out, snapshot.SessionHorizon{ID: s.id, LastSeq: s.lastSeq})
+	}
+	return out
+}
+
+// restore replaces the table's content with previously exported horizons
+// (most-recently-used first), dropping duplicates and clamping to the
+// table's bound by keeping the most recently used entries — exactly the
+// ones LRU eviction would have kept, so a restore can only ever narrow the
+// dedup window relative to what the dead server promised, never widen it.
+func (t *sessionTable) restore(horizons []snapshot.SessionHorizon) {
+	t.ll = list.New()
+	t.m = make(map[uint64]*list.Element, t.max)
+	for _, h := range horizons {
+		if t.ll.Len() >= t.max {
+			t.evicted++
+			continue
+		}
+		if _, ok := t.m[h.ID]; ok {
+			continue
+		}
+		t.m[h.ID] = t.ll.PushBack(&session{id: h.ID, lastSeq: h.LastSeq})
+	}
+}

@@ -92,6 +92,10 @@ const (
 	// StageShardApply: a shard worker folded the staged updates into its
 	// sketch (writer = shard, n = updates applied).
 	StageShardApply
+	// StageShardShed: the shard queue was full with shedding enabled, so the
+	// whole staged batch was dropped instead of blocking the handler
+	// (writer = shard, n = updates shed, aux = shard index).
+	StageShardShed
 
 	stageCount // number of stages, for bounds and tests
 )
@@ -126,6 +130,7 @@ var stageNames = [stageCount]string{
 	StageServerQuery:        "server-query",
 	StageShardStage:         "shard-stage",
 	StageShardApply:         "shard-apply",
+	StageShardShed:          "shard-shed",
 }
 
 // String returns the stable kebab-case stage name used in JSON output and by
